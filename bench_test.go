@@ -1,0 +1,315 @@
+package repro
+
+// Benchmark harness for every table and figure of the paper; the mapping
+// from benchmarks to paper artifacts is the experiment index in DESIGN.md
+// (E1–E13) and results are recorded in EXPERIMENTS.md.
+//
+// One benchmark iteration is one full protocol trial; the quantity the
+// paper bounds — scheduler steps to convergence — is emitted as the
+// custom metric "steps/op", so absolute wall-clock throughput and the
+// model-level cost are reported side by side.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/lottery"
+	"repro/internal/orient"
+	"repro/internal/population"
+	"repro/internal/twohop"
+	"repro/internal/xrand"
+)
+
+// runSpec benchmarks one (protocol, n) Table 1 cell.
+func runSpec(b *testing.B, spec harness.Spec, n int) {
+	b.Helper()
+	if spec.FixSize != nil {
+		n = spec.FixSize(n)
+	}
+	var total uint64
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		res := spec.Run(n, uint64(i)+1, spec.MaxSteps(n))
+		if !res.Converged {
+			fails++
+			continue
+		}
+		total += res.Steps
+	}
+	if b.N > fails {
+		b.ReportMetric(float64(total)/float64(b.N-fails), "steps/op")
+	}
+	b.ReportMetric(float64(fails), "failures")
+}
+
+// BenchmarkTable1 is E1: convergence steps of every protocol row across
+// ring sizes. The Θ(n³)-class baselines are capped at smaller sizes and
+// the [11]-style baseline at n=8 (see DESIGN.md).
+func BenchmarkTable1(b *testing.B) {
+	type row struct {
+		spec  harness.Spec
+		sizes []int
+	}
+	rows := []row{
+		{harness.AngluinSpec(), []int{9, 17, 33}},
+		{harness.FJSpec(), []int{8, 16, 32}},
+		{harness.ChenChenSpec(), []int{4, 8}},
+		{harness.YokotaSpec(), []int{16, 32, 64, 128}},
+		{harness.PPLSpec(0, core.DefaultC1, harness.InitRandom), []int{16, 32, 64, 128}},
+	}
+	for _, r := range rows {
+		for _, n := range r.sizes {
+			b.Run(fmt.Sprintf("%s/n=%d", r.spec.Name, n), func(b *testing.B) {
+				runSpec(b, r.spec, n)
+			})
+		}
+	}
+}
+
+// BenchmarkStateCount is E2: the #states column of Table 1. The metric is
+// bits per agent at each size.
+func BenchmarkStateCount(b *testing.B) {
+	for _, n := range []int{1 << 6, 1 << 10, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var bits float64
+			for i := 0; i < b.N; i++ {
+				bits = core.NewParams(n).BitsPerAgent()
+			}
+			b.ReportMetric(bits, "bits/agent")
+		})
+	}
+}
+
+// BenchmarkFigure1Perfect is E3: constructing and verifying the Figure 1
+// embedding (a perfect configuration in S_PL).
+func BenchmarkFigure1Perfect(b *testing.B) {
+	p := core.NewParams(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := p.PerfectConfig(0, 8)
+		if !p.IsSafe(cfg) {
+			b.Fatal("perfect configuration not safe")
+		}
+	}
+}
+
+// BenchmarkFigure2Trajectory is E4: one complete token trajectory under
+// the deterministic Lemma 3.5 schedule; steps/op is the trajectory length
+// 2ψ²−2ψ+1.
+func BenchmarkFigure2Trajectory(b *testing.B) {
+	for _, psi := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("psi=%d", psi), func(b *testing.B) {
+			var moves int
+			for i := 0; i < b.N; i++ {
+				positions, _, _ := core.TrajectoryTrace(psi, 3)
+				moves = len(positions) + 1
+			}
+			b.ReportMetric(float64(moves), "moves/op")
+		})
+	}
+}
+
+// BenchmarkLemma23 is E5: occurrence time of seq_R(0, n) among n arcs;
+// steps/op should track n·ℓ = n².
+func BenchmarkLemma23(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := xrand.New(7)
+			schedule := population.ScheduleSeqR(n, 0, n)
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				total += population.OccurrenceTime(n, schedule, rng)
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkLottery is E6: W_LG sampling at the Lemma 3.9 parameters.
+func BenchmarkLottery(b *testing.B) {
+	for _, k := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := xrand.New(9)
+			flips, _ := lottery.Lemma39Params(k, 1)
+			var wins int
+			for i := 0; i < b.N; i++ {
+				wins += lottery.Wins(k, flips, rng)
+			}
+			b.ReportMetric(float64(wins)/float64(b.N), "wins/op")
+		})
+	}
+}
+
+// BenchmarkModeDetermination is E7 / Lemma 3.7: steps until every agent of
+// a leaderless ring reaches detection mode (or a leader is created).
+func BenchmarkModeDetermination(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := core.NewParams(n)
+			pr := core.New(p)
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(i)))
+				cfg := p.NoLeaderAligned()
+				for j := range cfg {
+					cfg[j].Clock = 0 // start in construction mode
+				}
+				eng.SetStates(cfg)
+				steps, ok := eng.RunUntil(func(c []core.State) bool {
+					allDetect := true
+					for _, s := range c {
+						if s.Leader {
+							return true
+						}
+						if p.Mode(s) != core.Detect {
+							allDetect = false
+						}
+					}
+					return allDetect
+				}, n, 3000*uint64(n)*uint64(n)*uint64(p.Psi))
+				if !ok {
+					b.Fatal("mode determination never completed")
+				}
+				total += steps
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkTheorem31 is E8: P_PL convergence to S_PL per adversarial
+// initial class, with the normalized metric steps/(n² log n) that the
+// theorem predicts to be flat in n.
+func BenchmarkTheorem31(b *testing.B) {
+	classes := []struct {
+		name string
+		init harness.InitClass
+	}{
+		{"random", harness.InitRandom},
+		{"noleader", harness.InitNoLeader},
+		{"allleaders", harness.InitAllLeaders},
+		{"corrupted", harness.InitCorrupted},
+	}
+	for _, cl := range classes {
+		for _, n := range []int{32, 64, 128} {
+			b.Run(fmt.Sprintf("%s/n=%d", cl.name, n), func(b *testing.B) {
+				spec := harness.PPLSpec(0, core.DefaultC1, cl.init)
+				var total uint64
+				for i := 0; i < b.N; i++ {
+					res := spec.Run(n, uint64(i)+1, spec.MaxSteps(n))
+					if !res.Converged {
+						b.Fatal("no convergence")
+					}
+					total += res.Steps
+				}
+				mean := float64(total) / float64(b.N)
+				b.ReportMetric(mean, "steps/op")
+				b.ReportMetric(mean/(float64(n)*float64(n)*math.Log2(float64(n))), "steps/n²logn")
+			})
+		}
+	}
+}
+
+// BenchmarkOrientation is E9 / Theorem 5.2: P_OR convergence on undirected
+// rings.
+func BenchmarkOrientation(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			colors := twohop.Coloring(n)
+			p := orient.New()
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				eng := population.NewEngine(population.UndirectedRing(n), p.Step, xrand.New(uint64(i)))
+				eng.SetStates(orient.InitialConfig(colors, xrand.New(uint64(i)+999)))
+				steps, ok := eng.RunUntil(orient.Oriented, n, 4000*uint64(n)*uint64(n))
+				if !ok {
+					b.Fatal("orientation never completed")
+				}
+				total += steps
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkAblationKappa is E10: the κ_max = c₁ψ trade-off at fixed n.
+func BenchmarkAblationKappa(b *testing.B) {
+	const n = 64
+	for _, c1 := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("c1=%d", c1), func(b *testing.B) {
+			spec := harness.PPLSpec(0, c1, harness.InitRandom)
+			runSpec(b, spec, n)
+		})
+	}
+}
+
+// BenchmarkAblationPsi is E11: slack in the knowledge ψ at fixed n.
+func BenchmarkAblationPsi(b *testing.B) {
+	const n = 64
+	for _, slack := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("slack=%d", slack), func(b *testing.B) {
+			spec := harness.PPLSpec(slack, core.DefaultC1, harness.InitRandom)
+			runSpec(b, spec, n)
+			b.ReportMetric(core.NewParamsSlack(n, slack, core.DefaultC1).BitsPerAgent(), "bits/agent")
+		})
+	}
+}
+
+// BenchmarkElimination is E12 / Lemma 4.11: from an all-leaders start,
+// steps until exactly one leader survives.
+func BenchmarkElimination(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := core.NewParams(n)
+			pr := core.New(p)
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(i)))
+				eng.SetStates(p.AllLeaders())
+				eng.TrackLeaders(core.IsLeader)
+				steps, ok := eng.RunUntil(func(c []core.State) bool {
+					return core.LeaderCount(c) == 1
+				}, n, 2000*uint64(n)*uint64(n))
+				if !ok {
+					b.Fatal("elimination never finished")
+				}
+				total += steps
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkClosureHold is E13 / Lemma 4.7: simulation throughput inside
+// S_PL, asserting that the leader output never changes.
+func BenchmarkClosureHold(b *testing.B) {
+	p := core.NewParams(128)
+	pr := core.New(p)
+	eng := population.NewEngine(population.DirectedRing(p.N), pr.Step, xrand.New(1))
+	eng.SetStates(p.PerfectConfig(0, 0))
+	eng.TrackLeaders(core.IsLeader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+	b.StopTimer()
+	if eng.LeaderChanges() != 0 {
+		b.Fatalf("leader output changed %d times inside S_PL", eng.LeaderChanges())
+	}
+}
+
+// BenchmarkEngineThroughput reports the raw simulation rate of the P_PL
+// transition — context for translating steps/op into wall-clock time.
+func BenchmarkEngineThroughput(b *testing.B) {
+	p := core.NewParams(1024)
+	pr := core.New(p)
+	eng := population.NewEngine(population.DirectedRing(p.N), pr.Step, xrand.New(1))
+	eng.SetStates(p.RandomConfig(xrand.New(2)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}

@@ -1,0 +1,79 @@
+// Command figures regenerates the paper's two figures as text diagrams:
+//
+//	figures -fig 1    segment-ID embedding on a ring (Figure 1)
+//	figures -fig 2    black-token trajectory (Figure 2)
+//	figures           both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to print (1 or 2; 0 = both)")
+	n := flag.Int("n", 15, "ring size for figure 1")
+	psi := flag.Int("psi", 4, "ψ for figure 2 (>= 4)")
+	flag.Parse()
+
+	if *fig == 0 || *fig == 1 {
+		printFigure1(*n)
+	}
+	if *fig == 0 || *fig == 2 {
+		printFigure2(*psi)
+	}
+}
+
+// printFigure1 reproduces Figure 1: a perfect configuration whose segment
+// IDs increase by one clockwise from the leader, and the Lemma 3.2 fact
+// that removing the leader necessarily breaks the embedding.
+func printFigure1(n int) {
+	p := core.NewParams(n)
+	fmt.Printf("Figure 1 — segment-ID embedding (n=%d, ψ=%d)\n\n", n, p.Psi)
+	cfg := p.PerfectConfig(0, 8)
+	fmt.Print(p.FormatRing(cfg))
+	fmt.Printf("\nperfect: %v   safe (S_PL): %v\n", p.IsPerfect(cfg), p.IsSafe(cfg))
+
+	// Panel (c): a leaderless ring cannot be perfect (Lemma 3.2).
+	if p.N%p.TwoPsi() == 0 {
+		noLeader := p.NoLeaderAligned()
+		fmt.Printf("\nLeaderless variant (aligned distances):\n")
+		fmt.Print(p.FormatRing(noLeader))
+		fmt.Printf("perfect: %v  (Lemma 3.2: must be false)\n", p.IsPerfect(noLeader))
+	}
+	fmt.Println()
+}
+
+// printFigure2 reproduces Figure 2: the zigzag trajectory of a black
+// token, replayed deterministically with the Lemma 3.5 schedule.
+func printFigure2(psi int) {
+	if psi < 4 {
+		psi = 4
+	}
+	positions, final, p := core.TrajectoryTrace(psi, 3)
+	fmt.Printf("Figure 2 — token trajectory (ψ=%d, ring n=%d)\n\n", psi, p.N)
+	width := 2 * psi
+	for _, pos := range positions {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		line[pos] = '*'
+		fmt.Printf("  u0 %s u%d\n", string(line), width-1)
+	}
+	fmt.Printf("\nobserved moves: %d (+1 final, consumed on arrival) = %d = 2ψ²−2ψ+1\n",
+		len(positions), p.TrajectoryLength())
+	ids := []string{}
+	for seg := 0; seg < 2; seg++ {
+		start := seg * psi
+		id := uint64(0)
+		for t := 0; t < psi; t++ {
+			id |= uint64(final[start+t].B) << uint(t)
+		}
+		ids = append(ids, fmt.Sprintf("ι(S_%d)=%d", seg, id))
+	}
+	fmt.Printf("segment IDs after the trajectory: %s\n\n", strings.Join(ids, ", "))
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func newOrientation(n int, seed uint64) *repro.RingOrientation {
+	return repro.NewRingOrientation(n, repro.WithSeed(seed))
+}
+
+// printFinalPPL re-runs the ppl trial through the public API (same seeds)
+// and prints the converged configuration as a segment diagram.
+func printFinalPPL(n, slack, c1 int, init string, seed uint64) {
+	e := repro.NewRingElection(n, repro.WithSeed(seed), repro.WithSlack(slack), repro.WithC1(c1))
+	switch init {
+	case "noleader":
+		e.InitNoLeader()
+	case "allleaders":
+		// The harness uses the armed all-leaders configuration; fault
+		// injection over a perfect start is the closest public-API analog.
+		e.InitPerfect(0)
+		e.InjectFaults(n)
+	case "corrupted":
+		e.InitPerfect(0)
+		e.InjectFaults(n / 4)
+	default:
+		e.InitRandom(seed ^ 0xabcdef)
+	}
+	if _, ok := e.RunToSafe(0); ok {
+		fmt.Println()
+		fmt.Print(e.Describe())
+	}
+}

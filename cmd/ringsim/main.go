@@ -1,0 +1,131 @@
+// Command ringsim runs one protocol instance on a ring and reports its
+// convergence behavior.
+//
+// Usage:
+//
+//	ringsim -proto ppl -n 64 -seed 1 -init random [-v]
+//
+// Protocols: ppl (the paper's P_PL), yokota [28], angluin [5], fj [15],
+// chenchen [11], orient (Section 5 ring orientation).
+// Initial configurations (ppl only): random, noleader, allleaders,
+// corrupted.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ringsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		proto   = flag.String("proto", "ppl", "protocol: ppl, yokota, angluin, fj, chenchen, orient")
+		n       = flag.Int("n", 64, "ring size")
+		seed    = flag.Uint64("seed", 1, "scheduler seed")
+		init    = flag.String("init", "random", "ppl initial configuration: random, noleader, allleaders, corrupted")
+		c1      = flag.Int("c1", core.DefaultC1, "κ_max multiplier (ppl)")
+		slack   = flag.Int("slack", 0, "ψ slack (ppl)")
+		verbose = flag.Bool("v", false, "print the final configuration (ppl)")
+		stat    = flag.Bool("stats", false, "print event counters and a final snapshot (ppl)")
+	)
+	flag.Parse()
+
+	if *proto == "orient" {
+		return runOrient(*n, *seed)
+	}
+
+	spec, err := specFor(*proto, *slack, *c1, *init)
+	if err != nil {
+		return err
+	}
+	size := *n
+	if spec.FixSize != nil {
+		size = spec.FixSize(size)
+		if size != *n {
+			fmt.Printf("note: ring size adjusted to %d for %s\n", size, spec.Name)
+		}
+	}
+	res := spec.Run(size, *seed, spec.MaxSteps(size))
+	fmt.Printf("protocol    : %s\n", spec.Name)
+	fmt.Printf("assumption  : %s\n", spec.Assumption)
+	fmt.Printf("ring size   : %d\n", size)
+	fmt.Printf("|Q|         : %d states/agent\n", spec.States(size))
+	if !res.Converged {
+		return fmt.Errorf("did not converge within %d steps", spec.MaxSteps(size))
+	}
+	fmt.Printf("safe after  : %d steps\n", res.Steps)
+	fmt.Printf("output fixed: step %d (last leader change)\n", res.Stabilized)
+	if *stat && *proto == "ppl" {
+		printStatsPPL(size, *slack, *c1, *init, *seed)
+	}
+	if *verbose && *proto == "ppl" {
+		printFinalPPL(size, *slack, *c1, *init, *seed)
+	}
+	return nil
+}
+
+func specFor(proto string, slack, c1 int, init string) (harness.Spec, error) {
+	initClass, err := initFor(init)
+	if err != nil {
+		return harness.Spec{}, err
+	}
+	switch proto {
+	case "ppl":
+		return harness.PPLSpec(slack, c1, initClass), nil
+	case "yokota":
+		return harness.YokotaSpec(), nil
+	case "angluin":
+		return harness.AngluinSpec(), nil
+	case "fj":
+		return harness.FJSpec(), nil
+	case "chenchen":
+		return harness.ChenChenSpec(), nil
+	default:
+		return harness.Spec{}, fmt.Errorf("unknown protocol %q", proto)
+	}
+}
+
+func initFor(init string) (harness.InitClass, error) {
+	switch init {
+	case "random":
+		return harness.InitRandom, nil
+	case "noleader":
+		return harness.InitNoLeader, nil
+	case "allleaders":
+		return harness.InitAllLeaders, nil
+	case "corrupted":
+		return harness.InitCorrupted, nil
+	default:
+		return 0, fmt.Errorf("unknown init class %q", init)
+	}
+}
+
+func runOrient(n int, seed uint64) error {
+	if n < 3 {
+		return errors.New("orientation needs n >= 3")
+	}
+	o := newOrientation(n, seed)
+	steps, ok := o.RunToOriented(0)
+	if !ok {
+		return errors.New("orientation did not converge")
+	}
+	dir := "counter-clockwise"
+	if o.Clockwise() {
+		dir = "clockwise"
+	}
+	fmt.Printf("protocol    : P_OR (Section 5)\n")
+	fmt.Printf("ring size   : %d\n", n)
+	fmt.Printf("oriented in : %d steps (%s)\n", steps, dir)
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestSpecForKnownProtocols(t *testing.T) {
+	for _, proto := range []string{"ppl", "yokota", "angluin", "fj", "chenchen"} {
+		spec, err := specFor(proto, 0, 8, "random")
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if spec.Name == "" || spec.Run == nil || spec.MaxSteps == nil {
+			t.Fatalf("%s: incomplete spec %+v", proto, spec)
+		}
+	}
+}
+
+func TestSpecForUnknownProtocol(t *testing.T) {
+	if _, err := specFor("paxos", 0, 8, "random"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestInitForClasses(t *testing.T) {
+	for _, init := range []string{"random", "noleader", "allleaders", "corrupted"} {
+		if _, err := initFor(init); err != nil {
+			t.Fatalf("%s: %v", init, err)
+		}
+	}
+	if _, err := initFor("bogus"); err == nil {
+		t.Fatal("unknown init class accepted")
+	}
+}
+
+func TestRunOrientTiny(t *testing.T) {
+	if err := runOrient(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOrient(2, 1); err == nil {
+		t.Fatal("n=2 orientation accepted")
+	}
+}

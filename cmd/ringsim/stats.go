@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/population"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// printStatsPPL re-runs the ppl trial with an event collector attached and
+// prints the per-phase accounting.
+func printStatsPPL(n, slack, c1 int, init string, seed uint64) {
+	p := core.NewParamsSlack(n, slack, c1)
+	pr := core.New(p)
+	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
+	initClass, err := initFor(init)
+	if err != nil {
+		initClass = harness.InitRandom
+	}
+	eng.SetStates(harness.InitialConfig(p, initClass, seed))
+	col := trace.NewCollector(p)
+	eng.SetObserver(col.Observe)
+	_, ok := eng.RunUntil(func(cfg []core.State) bool { return p.IsSafe(cfg) },
+		n/2+1, 800*uint64(n)*uint64(n)*uint64(p.Psi))
+	if !ok {
+		fmt.Println("stats: run did not converge")
+		return
+	}
+	fmt.Println()
+	fmt.Print(trace.Format(col.Events(), trace.Snapshot(p, eng.Config())))
+}

@@ -1,0 +1,408 @@
+// Command sweep runs the full experiment suite (E1–E13 of DESIGN.md) and
+// prints a markdown report; EXPERIMENTS.md records a run of this tool.
+//
+// Usage:
+//
+//	sweep           full profile (minutes)
+//	sweep -quick    reduced sizes/trials (tens of seconds)
+//	sweep -only E8  run a single experiment section
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/lottery"
+	"repro/internal/orient"
+	"repro/internal/population"
+	"repro/internal/stats"
+	"repro/internal/twohop"
+	"repro/internal/xrand"
+)
+
+type profile struct {
+	table1Sizes  []int
+	table1Trials int
+	deepSizes    []int
+	deepTrials   int
+	orientSizes  []int
+	trials       int
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sizes and trial counts")
+	only := flag.String("only", "", "run a single section (E1..E13)")
+	flag.Parse()
+
+	prof := profile{
+		table1Sizes:  []int{16, 32, 64, 128},
+		table1Trials: 5,
+		deepSizes:    []int{64, 128, 256, 512, 1024},
+		deepTrials:   5,
+		orientSizes:  []int{32, 64, 128, 256, 512},
+		trials:       10,
+	}
+	if *quick {
+		prof = profile{
+			table1Sizes:  []int{16, 32, 64},
+			table1Trials: 3,
+			deepSizes:    []int{32, 64, 128},
+			deepTrials:   3,
+			orientSizes:  []int{16, 32, 64},
+			trials:       5,
+		}
+	}
+
+	sections := []struct {
+		id  string
+		run func(profile)
+	}{
+		{"E1", e1Table1}, {"E3", e3Figure1}, {"E4", e4Figure2},
+		{"E5", e5Lemma23}, {"E6", e6Lottery}, {"E7", e7Modes},
+		{"E8", e8Theorem31}, {"E9", e9Orientation}, {"E10", e10Kappa},
+		{"E11", e11Psi}, {"E12", e12Elimination}, {"E13", e13Closure},
+	}
+	start := time.Now()
+	for _, s := range sections {
+		if *only != "" && !strings.EqualFold(*only, s.id) {
+			continue
+		}
+		s.run(prof)
+	}
+	fmt.Printf("\n_sweep completed in %v_\n", time.Since(start).Round(time.Second))
+}
+
+func header(id, title string) {
+	fmt.Printf("\n## %s — %s\n\n", id, title)
+}
+
+// e1Table1 regenerates Table 1 (E1 time column, E2 states column).
+func e1Table1(p profile) {
+	header("E1/E2", "Table 1: convergence time and state count per protocol")
+	res := repro.Comparison(p.table1Sizes, p.table1Trials, 16)
+	fmt.Print(res.Markdown)
+	fmt.Println("\nBits per agent (E2, P_PL vs [28]):")
+	fmt.Println("\n| n | P_PL bits | [28] bits |")
+	fmt.Println("|---|---|---|")
+	for _, n := range []int{1 << 6, 1 << 10, 1 << 14, 1 << 18} {
+		ppl := core.NewParams(n).BitsPerAgent()
+		yok := math.Log2(float64(2 * uint64(2*n+1) * 12))
+		fmt.Printf("| %d | %.1f | %.1f |\n", n, ppl, yok)
+	}
+}
+
+// e3Figure1 prints the Figure 1 embedding and the Lemma 3.2 search.
+func e3Figure1(profile) {
+	header("E3", "Figure 1: segment-ID embedding and Lemma 3.2")
+	p := core.NewParams(16)
+	fmt.Println("```")
+	fmt.Print(p.FormatRing(p.PerfectConfig(0, 8)))
+	fmt.Println("```")
+	fmt.Printf("\nperfect configuration is in S_PL: %v\n", p.IsSafe(p.PerfectConfig(0, 8)))
+	// Monte Carlo Lemma 3.2: random leaderless aligned configurations.
+	rng := xrand.New(1)
+	violations := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		cfg := make([]core.State, p.N)
+		for j := range cfg {
+			cfg[j] = core.State{Dist: uint16(j % p.TwoPsi()), B: uint8(rng.Intn(2))}
+		}
+		if !p.IsPerfect(cfg) {
+			violations++
+		}
+	}
+	fmt.Printf("Lemma 3.2 Monte Carlo: %d/%d leaderless configurations imperfect (must be all)\n",
+		violations, trials)
+}
+
+// e4Figure2 prints trajectory lengths.
+func e4Figure2(profile) {
+	header("E4", "Figure 2: token trajectory length = 2ψ²−2ψ+1")
+	fmt.Println("| ψ | observed moves | 2ψ²−2ψ+1 | path matches Figure 2 zigzag |")
+	fmt.Println("|---|---|---|---|")
+	for _, psi := range []int{4, 5, 6, 7, 8} {
+		positions, _, par := core.TrajectoryTrace(psi, 3)
+		want := core.CanonicalZigzag(psi)
+		match := len(positions) == len(want)
+		for i := range want {
+			if !match || positions[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		fmt.Printf("| %d | %d | %d | %v |\n", psi, len(positions)+1, par.TrajectoryLength(), match)
+	}
+}
+
+// e5Lemma23 measures interaction-sequence occurrence times.
+func e5Lemma23(p profile) {
+	header("E5", "Lemma 2.3: seq_R(0, ℓ) occurs in ~nℓ steps")
+	fmt.Println("| n | ℓ | mean steps | n·ℓ | ratio |")
+	fmt.Println("|---|---|---|---|---|")
+	rng := xrand.New(5)
+	for _, n := range []int{32, 128, 512} {
+		for _, ell := range []int{n / 2, n, 2 * n} {
+			schedule := population.ScheduleSeqR(n, 0, ell)
+			var xs []float64
+			for t := 0; t < p.trials; t++ {
+				xs = append(xs, float64(population.OccurrenceTime(n, schedule, rng)))
+			}
+			mean := stats.Mean(xs)
+			fmt.Printf("| %d | %d | %.0f | %d | %.3f |\n", n, ell, mean, n*ell, mean/float64(n*ell))
+		}
+	}
+}
+
+// e6Lottery estimates the Lemma 3.9/3.10 tail probabilities.
+func e6Lottery(profile) {
+	header("E6", "Lemmas 3.9/3.10: lottery game tail bounds")
+	rng := xrand.New(6)
+	const trials = 4000
+	fmt.Println("| k | c | Pr(W ≤ 8ck in 4ck·2^k) | bound 1−2^−ck | Pr(W ≥ 16ck in 64ck·2^k) | bound |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, k := range []int{3, 4, 5, 6} {
+		for _, c := range []int{1, 2} {
+			f39, b39 := lottery.Lemma39Params(k, c)
+			f310, b310 := lottery.Lemma310Params(k, c)
+			p39 := lottery.TailAtMost(k, f39, b39, trials, rng)
+			p310 := lottery.TailAtLeast(k, f310, b310, trials, rng)
+			bound := 1 - math.Pow(2, -float64(c*k))
+			fmt.Printf("| %d | %d | %.4f | %.4f | %.4f | %.4f |\n", k, c, p39, bound, p310, bound)
+		}
+	}
+}
+
+// e7Modes measures Lemma 3.7: time for a leaderless ring to go all-Detect.
+// Ring sizes with 2ψ | n keep the distance labels seam-free, so no leader
+// can be created before the modes settle.
+func e7Modes(p profile) {
+	header("E7", "Lemmas 3.6/3.7: mode determination timing")
+	fmt.Println("| n | mean steps to all-Detect (no leader) | steps/(n² log n) |")
+	fmt.Println("|---|---|---|")
+	sizes := []int{16, 48, 112}
+	if len(p.deepSizes) < 4 {
+		sizes = []int{16, 48} // quick profile
+	}
+	for _, n := range sizes {
+		par := core.NewParams(n)
+		pr := core.New(par)
+		var xs []float64
+		for t := 0; t < p.deepTrials; t++ {
+			eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(t)))
+			cfg := par.NoLeaderAligned()
+			for j := range cfg {
+				cfg[j].Clock = 0
+			}
+			eng.SetStates(cfg)
+			steps, ok := eng.RunUntil(func(c []core.State) bool {
+				allDetect := true
+				for _, s := range c {
+					if s.Leader {
+						return true
+					}
+					if par.Mode(s) != core.Detect {
+						allDetect = false
+					}
+				}
+				return allDetect
+			}, n, 4000*uint64(n)*uint64(n)*uint64(par.Psi))
+			if ok {
+				xs = append(xs, float64(steps))
+			}
+		}
+		mean := stats.Mean(xs)
+		fmt.Printf("| %d | %.0f | %.3f |\n", n, mean, mean/(float64(n)*float64(n)*math.Log2(float64(n))))
+	}
+}
+
+// e8Theorem31 is the headline sweep: P_PL convergence and normalization.
+func e8Theorem31(p profile) {
+	header("E8", "Theorem 3.1: P_PL reaches S_PL in O(n² log n) steps")
+	classes := []struct {
+		name string
+		init harness.InitClass
+	}{
+		{"random", harness.InitRandom},
+		{"allleaders", harness.InitAllLeaders},
+		{"corrupted", harness.InitCorrupted},
+	}
+	fmt.Println("| init class | " + sizesHeader(p.deepSizes) + " fitted exponent |")
+	fmt.Println("|---|" + strings.Repeat("---|", len(p.deepSizes)+1))
+	for _, cl := range classes {
+		spec := harness.PPLSpec(0, core.DefaultC1, cl.init)
+		cells := harness.Sweep(spec, p.deepSizes, p.deepTrials)
+		fmt.Printf("| %s |", cl.name)
+		for _, c := range cells {
+			fmt.Printf(" %.3g |", c.Steps.Mean)
+		}
+		fmt.Printf(" n^%.2f |\n", harness.Exponent(cells))
+	}
+	// The leaderless class behaves qualitatively differently depending on
+	// whether 2ψ divides n: with a seam, the first distance wrap is an
+	// instant witness; without one, only the token machinery can detect.
+	// Report it on seam-free sizes where detection is genuinely hard.
+	fmt.Println("\nLeaderless starts (all-Detect, aligned distances), seam-free sizes (2ψ | n):")
+	fmt.Println("\n| n | mean steps | notes |")
+	fmt.Println("|---|---|---|")
+	spec := harness.PPLSpec(0, core.DefaultC1, harness.InitNoLeader)
+	for _, n := range []int{16, 48, 112, 256} {
+		cells := harness.Sweep(spec, []int{n}, p.deepTrials)
+		fmt.Printf("| %d | %.3g | token-comparison detection + full reconstruction |\n",
+			n, cells[0].Steps.Mean)
+	}
+	// Normalized flatness for the random class.
+	spec = harness.PPLSpec(0, core.DefaultC1, harness.InitRandom)
+	cells := harness.Sweep(spec, p.deepSizes, p.deepTrials)
+	norm := harness.NormalizedBy(cells, func(n int) float64 {
+		return float64(n) * float64(n) * math.Log2(float64(n))
+	})
+	fmt.Printf("\nsteps/(n² log n), random class: %s — flat ⇒ the bound is tight up to constants.\n",
+		floats(norm))
+	// Contrast: [28] at the same sizes for the ×log n separation.
+	yok := harness.Sweep(harness.YokotaSpec(), p.deepSizes, p.deepTrials)
+	normY := harness.NormalizedBy(yok, func(n int) float64 { return float64(n) * float64(n) })
+	fmt.Printf("steps/n², [28] baseline:        %s — flat ⇒ Θ(n²), the paper's separation.\n", floats(normY))
+}
+
+// e9Orientation measures Theorem 5.2.
+func e9Orientation(p profile) {
+	header("E9", "Theorem 5.2: ring orientation in O(n² log n) steps, O(1) states")
+	fmt.Println("| n | mean steps | steps/(n² log n) |")
+	fmt.Println("|---|---|---|")
+	var xs, ys []float64
+	for _, n := range p.orientSizes {
+		colors := twohop.Coloring(n)
+		pr := orient.New()
+		var sample []float64
+		for t := 0; t < p.deepTrials; t++ {
+			eng := population.NewEngine(population.UndirectedRing(n), pr.Step, xrand.New(uint64(t)))
+			eng.SetStates(orient.InitialConfig(colors, xrand.New(uint64(t)+500)))
+			steps, ok := eng.RunUntil(orient.Oriented, n, 6000*uint64(n)*uint64(n))
+			if ok {
+				sample = append(sample, float64(steps))
+			}
+		}
+		mean := stats.Mean(sample)
+		xs = append(xs, float64(n))
+		ys = append(ys, mean)
+		fmt.Printf("| %d | %.0f | %.3f |\n", n, mean, mean/(float64(n)*float64(n)*math.Log2(float64(n))))
+	}
+	fmt.Printf("\nfitted exponent: n^%.2f (paper: O(n² log n)); states/agent: %d (constant).\n",
+		stats.PowerLawExponent(xs, ys), orient.StateCount(3))
+}
+
+// e10Kappa sweeps the κ_max multiplier. Random dense starts converge
+// through elimination and construction only, so they are κ_max-blind; the
+// detection-dominated cold leaderless start (clocks at zero, seam-free
+// n = 48) exposes the linear κ_max cost of climbing to detection mode.
+func e10Kappa(p profile) {
+	header("E10", "Ablation: κ_max = c₁ψ (footnote 2)")
+	n := 48 // ψ=6, 2ψ | n: distance labels are seam-free
+	fmt.Println("| c₁ | steps to S_PL (random start) | steps to S_PL (cold leaderless) | failures |")
+	fmt.Println("|---|---|---|---|")
+	for _, c1 := range []int{2, 4, 8, 16, 32} {
+		random := harness.Sweep(harness.PPLSpec(0, c1, harness.InitRandom), []int{n}, p.trials)
+		cold := harness.Sweep(harness.PPLSpec(0, c1, harness.InitNoLeaderCold), []int{n}, p.trials)
+		rm, cm := 0.0, 0.0
+		if random[0].Steps.Count > 0 {
+			rm = random[0].Steps.Mean
+		}
+		if cold[0].Steps.Count > 0 {
+			cm = cold[0].Steps.Mean
+		}
+		fmt.Printf("| %d | %.3g | %.3g | %d |\n", c1, rm, cm, random[0].Failures+cold[0].Failures)
+	}
+	fmt.Println("\nRandom starts are κ_max-insensitive (identical trajectories: the clock")
+	fmt.Println("value only matters through detection mode, which dense starts never use);")
+	fmt.Println("the cold leaderless start pays ~linearly for larger κ_max before it can detect.")
+}
+
+// e11Psi sweeps the knowledge slack.
+func e11Psi(p profile) {
+	header("E11", "Ablation: slack in ψ = ⌈log n⌉ + O(1)")
+	n := 64
+	fmt.Println("| slack | ψ | bits/agent | mean steps to S_PL |")
+	fmt.Println("|---|---|---|---|")
+	for _, slack := range []int{0, 1, 2, 4} {
+		par := core.NewParamsSlack(n, slack, core.DefaultC1)
+		spec := harness.PPLSpec(slack, core.DefaultC1, harness.InitRandom)
+		cells := harness.Sweep(spec, []int{n}, p.trials)
+		fmt.Printf("| %d | %d | %.1f | %.3g |\n", slack, par.Psi, par.BitsPerAgent(), cells[0].Steps.Mean)
+	}
+}
+
+// e12Elimination measures the war from an all-leaders start.
+func e12Elimination(p profile) {
+	header("E12", "Lemma 4.11: EliminateLeaders reaches one leader in Θ(n²)-class time")
+	fmt.Println("| n | mean steps to 1 leader | steps/n² |")
+	fmt.Println("|---|---|---|")
+	var xs, ys []float64
+	for _, n := range p.deepSizes[:min(4, len(p.deepSizes))] {
+		par := core.NewParams(n)
+		pr := core.New(par)
+		var sample []float64
+		for t := 0; t < p.deepTrials; t++ {
+			eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(t)))
+			eng.SetStates(par.AllLeaders())
+			eng.TrackLeaders(core.IsLeader)
+			steps, ok := eng.RunUntil(func(c []core.State) bool {
+				return core.LeaderCount(c) == 1
+			}, n, 4000*uint64(n)*uint64(n))
+			if ok {
+				sample = append(sample, float64(steps))
+			}
+		}
+		mean := stats.Mean(sample)
+		xs = append(xs, float64(n))
+		ys = append(ys, mean)
+		fmt.Printf("| %d | %.0f | %.3f |\n", n, mean, mean/(float64(n)*float64(n)))
+	}
+	fmt.Printf("\nfitted exponent: n^%.2f (paper: O(n²) expected).\n", stats.PowerLawExponent(xs, ys))
+}
+
+// e13Closure holds a safe configuration for a long run.
+func e13Closure(p profile) {
+	header("E13", "Lemma 4.7: closure of S_PL")
+	fmt.Println("| n | steps held | leader changes | still in S_PL |")
+	fmt.Println("|---|---|---|---|")
+	for _, n := range []int{16, 64, 256} {
+		par := core.NewParams(n)
+		pr := core.New(par)
+		eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(n)))
+		eng.SetStates(par.PerfectConfig(0, 1))
+		eng.TrackLeaders(core.IsLeader)
+		hold := uint64(2_000_000)
+		eng.Run(hold)
+		fmt.Printf("| %d | %d | %d | %v |\n", n, hold, eng.LeaderChanges(), par.IsSafe(eng.Config()))
+	}
+}
+
+func sizesHeader(sizes []int) string {
+	var b strings.Builder
+	for _, n := range sizes {
+		fmt.Fprintf(&b, "n=%d | ", n)
+	}
+	return b.String()
+}
+
+func floats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%.3f", x)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

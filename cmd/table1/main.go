@@ -1,0 +1,49 @@
+// Command table1 regenerates the paper's Table 1 empirically: it sweeps
+// ring sizes for the paper's protocol and the four baselines, measures
+// convergence steps from random adversarial configurations, fits scaling
+// exponents, and prints the comparison as markdown.
+//
+// Usage:
+//
+//	table1 -sizes 16,32,64 -trials 5 -ccmax 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		sizes  = flag.String("sizes", "16,32,64", "comma-separated ring sizes")
+		trials = flag.Int("trials", 5, "trials per (protocol, size) cell")
+		ccmax  = flag.Int("ccmax", 8, "largest size for the [11]-style baseline")
+	)
+	flag.Parse()
+
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	res := repro.Comparison(ns, *trials, *ccmax)
+	fmt.Print(res.Markdown)
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 4 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

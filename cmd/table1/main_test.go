@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    []int
+		wantErr bool
+	}{
+		{give: "16,32,64", want: []int{16, 32, 64}},
+		{give: " 8 , 12 ", want: []int{8, 12}},
+		{give: "abc", wantErr: true},
+		{give: "16,2", wantErr: true}, // below minimum
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseSizes(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Fatalf("parseSizes(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Fatalf("parseSizes(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("parseSizes(%q) = %v, want %v", tt.give, got, tt.want)
+			}
+		}
+	}
+}

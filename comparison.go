@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// ComparisonResult is the outcome of a Table 1 regeneration: the measured
+// convergence steps of every protocol across ring sizes plus the fitted
+// scaling exponents.
+type ComparisonResult struct {
+	// Markdown holds the rendered steps-per-size table followed by the
+	// Table 1 summary (assumption, paper bound, fitted exponent, states).
+	Markdown string
+	// Exponents maps protocol name to the fitted power-law exponent of
+	// mean convergence steps against n.
+	Exponents map[string]float64
+}
+
+// Comparison regenerates the paper's Table 1 empirically: it runs the
+// paper's protocol and the four baselines from random adversarial
+// configurations across the given ring sizes (trials each) and fits the
+// scaling exponents. The [11]-style baseline is included only for sizes
+// up to maxChenChen (its original is super-exponential; see DESIGN.md).
+//
+// This is compute-heavy at larger sizes; sizes of {16, 32, 64} with a
+// handful of trials complete in seconds, {128, 256} in minutes.
+func Comparison(sizes []int, trials, maxChenChen int) ComparisonResult {
+	specs := []harness.Spec{
+		harness.AngluinSpec(),
+		harness.FJSpec(),
+		harness.ChenChenSpec(),
+		harness.YokotaSpec(),
+		harness.PPLSpec(0, 8, harness.InitRandom),
+	}
+	all := make([][]harness.Cell, len(specs))
+	exps := make(map[string]float64, len(specs))
+	for i, spec := range specs {
+		sz := sizes
+		if spec.Name == "[11] Chen–Chen" {
+			sz = nil
+			for _, n := range sizes {
+				if n <= maxChenChen {
+					sz = append(sz, n)
+				}
+			}
+		}
+		all[i] = harness.Sweep(spec, sz, trials)
+		exps[spec.Name] = harness.Exponent(all[i])
+	}
+	var b strings.Builder
+	b.WriteString("### Mean convergence steps (random adversarial starts)\n\n")
+	b.WriteString(harness.Table(specs, all, sizes))
+	b.WriteString("\n### Table 1 reproduction\n\n")
+	b.WriteString(harness.SummaryTable(specs, all, sizes[len(sizes)-1]))
+	fmt.Fprintf(&b, "\nTrials per cell: %d.\n", trials)
+	return ComparisonResult{Markdown: b.String(), Exponents: exps}
+}

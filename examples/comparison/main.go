@@ -1,0 +1,25 @@
+// Comparison: regenerate a small instance of the paper's Table 1 — the
+// paper's protocol against the four prior ring SS-LE protocols — and print
+// the measured convergence steps, fitted scaling exponents and exact state
+// counts as markdown.
+//
+// For the full-size regeneration used in EXPERIMENTS.md, run cmd/table1 or
+// cmd/sweep.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("regenerating Table 1 at small scale (n ∈ {16, 32, 64}, 3 trials)...")
+	fmt.Println()
+	res := repro.Comparison([]int{16, 32, 64}, 3, 16)
+	fmt.Print(res.Markdown)
+	fmt.Println("\nfitted exponents (steps ≈ a·n^b):")
+	for name, exp := range res.Exponents {
+		fmt.Printf("  %-24s b = %.2f\n", name, exp)
+	}
+}

@@ -1,0 +1,167 @@
+// Package angluin implements an SS-LE ring protocol in the style of
+// Angluin, Aspnes, Fischer, Jiang (2008) — reference [5] of the paper and
+// the first row of its Table 1: rings whose size n is not a multiple of a
+// known k, O(1) states, Θ(n³)-class expected convergence, no oracle.
+//
+// Mechanism (reconstruction, DESIGN.md §4): every agent holds a label
+// c ∈ Z_k. Around the ring, the total defect weight
+// Σ_i (c(u_{i+1}) − c(u_i) − 1) ≡ −n (mod k) is an identity, and −n ≢ 0
+// because k ∤ n — so at least one arc is always "defective"
+// (c(r) ≠ c(l)+1). A defective arc marks its responder as a leader. Killed
+// leaders repair their incoming arc, which makes defects drift clockwise
+// and merge (annihilating when their weights cancel), until a single defect
+// pins a single immortal leader. Elimination reuses the Algorithm 5 war;
+// the original's constant-state elimination differs, which can only make
+// this baseline faster, so Table 1's ordering is conserved.
+package angluin
+
+import (
+	"fmt"
+
+	"repro/internal/war"
+	"repro/internal/xrand"
+)
+
+// State is the per-agent state: a mod-k label, the leader bit, the
+// pending-repair flag of a killed leader, and the war variables. O(1)
+// states for constant k.
+type State struct {
+	C      uint8
+	Leader bool
+	Repair bool
+	War    war.State
+}
+
+// Protocol is the defect-based protocol with modulus k. It is correct on
+// every directed ring whose size is not a multiple of k.
+type Protocol struct {
+	K int
+}
+
+// New returns the protocol for modulus k ≥ 2.
+func New(k int) *Protocol {
+	if k < 2 || k > 250 {
+		panic(fmt.Sprintf("angluin: modulus %d out of range", k))
+	}
+	return &Protocol{K: k}
+}
+
+// Step is the transition function.
+func (p *Protocol) Step(l, r State) (State, State) {
+	next := uint8((int(l.C) + 1) % p.K)
+	// A killed leader repairs its incoming arc before the defect check, so
+	// it is not immediately re-marked; its defect weight moves one arc
+	// clockwise (or cancels against the weight already there).
+	if r.Repair {
+		r.C = next
+		r.Repair = false
+	}
+	if r.C != next && !r.Leader {
+		// The head of a defective arc is a leader. Because the total defect
+		// weight around the ring is ≢ 0 mod k, some head always exists.
+		r.Leader = true
+		r.War = war.Arm()
+	}
+	wasLeader := r.Leader
+	war.Step(&l.Leader, &r.Leader, &l.War, &r.War)
+	if wasLeader && !r.Leader {
+		r.Repair = true
+	}
+	return l, r
+}
+
+// IsLeader is the output function.
+func IsLeader(s State) bool { return s.Leader }
+
+// StateCount returns |Q| = k·2·2·12 — constant in n.
+func (p *Protocol) StateCount() uint64 {
+	return uint64(p.K) * 2 * 2 * 3 * 2 * 2
+}
+
+// RandomState samples uniformly from the state space.
+func (p *Protocol) RandomState(rng *xrand.RNG) State {
+	return State{
+		C:      uint8(rng.Intn(p.K)),
+		Leader: rng.Bool(),
+		Repair: rng.Bool(),
+		War: war.State{
+			Bullet: war.Bullet(rng.Intn(3)),
+			Shield: rng.Bool(),
+			Signal: rng.Bool(),
+		},
+	}
+}
+
+// RandomConfig samples a full adversarial configuration.
+func (p *Protocol) RandomConfig(rng *xrand.RNG, n int) []State {
+	if n%p.K == 0 {
+		panic(fmt.Sprintf("angluin: ring size %d is a multiple of k=%d", n, p.K))
+	}
+	cfg := make([]State, n)
+	for i := range cfg {
+		cfg[i] = p.RandomState(rng)
+	}
+	return cfg
+}
+
+// DefectArcs returns the indices i of defective arcs (u_i, u_{i+1}):
+// c(u_{i+1}) ≠ c(u_i)+1 mod k.
+func (p *Protocol) DefectArcs(cfg []State) []int {
+	n := len(cfg)
+	var out []int
+	for i := 0; i < n; i++ {
+		if int(cfg[(i+1)%n].C) != (int(cfg[i].C)+1)%p.K {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalDefectWeight returns Σ (c(r) − c(l) − 1) mod k over all arcs, which
+// is identically (−n) mod k for any labelling — the invariant that makes a
+// leaderless stable state impossible.
+func (p *Protocol) TotalDefectWeight(cfg []State) int {
+	n := len(cfg)
+	w := 0
+	for i := 0; i < n; i++ {
+		w += int(cfg[(i+1)%n].C) - int(cfg[i].C) - 1
+	}
+	w %= p.K
+	if w < 0 {
+		w += p.K
+	}
+	return w
+}
+
+// Stable reports whether the configuration is absorbing: exactly one
+// defective arc, whose head is the unique leader, no pending repairs, and
+// every live bullet peaceful. From here the leader set never changes.
+func (p *Protocol) Stable(cfg []State) bool {
+	n := len(cfg)
+	k := -1
+	for i, s := range cfg {
+		if s.Repair {
+			return false
+		}
+		if s.Leader {
+			if k >= 0 {
+				return false
+			}
+			k = i
+		}
+	}
+	if k < 0 {
+		return false
+	}
+	defects := p.DefectArcs(cfg)
+	if len(defects) != 1 || (defects[0]+1)%n != k {
+		return false
+	}
+	leaders := make([]bool, n)
+	states := make([]war.State, n)
+	for i, s := range cfg {
+		leaders[i] = s.Leader
+		states[i] = s.War
+	}
+	return war.AllLiveBulletsPeaceful(leaders, states)
+}

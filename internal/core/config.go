@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/war"
+	"repro/internal/xrand"
+)
+
+// PerfectConfig returns a configuration in S_PL: a unique leader at index
+// leaderAt, exact distances and last bits, segment IDs increasing by one
+// clockwise starting from firstID in the leader's segment, and no tokens,
+// bullets or signals in flight. Every returned configuration satisfies
+// IsSafe.
+func (p Params) PerfectConfig(leaderAt int, firstID uint64) []State {
+	n := p.N
+	cfg := make([]State, n)
+	zeta := p.Zeta()
+	mask := (uint64(1) << uint(p.Psi)) - 1
+	lastFrom := p.Psi * (zeta - 1)
+	for i := 0; i < n; i++ {
+		seg := i / p.Psi
+		off := i % p.Psi
+		id := (firstID + uint64(seg)) & mask
+		s := State{
+			Dist: uint16(i % p.TwoPsi()),
+			B:    uint8((id >> uint(off)) & 1),
+			Last: i >= lastFrom,
+		}
+		cfg[(leaderAt+i)%n] = s
+	}
+	cfg[leaderAt].Leader = true
+	cfg[leaderAt].War = war.State{Shield: true}
+	return cfg
+}
+
+// NoLeaderAligned returns the hardest detection-mode instance: no leader,
+// distances fully consistent (possible only when 2ψ divides n; otherwise
+// the seam at the wrap is itself a detectable violation), all agents
+// already in detection mode with no resetting signals, and segment IDs
+// consecutive except at the unavoidable wrap seam (Lemma 3.2). Detecting
+// imperfection from here exercises the full token comparison machinery.
+func (p Params) NoLeaderAligned() []State {
+	n := p.N
+	cfg := make([]State, n)
+	mask := (uint64(1) << uint(p.Psi)) - 1
+	for i := 0; i < n; i++ {
+		seg := i / p.Psi
+		off := i % p.Psi
+		id := uint64(seg) & mask
+		cfg[i] = State{
+			Dist:  uint16(i % p.TwoPsi()),
+			B:     uint8((id >> uint(off)) & 1),
+			Clock: uint16(p.KappaMax),
+		}
+	}
+	return cfg
+}
+
+// AllLeaders returns the configuration where every agent is an armed
+// leader: the elimination war must whittle n leaders down to one.
+func (p Params) AllLeaders() []State {
+	cfg := make([]State, p.N)
+	for i := range cfg {
+		cfg[i] = State{Leader: true, Dist: 0, War: war.Arm()}
+	}
+	return cfg
+}
+
+// RandomConfig samples every agent's state independently and uniformly from
+// the full state space Q — the adversary of the self-stabilization
+// definition, in expectation over all of C_all.
+func (p Params) RandomConfig(rng *xrand.RNG) []State {
+	cfg := make([]State, p.N)
+	for i := range cfg {
+		cfg[i] = p.RandomState(rng)
+	}
+	return cfg
+}
+
+// RandomState samples one agent state uniformly from Q.
+func (p Params) RandomState(rng *xrand.RNG) State {
+	return State{
+		Leader:  rng.Bool(),
+		B:       uint8(rng.Intn(2)),
+		Dist:    uint16(rng.Intn(p.TwoPsi())),
+		Last:    rng.Bool(),
+		TokB:    p.randomToken(rng),
+		TokW:    p.randomToken(rng),
+		Clock:   uint16(rng.Intn(p.KappaMax + 1)),
+		Hits:    uint16(rng.Intn(p.Psi + 1)),
+		SignalR: uint16(rng.Intn(p.KappaMax + 1)),
+		War: war.State{
+			Bullet: war.Bullet(rng.Intn(3)),
+			Shield: rng.Bool(),
+			Signal: rng.Bool(),
+		},
+	}
+}
+
+func (p Params) randomToken(rng *xrand.RNG) Token {
+	// Domain: ⊥ plus (2ψ−1) positions × 2 bits × 2 carries.
+	k := rng.Intn(1 + 4*(2*p.Psi-1))
+	if k == 0 {
+		return Token{}
+	}
+	k--
+	pos := k%(2*p.Psi-1) - (p.Psi - 1) // [-ψ+1, ψ-1]
+	if pos >= 0 {
+		pos++ // skip 0 → [-ψ+1,-1] ∪ [1,ψ]
+	}
+	return Token{
+		Pos:   int16(pos),
+		Bit:   uint8((k / (2*p.Psi - 1)) % 2),
+		Carry: uint8(k / (2 * (2*p.Psi - 1)) % 2),
+	}
+}
+
+// CorruptedPerfect returns a perfect configuration in which `faults` agents
+// chosen at random have been overwritten with uniformly random states — the
+// transient-fault recovery scenario motivating self-stabilization.
+func (p Params) CorruptedPerfect(rng *xrand.RNG, faults int) []State {
+	cfg := p.PerfectConfig(0, 0)
+	for f := 0; f < faults; f++ {
+		cfg[rng.Intn(p.N)] = p.RandomState(rng)
+	}
+	return cfg
+}
+
+// FormatRing renders a configuration as the Figure 1 style diagram: one
+// line per segment with border markers, distances, bits and the resulting
+// segment ID; the leader is tagged L.
+func (p Params) FormatRing(cfg []State) string {
+	var b strings.Builder
+	n := len(cfg)
+	bs := p.borders(cfg)
+	if len(bs) == 0 {
+		for i, s := range cfg {
+			fmt.Fprintf(&b, "u%-3d dist=%-3d b=%d%s\n", i, s.Dist, s.B, leaderTag(s))
+		}
+		return b.String()
+	}
+	m := len(bs)
+	for j := 0; j < m; j++ {
+		start := bs[j]
+		length := (bs[(j+1)%m] - start + n) % n
+		if length == 0 {
+			length = n
+		}
+		fmt.Fprintf(&b, "segment %2d  [u%d..u%d]  id=%-4d  bits=", j, start, (start+length-1)%n, segmentID(cfg, start, length))
+		for t := length - 1; t >= 0; t-- {
+			fmt.Fprintf(&b, "%d", cfg[(start+t)%n].B)
+		}
+		for t := 0; t < length; t++ {
+			s := cfg[(start+t)%n]
+			if s.Leader {
+				b.WriteString("  [L at u")
+				fmt.Fprintf(&b, "%d]", (start+t)%n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func leaderTag(s State) string {
+	if s.Leader {
+		return "  L"
+	}
+	return ""
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/xrand"
+)
+
+// budget returns a generous step budget for convergence tests: the paper
+// proves O(n² log n) w.h.p.; the constant here absorbs the lottery-game
+// constants at the test's κ_max.
+func budget(p Params) uint64 {
+	n := uint64(p.N)
+	return 600 * n * n * uint64(p.Psi)
+}
+
+func newEngine(p Params, seed uint64) *population.Engine[State] {
+	pr := New(p)
+	eng := population.NewEngine(population.DirectedRing(p.N), pr.Step, xrand.New(seed))
+	return eng
+}
+
+// runToSafe drives the engine until S_PL membership, checking every ~n/2
+// steps, and returns the hitting step.
+func runToSafe(t *testing.T, p Params, eng *population.Engine[State]) uint64 {
+	t.Helper()
+	check := p.N/2 + 1
+	step, ok := eng.RunUntil(func(cfg []State) bool { return p.IsSafe(cfg) }, check, budget(p))
+	if !ok {
+		t.Fatalf("n=%d: did not reach S_PL within %d steps (leaders=%d)",
+			p.N, budget(p), LeaderCount(eng.Config()))
+	}
+	return step
+}
+
+// TestConvergenceFromRandomConfigs is the main self-stabilization test:
+// from uniformly random configurations over the full state space, the
+// population reaches S_PL.
+func TestConvergenceFromRandomConfigs(t *testing.T) {
+	for _, n := range []int{4, 8, 13, 16, 24, 32} {
+		p := NewParams(n)
+		for seed := uint64(0); seed < 3; seed++ {
+			rng := xrand.New(1000 + seed)
+			eng := newEngine(p, seed)
+			eng.SetStates(p.RandomConfig(rng))
+			runToSafe(t, p, eng)
+		}
+	}
+}
+
+// TestConvergenceTinyRings covers the degenerate geometries: n = 2 (the
+// paper's ψ = 1 special case handled with ψ = 2 here), n = 3 and n = ψ
+// rings where every agent lies in the last segment and detection rests on
+// distance consistency alone.
+func TestConvergenceTinyRings(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		p := NewParams(n)
+		if n <= p.Psi && p.Zeta() != intMax(1, (n+p.Psi-1)/p.Psi) {
+			t.Fatalf("n=%d: unexpected ζ=%d", n, p.Zeta())
+		}
+		for seed := uint64(0); seed < 5; seed++ {
+			eng := newEngine(p, 300+seed)
+			eng.SetStates(p.RandomConfig(xrand.New(400 + seed)))
+			runToSafe(t, p, eng)
+			// Hold: outputs must stay fixed even on tiny rings.
+			eng.TrackLeaders(IsLeader)
+			eng.Run(50000)
+			if LeaderCount(eng.Config()) != 1 || eng.LeaderChanges() != 0 {
+				t.Fatalf("n=%d seed=%d: output unstable after convergence", n, seed)
+			}
+		}
+	}
+}
+
+func intMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestConvergenceFromCraftedAdversaries exercises the named hard cases.
+func TestConvergenceFromCraftedAdversaries(t *testing.T) {
+	n := 16
+	p := NewParams(n)
+	tests := []struct {
+		name string
+		cfg  func() []State
+	}{
+		{"no leader, aligned distances, all detect", func() []State { return p.NoLeaderAligned() }},
+		{"all agents leaders", func() []State { return p.AllLeaders() }},
+		{"perfect with corrupted IDs", func() []State {
+			cfg := p.PerfectConfig(0, 0)
+			cfg[p.Psi].B ^= 1
+			cfg[p.Psi+1].B ^= 1
+			return cfg
+		}},
+		{"no leader, zero states", func() []State { return make([]State, n) }},
+		{"two leaders far apart", func() []State {
+			cfg := p.PerfectConfig(0, 0)
+			cfg[n/2].Leader = true
+			return cfg
+		}},
+		{"corrupted perfect (fault injection)", func() []State {
+			return p.CorruptedPerfect(xrand.New(42), n/4)
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 3; seed++ {
+				eng := newEngine(p, 7000+seed)
+				eng.SetStates(tt.cfg())
+				runToSafe(t, p, eng)
+			}
+		})
+	}
+}
+
+// TestClosureAfterConvergence is Lemma 4.7 empirically: once in S_PL, the
+// leader output never changes again, distances and bits stay put, and the
+// configuration remains in S_PL.
+func TestClosureAfterConvergence(t *testing.T) {
+	p := NewParams(16)
+	eng := newEngine(p, 3)
+	eng.SetStates(p.PerfectConfig(2, 9))
+	eng.TrackLeaders(IsLeader)
+
+	before := eng.Snapshot()
+	const steps = 300000
+	for i := 0; i < steps; i++ {
+		eng.Step()
+	}
+	if eng.LeaderChanges() != 0 {
+		t.Fatalf("leader set changed %d times from a safe configuration", eng.LeaderChanges())
+	}
+	after := eng.Config()
+	for i := range after {
+		if after[i].B != before[i].B || after[i].Dist != before[i].Dist || after[i].Last != before[i].Last {
+			t.Fatalf("agent %d: dist/b/last changed in a safe execution:\nbefore %+v\nafter  %+v",
+				i, before[i], after[i])
+		}
+	}
+	if !p.IsSafe(after) {
+		t.Fatal("execution left S_PL")
+	}
+}
+
+// TestClosureFromEveryLeaderPosition re-runs closure from safe
+// configurations with the leader at every position of a small ring.
+func TestClosureFromEveryLeaderPosition(t *testing.T) {
+	p := NewParams(8)
+	for at := 0; at < p.N; at++ {
+		eng := newEngine(p, uint64(at))
+		eng.SetStates(p.PerfectConfig(at, uint64(at)))
+		eng.TrackLeaders(IsLeader)
+		eng.Run(50000)
+		if eng.LeaderChanges() != 0 {
+			t.Fatalf("leaderAt=%d: output changed", at)
+		}
+		if !p.IsSafe(eng.Config()) {
+			t.Fatalf("leaderAt=%d: left S_PL", at)
+		}
+	}
+}
+
+// TestDetectionCreatesLeader is the Lemma 3.7 + Lemma 4.9 pipeline: with no
+// leader, aligned distances and everyone already in detection mode, the
+// token machinery must find the unavoidable segment-ID violation and create
+// a leader.
+func TestDetectionCreatesLeader(t *testing.T) {
+	for _, n := range []int{16, 20, 48} {
+		p := NewParams(n)
+		if n%p.TwoPsi() != 0 {
+			t.Fatalf("test setup: 2ψ must divide n (n=%d ψ=%d)", n, p.Psi)
+		}
+		for seed := uint64(0); seed < 5; seed++ {
+			eng := newEngine(p, 40+seed)
+			eng.SetStates(p.NoLeaderAligned())
+			eng.TrackLeaders(IsLeader)
+			// Until a leader is created, distances stay consistent and no
+			// resetting signals exist, so the run isolates the token
+			// comparison machinery.
+			step, ok := eng.RunUntil(func(cfg []State) bool {
+				return LeaderCount(cfg) > 0
+			}, p.N/2+1, budget(p))
+			if !ok {
+				t.Fatalf("n=%d seed=%d: absence of a leader never detected", n, seed)
+			}
+			_ = step
+		}
+	}
+}
+
+// TestNoSpuriousCreationWithLeader complements detection: in a safe
+// configuration the detection machinery must stay quiet — no leader is
+// ever created even across long horizons (this is exactly the property
+// that approximate-distance schemes would break; see Section 3.1).
+func TestNoSpuriousCreationWithLeader(t *testing.T) {
+	p := NewParams(12)
+	eng := newEngine(p, 5)
+	eng.SetStates(p.PerfectConfig(0, 3))
+	eng.TrackLeaders(IsLeader)
+	eng.Run(500000)
+	if got := LeaderCount(eng.Config()); got != 1 {
+		t.Fatalf("leader count drifted to %d", got)
+	}
+	if eng.LeaderChanges() != 0 {
+		t.Fatalf("output changed %d times", eng.LeaderChanges())
+	}
+}
+
+// TestEliminationPhase: from an all-leaders configuration, the war phase
+// reduces to exactly one leader and the system then completes construction.
+func TestEliminationPhase(t *testing.T) {
+	p := NewParams(24)
+	for seed := uint64(0); seed < 3; seed++ {
+		eng := newEngine(p, 90+seed)
+		eng.SetStates(p.AllLeaders())
+		eng.TrackLeaders(IsLeader)
+		step, ok := eng.RunUntil(func(cfg []State) bool {
+			return LeaderCount(cfg) == 1
+		}, p.N, budget(p))
+		if !ok {
+			t.Fatalf("seed=%d: elimination never reached one leader", seed)
+		}
+		_ = step
+		runToSafe(t, p, eng)
+	}
+}
+
+// TestConvergedLeaderIsUniqueAndStable drives a full random-start run to
+// S_PL and then validates the safe configuration's invariants in detail.
+func TestConvergedLeaderIsUniqueAndStable(t *testing.T) {
+	p := NewParams(16)
+	rng := xrand.New(77)
+	eng := newEngine(p, 8)
+	eng.SetStates(p.RandomConfig(rng))
+	runToSafe(t, p, eng)
+
+	cfg := eng.Config()
+	k := LeaderIndex(cfg)
+	if k < 0 {
+		t.Fatal("no unique leader in safe configuration")
+	}
+	if !p.DistConsistent(cfg) || !p.IsPerfect(cfg) {
+		t.Fatal("safe configuration is not perfect")
+	}
+	// The leader must sit at distance 0 and head segment S_0.
+	if cfg[k].Dist != 0 {
+		t.Fatalf("leader dist = %d", cfg[k].Dist)
+	}
+}
+
+func TestConvergenceStepsAreReproducible(t *testing.T) {
+	p := NewParams(16)
+	run := func() uint64 {
+		rng := xrand.New(123)
+		eng := newEngine(p, 99)
+		eng.SetStates(p.RandomConfig(rng))
+		step, ok := eng.RunUntil(func(cfg []State) bool { return p.IsSafe(cfg) }, p.N/2+1, budget(p))
+		if !ok {
+			t.Fatal("did not converge")
+		}
+		return step
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical seeds converged at different steps: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/xrand"
+)
+
+// TestCouplingWithNoCreateVariant is the Section 4.2 proof device made
+// executable: under the same schedule, an execution of P_PL and one of
+// P'_PL (creation disabled) are identical until the step at which P_PL
+// creates a leader.
+func TestCouplingWithNoCreateVariant(t *testing.T) {
+	p := NewParams(16)
+	for seed := uint64(0); seed < 5; seed++ {
+		full := population.NewEngine(population.DirectedRing(p.N), New(p).Step, xrand.New(seed))
+		primed := population.NewEngine(population.DirectedRing(p.N), NewNoCreate(p).Step, xrand.New(seed))
+		cfg := p.RandomConfig(xrand.New(seed + 100))
+		full.SetStates(cfg)
+		primed.SetStates(cfg)
+		full.TrackLeaders(IsLeader)
+		primed.TrackLeaders(IsLeader)
+
+		diverged := false
+		for step := 0; step < 200000 && !diverged; step++ {
+			before := full.LeaderCount()
+			full.Step()
+			primed.Step()
+			created := full.LeaderCount() > before
+			for i := 0; i < p.N; i++ {
+				if full.State(i) != primed.State(i) {
+					if !created && !diverged {
+						t.Fatalf("seed %d: executions diverged at step %d without a creation", seed, step)
+					}
+					diverged = true
+					break
+				}
+			}
+			if created {
+				diverged = true // from here on the coupling is void
+			}
+		}
+	}
+}
+
+// TestNoCreateNeverCreates: P'_PL must never increase the leader count,
+// from any configuration.
+func TestNoCreateNeverCreates(t *testing.T) {
+	p := NewParams(16)
+	pr := NewNoCreate(p)
+	for seed := uint64(0); seed < 3; seed++ {
+		eng := population.NewEngine(population.DirectedRing(p.N), pr.Step, xrand.New(seed))
+		eng.SetStates(p.RandomConfig(xrand.New(seed + 7)))
+		maxLeaders := LeaderCount(eng.Config())
+		for i := 0; i < 100000; i++ {
+			eng.Step()
+			if got := LeaderCount(eng.Config()); got > maxLeaders {
+				t.Fatalf("seed %d: P'_PL created a leader at step %d", seed, i)
+			} else if got < maxLeaders {
+				maxLeaders = got
+			}
+		}
+	}
+}
+
+// TestLemma411ViaNoCreate: from C_PB-style starts with many leaders, P'_PL
+// reaches exactly one leader within the O(n²)-class budget and never
+// loses it — the elimination bound in isolation.
+func TestLemma411ViaNoCreate(t *testing.T) {
+	p := NewParams(24)
+	pr := NewNoCreate(p)
+	for seed := uint64(0); seed < 3; seed++ {
+		eng := population.NewEngine(population.DirectedRing(p.N), pr.Step, xrand.New(seed))
+		eng.SetStates(p.AllLeaders())
+		eng.TrackLeaders(IsLeader)
+		_, ok := eng.RunUntil(func(cfg []State) bool {
+			return LeaderCount(cfg) == 1
+		}, p.N, 2000*uint64(p.N)*uint64(p.N))
+		if !ok {
+			t.Fatalf("seed %d: P'_PL elimination never reached one leader", seed)
+		}
+		eng.Run(200000)
+		if got := LeaderCount(eng.Config()); got != 1 {
+			t.Fatalf("seed %d: leader count left 1: %d", seed, got)
+		}
+	}
+}

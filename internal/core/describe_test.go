@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestCorruptedPerfectKeepsSize(t *testing.T) {
+	p := NewParams(16)
+	rng := xrand.New(5)
+	cfg := p.CorruptedPerfect(rng, 4)
+	if len(cfg) != p.N {
+		t.Fatalf("size %d", len(cfg))
+	}
+	for i, s := range cfg {
+		if !p.ValidState(s) {
+			t.Fatalf("agent %d invalid after corruption: %+v", i, s)
+		}
+	}
+}
+
+func TestCorruptedPerfectZeroFaultsIsSafe(t *testing.T) {
+	p := NewParams(16)
+	cfg := p.CorruptedPerfect(xrand.New(1), 0)
+	if !p.IsSafe(cfg) {
+		t.Fatal("zero faults must leave the configuration safe")
+	}
+}
+
+func TestFormatRingWithoutBorders(t *testing.T) {
+	p := NewParams(8)
+	cfg := make([]State, p.N)
+	for i := range cfg {
+		cfg[i] = State{Dist: 2} // no agent at dist 0 or ψ
+	}
+	out := p.FormatRing(cfg)
+	if !strings.Contains(out, "dist=2") {
+		t.Fatalf("borderless rendering:\n%s", out)
+	}
+}
+
+func TestFormatRingLeaderTagPerAgentView(t *testing.T) {
+	cfgLeader := State{Leader: true}
+	if leaderTag(cfgLeader) == "" || leaderTag(State{}) != "" {
+		t.Fatal("leaderTag broken")
+	}
+}
+
+func TestNoLeaderAlignedSeamDetection(t *testing.T) {
+	// When 2ψ does not divide n, the wrap itself is a distance violation;
+	// the configuration must be dist-inconsistent.
+	p := NewParams(12) // ψ=4, 2ψ=8 does not divide 12
+	cfg := p.NoLeaderAligned()
+	if p.DistConsistent(cfg) {
+		t.Fatal("seam expected for 2ψ ∤ n")
+	}
+}
+
+func TestPerfectConfigTrailingSegmentBits(t *testing.T) {
+	// The last (exempt) segment still gets deterministic bits; the
+	// configuration must be byte-identical across calls.
+	p := NewParams(19)
+	a := p.PerfectConfig(3, 7)
+	b := p.PerfectConfig(3, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("PerfectConfig not deterministic at %d", i)
+		}
+	}
+}

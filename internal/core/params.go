@@ -1,0 +1,127 @@
+// Package core implements P_PL, the paper's self-stabilizing leader
+// election protocol for directed rings (Algorithms 1–5), together with the
+// safe-configuration machinery of Section 4 as executable predicates.
+//
+// Given the knowledge ψ = ⌈log₂ n⌉ + O(1), the protocol elects a unique
+// leader from any initial configuration within O(n² log n) steps with high
+// probability, using polylog(n) states per agent. Leader creation is driven
+// by detecting imperfections of a distance/segment-ID embedding (Sections
+// 3.1–3.2), mode switching by a lottery-game clock (Section 3.3), and
+// leader elimination by the bullets-and-shields war of [28]
+// (internal/war).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultC1 is the default multiplier in κ_max = c₁·ψ. The paper's
+// w.h.p. analysis assumes c₁ ≥ 32 (Section 3.3); smaller values keep the
+// protocol self-stabilizing (safety does not depend on c₁) but shorten the
+// construction-mode holding time, so spurious leader creations become more
+// likely before convergence. 8 is a good laptop-scale default; experiments
+// E10 sweep it.
+const DefaultC1 = 8
+
+// Params carries the ring size and the protocol knowledge derived from it.
+type Params struct {
+	// N is the ring size n.
+	N int
+	// Psi is ψ = ⌈log₂ n⌉ + slack; the paper requires 2^ψ ≥ n and ψ ≥ 2.
+	Psi int
+	// KappaMax is κ_max = c₁·ψ, the clock ceiling and signal TTL.
+	KappaMax int
+}
+
+// NewParams returns the canonical parameters for a ring of n agents:
+// ψ = max(2, ⌈log₂ n⌉) and κ_max = DefaultC1·ψ.
+func NewParams(n int) Params {
+	return NewParamsSlack(n, 0, DefaultC1)
+}
+
+// NewParamsSlack returns parameters with ψ = max(2, ⌈log₂ n⌉ + slack) and
+// κ_max = c1·ψ. It panics on invalid arguments; parameters are a
+// programming-time choice, not runtime input.
+func NewParamsSlack(n, slack, c1 int) Params {
+	if n < 2 {
+		panic(fmt.Sprintf("core: ring size %d < 2", n))
+	}
+	if slack < 0 || c1 < 1 {
+		panic(fmt.Sprintf("core: invalid slack %d or c1 %d", slack, c1))
+	}
+	psi := ceilLog2(n) + slack
+	if psi < 2 {
+		psi = 2
+	}
+	return Params{N: n, Psi: psi, KappaMax: c1 * psi}
+}
+
+// Validate reports whether the parameters satisfy the paper's assumptions.
+func (p Params) Validate() error {
+	switch {
+	case p.N < 2:
+		return fmt.Errorf("core: n = %d < 2", p.N)
+	case p.Psi < 2:
+		return fmt.Errorf("core: ψ = %d < 2", p.Psi)
+	case p.Psi >= 15:
+		// Dist is a uint16 in [0, 2ψ-1] and token positions are int16;
+		// ψ = 15 already covers rings of 32768 agents.
+		if p.Psi > 60 {
+			return fmt.Errorf("core: ψ = %d too large", p.Psi)
+		}
+	}
+	if uint64(1)<<uint(p.Psi) < uint64(p.N) {
+		return fmt.Errorf("core: 2^ψ = 2^%d < n = %d", p.Psi, p.N)
+	}
+	if p.KappaMax < p.Psi {
+		return fmt.Errorf("core: κ_max = %d < ψ = %d", p.KappaMax, p.Psi)
+	}
+	return nil
+}
+
+// TwoPsi returns 2ψ, the distance modulus.
+func (p Params) TwoPsi() int { return 2 * p.Psi }
+
+// Zeta returns ζ = ⌈n/ψ⌉, the number of segments when distances are exact.
+func (p Params) Zeta() int { return (p.N + p.Psi - 1) / p.Psi }
+
+// TrajectoryLength returns the total number of moves in a complete token
+// trajectory, 2ψ²−2ψ+1 (Definition 3.4).
+func (p Params) TrajectoryLength() int { return 2*p.Psi*p.Psi - 2*p.Psi + 1 }
+
+// StateCount returns the exact size of the per-agent state space |Q| of our
+// representation: leader × b × dist × last × tokenB × tokenW × clock ×
+// hits × signalR × bullet × shield × signalB. The paper's mode variable is
+// derived from clock (Algorithm 4 lines 49–50 recompute it before any read)
+// and therefore not stored. The count is polylog(n): Θ(ψ⁸) for κ_max=Θ(ψ).
+func (p Params) StateCount() uint64 {
+	tok := uint64(1 + 4*(2*p.Psi-1)) // ⊥ plus (2ψ−1) positions × 2 bits × 2 carries
+	count := uint64(2)               // leader
+	count *= 2                       // b
+	count *= uint64(2 * p.Psi)       // dist
+	count *= 2                       // last
+	count *= tok * tok               // tokenB, tokenW
+	count *= uint64(p.KappaMax + 1)  // clock
+	count *= uint64(p.Psi + 1)       // hits
+	count *= uint64(p.KappaMax + 1)  // signalR
+	count *= 3                       // bullet
+	count *= 2                       // shield
+	count *= 2                       // signalB
+	return count
+}
+
+// BitsPerAgent returns log₂ of StateCount, the memory per agent in bits:
+// Θ(log ψ) · 8 = O(log log n) bits.
+func (p Params) BitsPerAgent() float64 {
+	return math.Log2(float64(p.StateCount()))
+}
+
+func ceilLog2(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	return k
+}

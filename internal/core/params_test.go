@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewParams(t *testing.T) {
+	tests := []struct {
+		n        int
+		wantPsi  int
+		wantKMax int
+	}{
+		{2, 2, 2 * DefaultC1},
+		{3, 2, 2 * DefaultC1},
+		{4, 2, 2 * DefaultC1},
+		{5, 3, 3 * DefaultC1},
+		{16, 4, 4 * DefaultC1},
+		{17, 5, 5 * DefaultC1},
+		{1024, 10, 10 * DefaultC1},
+		{1025, 11, 11 * DefaultC1},
+	}
+	for _, tt := range tests {
+		p := NewParams(tt.n)
+		if p.Psi != tt.wantPsi || p.KappaMax != tt.wantKMax {
+			t.Errorf("NewParams(%d) = ψ=%d κ=%d, want ψ=%d κ=%d",
+				tt.n, p.Psi, p.KappaMax, tt.wantPsi, tt.wantKMax)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("NewParams(%d) invalid: %v", tt.n, err)
+		}
+	}
+}
+
+func TestNewParamsSlack(t *testing.T) {
+	p := NewParamsSlack(16, 2, 32)
+	if p.Psi != 6 || p.KappaMax != 192 {
+		t.Fatalf("slack params: %+v", p)
+	}
+}
+
+func TestParamsKnowledgeCoversN(t *testing.T) {
+	// ψ = ⌈log n⌉ must satisfy 2^ψ >= n for all n (needed by Lemma 3.2).
+	for n := 2; n <= 4096; n++ {
+		p := NewParams(n)
+		if 1<<uint(p.Psi) < n {
+			t.Fatalf("n=%d: 2^ψ = %d < n", n, 1<<uint(p.Psi))
+		}
+		if 1<<uint(p.Psi) >= 2*n && n > 2 {
+			t.Fatalf("n=%d: ψ=%d not tight (2^ψ = %d >= 2n)", n, p.Psi, 1<<uint(p.Psi))
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Params
+	}{
+		{"tiny ring", Params{N: 1, Psi: 2, KappaMax: 16}},
+		{"psi too small", Params{N: 8, Psi: 1, KappaMax: 16}},
+		{"psi does not cover n", Params{N: 100, Psi: 4, KappaMax: 32}},
+		{"kappa below psi", Params{N: 8, Psi: 3, KappaMax: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.p.Validate() == nil {
+				t.Fatalf("Validate accepted %+v", tt.p)
+			}
+		})
+	}
+}
+
+func TestZeta(t *testing.T) {
+	tests := []struct {
+		n, psi, want int
+	}{
+		{16, 4, 4},
+		{17, 5, 4},
+		{15, 4, 4},
+		{8, 4, 2},
+		{3, 2, 2},
+	}
+	for _, tt := range tests {
+		p := Params{N: tt.n, Psi: tt.psi, KappaMax: 8 * tt.psi}
+		if got := p.Zeta(); got != tt.want {
+			t.Errorf("Zeta(n=%d, ψ=%d) = %d, want %d", tt.n, tt.psi, got, tt.want)
+		}
+	}
+}
+
+func TestTrajectoryLength(t *testing.T) {
+	// (ψ + ψ−1)(ψ−1) + ψ = 2ψ²−2ψ+1 (Section 3.2).
+	for psi := 2; psi <= 10; psi++ {
+		p := Params{N: 1 << uint(psi), Psi: psi, KappaMax: 8 * psi}
+		want := (psi+psi-1)*(psi-1) + psi
+		if got := p.TrajectoryLength(); got != want {
+			t.Fatalf("ψ=%d: trajectory %d, want %d", psi, got, want)
+		}
+	}
+}
+
+// TestStateCountPolylog verifies the headline state bound: |Q| grows
+// polylogarithmically in n — concretely, bits per agent grow like
+// O(log log n), so doubling log n adds a bounded number of bits.
+func TestStateCountPolylog(t *testing.T) {
+	prevBits := 0.0
+	for _, n := range []int{1 << 4, 1 << 8, 1 << 12, 1 << 16, 1 << 20} {
+		p := NewParams(n)
+		bits := p.BitsPerAgent()
+		if bits <= prevBits {
+			t.Fatalf("bits per agent not increasing at n=%d", n)
+		}
+		// polylog(n) states ⇔ bits = O(log log n); at n = 2^20 the paper's
+		// structure needs well under 64 bits.
+		if bits > 64 {
+			t.Fatalf("n=%d: %f bits per agent is not polylog-ish", n, bits)
+		}
+		prevBits = bits
+	}
+	// Contrast: the O(n)-state protocol of [28] needs ~log n + O(1) bits,
+	// so at n = 2^20 core must be far below 8·log n.
+	p := NewParams(1 << 20)
+	if p.BitsPerAgent() > 8*20 {
+		t.Fatalf("state count not separated from poly(n)")
+	}
+}
+
+func TestStateCountExact(t *testing.T) {
+	p := Params{N: 4, Psi: 2, KappaMax: 4}
+	// leader(2) b(2) dist(4) last(2) tok(1+3*4=13)^2 clock(5) hits(3)
+	// signalR(5) bullet(3) shield(2) signalB(2)
+	want := uint64(2*2*4*2) * 13 * 13 * 5 * 3 * 5 * 3 * 2 * 2
+	if got := p.StateCount(); got != want {
+		t.Fatalf("StateCount = %d, want %d", got, want)
+	}
+	if math.Abs(p.BitsPerAgent()-math.Log2(float64(want))) > 1e-9 {
+		t.Fatalf("BitsPerAgent inconsistent with StateCount")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, tt := range tests {
+		if got := ceilLog2(tt.n); got != tt.want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestModeDerivation(t *testing.T) {
+	p := NewParams(16)
+	if p.Mode(State{Clock: uint16(p.KappaMax)}) != Detect {
+		t.Fatal("clock at κ_max must mean Detect")
+	}
+	if p.Mode(State{Clock: uint16(p.KappaMax - 1)}) != Construct {
+		t.Fatal("clock below κ_max must mean Construct")
+	}
+	if p.Mode(State{}) != Construct {
+		t.Fatal("zero clock must mean Construct")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if got := (Token{}).String(); got != "⊥" {
+		t.Fatalf("empty token prints %q", got)
+	}
+	if got := (Token{Pos: -3, Bit: 1, Carry: 0}).String(); got != "(-3,1,0)" {
+		t.Fatalf("token prints %q", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Construct.String() != "construct" || Detect.String() != "detect" || Mode(9).String() != "invalid" {
+		t.Fatal("Mode.String mismatch")
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"repro/internal/war"
+)
+
+// LeaderCount returns the number of agents outputting L.
+func LeaderCount(cfg []State) int {
+	n := 0
+	for _, s := range cfg {
+		if s.Leader {
+			n++
+		}
+	}
+	return n
+}
+
+// LeaderIndex returns the index of the unique leader, or -1 when the number
+// of leaders differs from one.
+func LeaderIndex(cfg []State) int {
+	idx := -1
+	for i, s := range cfg {
+		if s.Leader {
+			if idx >= 0 {
+				return -1
+			}
+			idx = i
+		}
+	}
+	return idx
+}
+
+// DistConsistent reports whether condition (1) of Section 3.1 holds: every
+// leader has dist 0 and every follower's dist is its left neighbor's plus
+// one, modulo 2ψ.
+func (p Params) DistConsistent(cfg []State) bool {
+	n := len(cfg)
+	two := uint16(p.TwoPsi())
+	for i := 0; i < n; i++ {
+		want := uint16(0)
+		if !cfg[i].Leader {
+			want = cfg[(i-1+n)%n].Dist + 1
+			if want == two {
+				want = 0
+			}
+		}
+		if cfg[i].Dist != want {
+			return false
+		}
+	}
+	return true
+}
+
+// borders returns the indices of border agents (dist ∈ {0, ψ}) in ring
+// order.
+func (p Params) borders(cfg []State) []int {
+	var out []int
+	for i, s := range cfg {
+		if int(s.Dist) == 0 || int(s.Dist) == p.Psi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// segmentID returns ι(S) for the segment starting at agent `start` with the
+// given length: the little-endian integer over the agents' b bits.
+func segmentID(cfg []State, start, length int) uint64 {
+	n := len(cfg)
+	var id uint64
+	for t := 0; t < length; t++ {
+		id |= uint64(cfg[(start+t)%n].B) << uint(t)
+	}
+	return id
+}
+
+// IsPerfect reports whether the configuration is perfect (Section 3.1):
+// condition (1) holds everywhere and every segment's ID is its
+// predecessor's plus one mod 2^ψ, except segments that begin or end at a
+// leader.
+func (p Params) IsPerfect(cfg []State) bool {
+	if !p.DistConsistent(cfg) {
+		return false
+	}
+	bs := p.borders(cfg)
+	if len(bs) < 2 {
+		// At most one segment; condition (2) constrains nothing.
+		return true
+	}
+	n := len(cfg)
+	mask := (uint64(1) << uint(p.Psi)) - 1
+	m := len(bs)
+	ids := make([]uint64, m)
+	for j := 0; j < m; j++ {
+		length := (bs[(j+1)%m] - bs[j] + n) % n
+		if length == 0 {
+			length = n
+		}
+		ids[j] = segmentID(cfg, bs[j], length)
+	}
+	for j := 0; j < m; j++ {
+		prev := (j - 1 + m) % m
+		if cfg[bs[j]].Leader || cfg[bs[(j+1)%m]].Leader {
+			continue // the first and last segments are exempt
+		}
+		if ids[j] != (ids[prev]+1)&mask {
+			return false
+		}
+	}
+	return true
+}
+
+// InCPB reports membership in C_PB: at least one leader and every live
+// bullet peaceful (Section 4.1). C_PB is closed and executions inside it
+// never lose their last leader.
+func (p Params) InCPB(cfg []State) bool {
+	leaders := make([]bool, len(cfg))
+	states := make([]war.State, len(cfg))
+	for i, s := range cfg {
+		leaders[i] = s.Leader
+		states[i] = s.War
+	}
+	return war.AllLiveBulletsPeaceful(leaders, states)
+}
+
+// InCDL reports membership in C_DL: C_PB with exactly one leader and dist
+// and last exactly computed with respect to it.
+func (p Params) InCDL(cfg []State) bool {
+	k := LeaderIndex(cfg)
+	if k < 0 || !p.InCPB(cfg) {
+		return false
+	}
+	n := len(cfg)
+	two := p.TwoPsi()
+	lastFrom := p.Psi * (p.Zeta() - 1)
+	for i := 0; i < n; i++ {
+		v := cfg[(k+i)%n]
+		if int(v.Dist) != i%two {
+			return false
+		}
+		if v.Last != (i >= lastFrom) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSafe reports membership in S_PL (Definition 4.6): C_DL, consecutive
+// segment IDs ι(S_{i+1}) = ι(S_i)+1 mod 2^ψ for i ∈ [0, ζ−3], and every
+// token valid and correct. S_PL is closed and every configuration in it is
+// safe (Lemma 4.7), so the first observation of IsSafe certifies
+// convergence.
+func (p Params) IsSafe(cfg []State) bool {
+	if !p.InCDL(cfg) {
+		return false
+	}
+	k := LeaderIndex(cfg)
+	n := len(cfg)
+	zeta := p.Zeta()
+	mask := (uint64(1) << uint(p.Psi)) - 1
+
+	// Segment IDs of the full segments S_0 .. S_{ζ-2}, leader-relative.
+	for j := 0; j+1 <= zeta-2; j++ {
+		a := segmentID(cfg, (k+j*p.Psi)%n, p.Psi)
+		b := segmentID(cfg, (k+(j+1)*p.Psi)%n, p.Psi)
+		if b != (a+1)&mask {
+			return false
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		v := cfg[(k+i)%n]
+		if !v.TokB.None() && !p.tokenSound(cfg, k, i, v.TokB, 0) {
+			return false
+		}
+		if !v.TokW.None() && !p.tokenSound(cfg, k, i, v.TokW, p.Psi) {
+			return false
+		}
+	}
+	return true
+}
+
+// tokenSound reports whether a token held by the agent at leader-relative
+// index i is valid (on its trajectory, Definition 3.3 corrected),
+// attributable to a working segment pair (S_j, S_{j+1}), and correct
+// (Definition 4.3 / Lemma 4.4: its payload matches the sum bit and carry of
+// ι(S_j)+1 at its current round). d is 0 for black tokens and ψ for white.
+// The configuration must be in C_DL and k must be the leader index.
+func (p Params) tokenSound(cfg []State, k, i int, t Token, d int) bool {
+	n := len(cfg)
+	psi := p.Psi
+	zeta := p.Zeta()
+	if i >= psi*(zeta-1) {
+		return false // tokens must not sit in the last segment
+	}
+
+	var j, x int // working pair (S_j, S_{j+1}), round x
+	if t.Pos > 0 {
+		target := i + int(t.Pos)
+		if target < psi || target >= n {
+			return false
+		}
+		x = (target - psi) % psi
+		j = (target - psi - x) / psi
+	} else {
+		target := i + int(t.Pos)
+		if target < 0 {
+			return false
+		}
+		off := target % psi
+		if off == 0 {
+			return false // left targets are interior to a segment
+		}
+		j = target / psi
+		x = off - 1
+	}
+	if j < 0 || j > zeta-2 {
+		return false
+	}
+	if (j%2 == 0) != (d == 0) {
+		return false // segment color must match token color
+	}
+
+	// Expected payload: the round-x sum bit and carry of ι(S_j) + 1.
+	carryIn := uint8(1)
+	for tt := 0; tt < x; tt++ {
+		if cfg[(k+j*psi+tt)%n].B == 0 {
+			carryIn = 0
+			break
+		}
+	}
+	bx := cfg[(k+j*psi+x)%n].B
+	expBit := bx ^ carryIn
+	expCarry := carryIn & bx
+	return t.Bit == expBit && t.Carry == expCarry
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/war"
+)
+
+// Mode is the detection/construction mode of Algorithm 2. It is fully
+// determined by the clock (Algorithm 4, lines 49–50): Detect iff
+// clock = κ_max.
+type Mode uint8
+
+const (
+	Construct Mode = iota + 1
+	Detect
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Construct:
+		return "construct"
+	case Detect:
+		return "detect"
+	default:
+		return "invalid"
+	}
+}
+
+// Token is one of the black/white comparison tokens of Section 3.2. The
+// zero value represents ⊥ (no token).
+type Token struct {
+	// Pos is token[1], the relative position of the target:
+	// [−ψ+1, −1] ∪ [1, ψ]. Positive means moving right toward u_{i+Pos},
+	// negative moving left toward u_{i+Pos}. 0 encodes ⊥.
+	Pos int16
+	// Bit is token[2], the binary value written to (construction mode) or
+	// checked against (detection mode) the target's b.
+	Bit uint8
+	// Carry is token[3], the carry flag of the segment-ID increment.
+	Carry uint8
+}
+
+// None reports whether the token is ⊥.
+func (t Token) None() bool { return t.Pos == 0 }
+
+func (t Token) String() string {
+	if t.None() {
+		return "⊥"
+	}
+	return fmt.Sprintf("(%d,%d,%d)", t.Pos, t.Bit, t.Carry)
+}
+
+// State is the full per-agent state of P_PL (Algorithm 1's variable list).
+type State struct {
+	// Leader is the output variable: true ⇒ output L, false ⇒ output F.
+	Leader bool
+	// B is the segment-ID bit b ∈ {0,1}.
+	B uint8
+	// Dist is the distance from the nearest left leader modulo 2ψ.
+	Dist uint16
+	// Last marks membership in the last segment (the one ending at a
+	// leader).
+	Last bool
+	// TokB and TokW are the black (d=0) and white (d=ψ) tokens.
+	TokB Token
+	TokW Token
+	// Clock ∈ [0, κ_max] is the leaderlessness barometer; Detect mode iff
+	// Clock = κ_max.
+	Clock uint16
+	// Hits ∈ [0, ψ] counts consecutive interactions with the left neighbor
+	// since the agent last interacted with its right neighbor (the
+	// lottery-game coin streak).
+	Hits uint16
+	// SignalR ∈ [0, κ_max] is the TTL of the clockwise resetting signal
+	// carried by this agent (0 = no signal).
+	SignalR uint16
+	// War holds bullet/shield/signalB of Algorithm 5.
+	War war.State
+}
+
+// Mode returns the agent's mode under parameters p.
+func (p Params) Mode(s State) Mode {
+	if int(s.Clock) == p.KappaMax {
+		return Detect
+	}
+	return Construct
+}
+
+// IsLeader is the output function π_out.
+func IsLeader(s State) bool { return s.Leader }
+
+// ValidState reports whether every field of s lies in its declared domain
+// under parameters p. The transition function preserves validity (see
+// TestTransitionPreservesValidity).
+func (p Params) ValidState(s State) bool {
+	if s.B > 1 || int(s.Dist) >= p.TwoPsi() {
+		return false
+	}
+	if int(s.Clock) > p.KappaMax || int(s.Hits) > p.Psi || int(s.SignalR) > p.KappaMax {
+		return false
+	}
+	if !p.validToken(s.TokB) || !p.validToken(s.TokW) {
+		return false
+	}
+	return s.War.Bullet <= war.Live
+}
+
+func (p Params) validToken(t Token) bool {
+	if t.None() {
+		return true
+	}
+	if t.Bit > 1 || t.Carry > 1 {
+		return false
+	}
+	return (t.Pos >= int16(-p.Psi+1) && t.Pos <= -1) || (t.Pos >= 1 && t.Pos <= int16(p.Psi))
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"repro/internal/population"
+	"repro/internal/war"
+)
+
+// CanonicalZigzag returns the observable position sequence of a complete
+// black-token trajectory for segment pair (S_0, S_1) (Figure 2): in round
+// x the token climbs from u_{x+1} to u_{ψ+x} wait-free and descends back to
+// u_{x+1}, and in the final round it climbs to u_{2ψ-1} where it expires.
+// The first entry is u_1 (the token hops off its border within the creation
+// interaction) and the final move onto u_{2ψ-1} is not included because the
+// token is consumed there within the same interaction; including both
+// endpoints, the trajectory has exactly 2ψ²−2ψ+1 moves (Definition 3.4).
+func CanonicalZigzag(psi int) []int {
+	var out []int
+	for x := 0; x < psi-1; x++ {
+		for pos := x + 1; pos <= psi+x; pos++ { // climb of round x
+			out = append(out, pos)
+		}
+		for pos := psi + x - 1; pos >= x+1; pos-- { // descent of round x
+			out = append(out, pos)
+		}
+	}
+	for pos := psi; pos <= 2*psi-2; pos++ { // final climb, stopping short
+		out = append(out, pos)
+	}
+	return out
+}
+
+// TrajectoryTrace deterministically replays one complete black-token
+// trajectory and returns the sequence of agent indices at which the token
+// was observed after each interaction, together with the final
+// configuration and the parameters used.
+//
+// Setup: a ring of n = 3ψ agents with the leader at u_0, exact distances,
+// segment S_0 carrying ι(S_0) = firstID, and the third segment marked last
+// (which keeps white tokens inert). The schedule is the Lemma 3.5 sequence
+// (seq_R(0, 2ψ−1)·seq_L(2ψ−1, 2ψ−1))^ψ restricted to arcs e_0..e_{2ψ−2},
+// so only the black token of pair (S_0, S_1) ever acts.
+//
+// It requires ψ ≥ 4: smaller ψ cannot host three segments under the
+// knowledge constraint 2^ψ ≥ n.
+func TrajectoryTrace(psi int, firstID uint64) (positions []int, final []State, p Params) {
+	n := 3 * psi
+	p = Params{N: n, Psi: psi, KappaMax: 32 * psi}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	pr := New(p)
+
+	cfg := make([]State, n)
+	mask := (uint64(1) << uint(psi)) - 1
+	for i := 0; i < n; i++ {
+		seg := i / psi
+		id := (firstID + uint64(seg)) & mask
+		cfg[i] = State{
+			Dist: uint16(i % p.TwoPsi()),
+			B:    uint8((id >> uint(i%psi)) & 1),
+			Last: seg == 2,
+		}
+	}
+	cfg[0].Leader = true
+	cfg[0].War = war.State{Shield: true}
+
+	eng := population.NewEngine(population.DirectedRing(n), pr.Step, nil)
+	eng.SetStates(cfg)
+
+	rightmostBlack := func() int {
+		pos := -1
+		for i := 0; i < 2*psi; i++ {
+			if !eng.State(i).TokB.None() {
+				pos = i
+			}
+		}
+		return pos
+	}
+
+	prev := -1
+	done := false
+	for rep := 0; rep < psi+1 && !done; rep++ {
+		schedule := append(
+			population.ScheduleSeqR(n, 0, 2*psi-1),
+			population.ScheduleSeqL(n, 2*psi-1, 2*psi-1)...)
+		for _, arc := range schedule {
+			eng.ApplyArc(arc)
+			pos := rightmostBlack()
+			if pos == prev {
+				continue
+			}
+			if prev == 2*psi-2 && pos != prev-1 {
+				// From u_{2ψ-2} the token either descends one step (round
+				// ψ-2 and earlier) or moves onto u_{2ψ-1} where it is
+				// consumed within the interaction; any observation other
+				// than a one-step descent therefore marks completion.
+				done = true
+				break
+			}
+			if pos >= 0 {
+				positions = append(positions, pos)
+			}
+			prev = pos
+		}
+	}
+	return positions, eng.Snapshot(), p
+}

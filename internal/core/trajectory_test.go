@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestCanonicalZigzagLength checks the move count of Definition 3.4: a
+// complete trajectory makes 2ψ²−2ψ+1 moves. The observable sequence misses
+// exactly one move (the final hop onto u_{2ψ-1}, where the token is
+// consumed within the interaction).
+func TestCanonicalZigzagLength(t *testing.T) {
+	for psi := 2; psi <= 8; psi++ {
+		zig := CanonicalZigzag(psi)
+		if got, want := len(zig)+1, 2*psi*psi-2*psi+1; got != want {
+			t.Fatalf("ψ=%d: %d observable moves +1, want %d", psi, got, want)
+		}
+	}
+}
+
+func TestCanonicalZigzagShape(t *testing.T) {
+	// ψ=3: rounds 0,1 climb to 3,4 and descend; final climb 3..4.
+	want := []int{1, 2, 3, 2, 1, 2, 3, 4, 3, 2, 3, 4}
+	got := CanonicalZigzag(3)
+	if len(got) != len(want) {
+		t.Fatalf("ψ=3 zigzag length %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ψ=3 zigzag[%d] = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestTrajectoryTraceMatchesFigure2 replays the deterministic schedule of
+// Lemma 3.5 and compares the black token's observed path against the
+// Figure 2 zigzag, for several ψ and segment IDs.
+func TestTrajectoryTraceMatchesFigure2(t *testing.T) {
+	for _, psi := range []int{4, 5, 6} {
+		maxID := uint64(1)<<uint(psi) - 1
+		for _, id := range []uint64{0, 1, maxID, maxID / 2} {
+			positions, _, _ := TrajectoryTrace(psi, id)
+			want := CanonicalZigzag(psi)
+			if len(positions) != len(want) {
+				t.Fatalf("ψ=%d id=%d: observed %d positions, want %d\nobs:  %v\nwant: %v",
+					psi, id, len(positions), len(want), positions, want)
+			}
+			for i := range want {
+				if positions[i] != want[i] {
+					t.Fatalf("ψ=%d id=%d: position[%d] = %d, want %d\nobs:  %v\nwant: %v",
+						psi, id, i, positions[i], want[i], positions, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTrajectoryConstructsNextSegmentID checks the purpose of the token
+// round trips: after one complete trajectory in construction mode, segment
+// S_1 holds ι(S_0)+1 mod 2^ψ.
+func TestTrajectoryConstructsNextSegmentID(t *testing.T) {
+	for _, psi := range []int{4, 5, 6} {
+		mask := uint64(1)<<uint(psi) - 1
+		for id := uint64(0); id <= mask; id++ {
+			_, final, _ := TrajectoryTrace(psi, id)
+			got := segmentID(final, psi, psi)
+			if want := (id + 1) & mask; got != want {
+				t.Fatalf("ψ=%d: ι(S_0)=%d produced ι(S_1)=%d, want %d", psi, id, got, want)
+			}
+			// S_0 itself must be untouched.
+			if got := segmentID(final, 0, psi); got != id {
+				t.Fatalf("ψ=%d: source segment corrupted: ι(S_0)=%d, want %d", psi, got, id)
+			}
+		}
+	}
+}
+
+// TestTrajectoryTokensStayValid verifies that along the whole deterministic
+// trajectory no token is ever judged invalid by the (corrected) Definition
+// 3.3 — the erratum direction check of DESIGN.md.
+func TestTrajectoryTokensStayValid(t *testing.T) {
+	psi := 4
+	positions, _, _ := TrajectoryTrace(psi, 3)
+	if len(positions) == 0 {
+		t.Fatal("no trajectory observed — tokens were likely deleted as invalid")
+	}
+	// Reaching the full canonical length implies no premature deletion.
+	if len(positions) != len(CanonicalZigzag(psi)) {
+		t.Fatalf("trajectory cut short: %d of %d positions", len(positions), len(CanonicalZigzag(psi)))
+	}
+}

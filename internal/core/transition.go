@@ -1,0 +1,220 @@
+package core
+
+import (
+	"repro/internal/war"
+)
+
+// Protocol is P_PL instantiated for a fixed ring size. Its Step method is
+// the transition function T of the paper; plug it into a
+// population.Engine[State] on population.DirectedRing(p.N).
+type Protocol struct {
+	p        Params
+	noCreate bool
+}
+
+// New returns the protocol for the given parameters. It panics if the
+// parameters are invalid (they are derived from n at construction time, not
+// from runtime input).
+func New(p Params) *Protocol {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Protocol{p: p}
+}
+
+// NewNoCreate returns the auxiliary protocol P'_PL of Section 4.2: P_PL
+// with the leader-creation assignments (lines 6 and 18) removed. The paper
+// uses it as a coupling device — an execution of P_PL equals the
+// corresponding execution of P'_PL until the first leader creation — to
+// transfer the elimination bound of Lemma 4.11 to the full protocol.
+func NewNoCreate(p Params) *Protocol {
+	pr := New(p)
+	pr.noCreate = true
+	return pr
+}
+
+// Params returns the protocol's parameters.
+func (pr *Protocol) Params() Params { return pr.p }
+
+// Step is the transition function (Algorithm 1): l is the initiator (left
+// agent), r the responder (right agent). Statements execute sequentially
+// with read-your-writes semantics, exactly as in the pseudocode:
+// CreateLeader (which begins with DetermineMode) and then EliminateLeaders.
+func (pr *Protocol) Step(l, r State) (State, State) {
+	pr.createLeader(&l, &r)
+	war.Step(&l.Leader, &r.Leader, &l.War, &r.War)
+	return l, r
+}
+
+// makeLeader performs the leader-creation assignment of lines 6 and 18:
+// (leader, bullet, shield, signalB) ← (1, 2, 1, 0). The fresh live bullet
+// is peaceful by construction.
+func makeLeader(v *State) {
+	v.Leader = true
+	v.War = war.Arm()
+}
+
+// createLeader is Algorithm 2 (lines 3–11).
+func (pr *Protocol) createLeader(l, r *State) {
+	p := pr.p
+	pr.determineMode(l, r)
+
+	// Line 4: the responder's distance from the nearest left leader mod 2ψ.
+	var tmp uint16
+	if !r.Leader {
+		tmp = l.Dist + 1
+		if int(tmp) == p.TwoPsi() {
+			tmp = 0
+		}
+	}
+	// Lines 5–6: in detection mode a distance mismatch proves imperfection.
+	if p.Mode(*r) == Detect && tmp != r.Dist && !pr.noCreate {
+		makeLeader(r)
+	}
+	// Lines 7–8: in construction mode the distance is (re)computed.
+	if p.Mode(*r) == Construct {
+		r.Dist = tmp
+	}
+	// Line 9: last-segment membership propagates right to left.
+	switch {
+	case r.Leader:
+		l.Last = true
+	case int(r.Dist) == 0 || int(r.Dist) == p.Psi:
+		l.Last = false
+	default:
+		l.Last = r.Last
+	}
+
+	// Lines 10–11: black tokens use offset d = 0, white tokens d = ψ.
+	pr.moveToken(l, r, &l.TokB, &r.TokB, 0)
+	pr.moveToken(l, r, &l.TokW, &r.TokW, uint16(p.Psi))
+}
+
+// moveToken is Algorithm 3 for one token color; lt and rt are the token
+// slots of that color inside l and r.
+func (pr *Protocol) moveToken(l, r *State, lt, rt *Token, d uint16) {
+	p := pr.p
+	psi := int16(p.Psi)
+
+	// Lines 12–13: a border with no token in flight launches a fresh one
+	// carrying the first sum bit and carry of ι(S)+1.
+	if l.Dist == d && !l.Last && lt.None() {
+		*lt = Token{Pos: psi, Bit: 1 - l.B, Carry: l.B}
+	}
+	// Lines 14–15: the left token dies when the right agent already carries
+	// one of this color (the rightmost survives) or lies in the last
+	// segment.
+	if !lt.None() && (!rt.None() || r.Last) {
+		*lt = Token{}
+	}
+	switch {
+	case lt.Pos == 1:
+		// Lines 16–22: the token reaches its right target r. Detection mode
+		// compares the carried bit; construction mode writes it. Either way
+		// the token turns around toward u_{r−(ψ−1)}.
+		if p.Mode(*r) == Detect && lt.Bit != r.B {
+			if !pr.noCreate {
+				makeLeader(r)
+			}
+		} else if p.Mode(*r) == Construct {
+			r.B = lt.Bit
+		}
+		*rt = Token{Pos: 1 - psi, Bit: lt.Bit, Carry: lt.Carry}
+		*lt = Token{}
+	case lt.Pos >= 2:
+		// Lines 23–25: plain rightward move.
+		*rt = Token{Pos: lt.Pos - 1, Bit: lt.Bit, Carry: lt.Carry}
+		*lt = Token{}
+	case rt.Pos == -1:
+		// Lines 26–28: the token reaches its left target l, where it reads
+		// l.b, updates sum bit and carry, and starts the next round toward
+		// u_{l+ψ}. (Step 6 of the Section 3.2 walkthrough.)
+		if rt.Carry == 1 {
+			*lt = Token{Pos: psi, Bit: 1 - l.B, Carry: l.B}
+		} else {
+			*lt = Token{Pos: psi, Bit: l.B, Carry: 0}
+		}
+		*rt = Token{}
+	case rt.Pos <= -2:
+		// Lines 29–31: plain leftward move. The pseudocode prints the moved
+		// payload as (r.token[1]+1, l.token[2], l.token[3]); l's token is ⊥
+		// here (lines 14–15 removed it otherwise), so the payload can only
+		// come from r's token, matching the rightward case of line 24.
+		*lt = Token{Pos: rt.Pos + 1, Bit: rt.Bit, Carry: rt.Carry}
+		*rt = Token{}
+	}
+	// Lines 32–33: delete tokens in the last segment and invalid tokens
+	// (out of trajectory).
+	if !lt.None() && (l.Last || pr.invalidToken(*l, *lt, d)) {
+		*lt = Token{}
+	}
+	if !rt.None() && (r.Last || pr.invalidToken(*r, *rt, d)) {
+		*rt = Token{}
+	}
+}
+
+// invalidToken is the InvalidToken macro of Algorithm 3 / Definition 3.3
+// with the interval direction corrected (see DESIGN.md erratum 1): a token
+// is on its trajectory iff the distance value of its target,
+// (dist + token[1] + d) mod 2ψ, lies in [ψ, 2ψ−1] when moving right and in
+// [1, ψ−1] when moving left.
+func (pr *Protocol) invalidToken(v State, t Token, d uint16) bool {
+	p := pr.p
+	two := p.TwoPsi()
+	target := (int(v.Dist) + int(t.Pos) + int(d)) % two
+	if target < 0 {
+		target += two
+	}
+	if t.Pos > 0 {
+		return !(target >= p.Psi && target < two)
+	}
+	return !(target >= 1 && target < p.Psi)
+}
+
+// determineMode is Algorithm 4 (lines 34–50). Lines 49–50 are implicit:
+// mode is derived from clock by Params.Mode.
+func (pr *Protocol) determineMode(l, r *State) {
+	p := pr.p
+	psi := uint16(p.Psi)
+	kmax := uint16(p.KappaMax)
+
+	// Lines 34–35: a leader interacting with its right neighbor creates a
+	// fresh resetting signal with full TTL.
+	if l.Leader {
+		l.SignalR = kmax
+	}
+	// Lines 36–37: the lottery-game coin. Interacting with the right
+	// neighbor resets the streak; with the left neighbor extends it.
+	l.Hits = 0
+	if r.Hits < psi {
+		r.Hits++
+	}
+	if l.SignalR > 0 || r.SignalR > 0 {
+		// Line 39: observing a signal resets both clocks.
+		l.Clock, r.Clock = 0, 0
+		// Lines 40–41: when the left signal absorbs the right one, the
+		// right agent's streak restarts (an analysis simplification kept
+		// verbatim from the paper).
+		if r.SignalR > 0 && l.SignalR >= r.SignalR {
+			r.Hits = 0
+		}
+		// Line 42: the signal moves right; merged signals keep the max TTL.
+		if l.SignalR > r.SignalR {
+			r.SignalR = l.SignalR
+		}
+		l.SignalR = 0
+		// Lines 43–45: a full streak of ψ left-interactions costs the
+		// signal one TTL unit (one lost lottery round).
+		if r.Hits == psi {
+			r.SignalR--
+			r.Hits = 0
+		}
+	} else if r.Hits == psi {
+		// Lines 46–48: with no signal in sight, a full streak advances the
+		// clock toward detection mode.
+		if r.Clock < kmax {
+			r.Clock++
+		}
+		r.Hits = 0
+	}
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/war"
+	"repro/internal/xrand"
+)
+
+func TestLeaderGeneratesAndPushesSignal(t *testing.T) {
+	pr := New(NewParams(16))
+	kmax := uint16(pr.Params().KappaMax)
+	l := State{Leader: true}
+	r := State{Clock: 5}
+	l2, r2 := pr.Step(l, r)
+	// Lines 34-35 create the signal at l; line 42 moves it right in the
+	// same interaction.
+	if l2.SignalR != 0 {
+		t.Fatalf("signal stayed at leader: %d", l2.SignalR)
+	}
+	if r2.SignalR != kmax {
+		t.Fatalf("responder signal TTL = %d, want %d", r2.SignalR, kmax)
+	}
+	if l2.Clock != 0 || r2.Clock != 0 {
+		t.Fatalf("clocks not reset: l=%d r=%d", l2.Clock, r2.Clock)
+	}
+}
+
+func TestSignalMergeKeepsMaxTTL(t *testing.T) {
+	pr := New(NewParams(16))
+	l := State{SignalR: 7}
+	r := State{SignalR: 3, Hits: 2}
+	l2, r2 := pr.Step(l, r)
+	if l2.SignalR != 0 || r2.SignalR != 7 {
+		t.Fatalf("merge: l=%d r=%d, want 0/7", l2.SignalR, r2.SignalR)
+	}
+	// Absorption (l ≥ r > 0) resets the responder's streak (line 41).
+	if r2.Hits != 0 {
+		t.Fatalf("hits not reset on absorption: %d", r2.Hits)
+	}
+}
+
+func TestWeakerLeftSignalAbsorbedByRight(t *testing.T) {
+	pr := New(NewParams(16))
+	l := State{SignalR: 3}
+	r := State{SignalR: 7, Hits: 2}
+	l2, r2 := pr.Step(l, r)
+	if l2.SignalR != 0 || r2.SignalR != 7 {
+		t.Fatalf("merge: l=%d r=%d, want 0/7", l2.SignalR, r2.SignalR)
+	}
+	// When the right signal absorbs the left one, hits continue: with the
+	// line-37 increment the streak is now 3.
+	if r2.Hits != 3 {
+		t.Fatalf("hits = %d, want 3", r2.Hits)
+	}
+}
+
+func TestHitsStreakMechanics(t *testing.T) {
+	pr := New(NewParams(16))
+	psi := uint16(pr.Params().Psi)
+	// The responder's streak grows by one per left-interaction.
+	_, r := pr.Step(State{}, State{Hits: 1})
+	if r.Hits != 2 {
+		t.Fatalf("hits = %d, want 2", r.Hits)
+	}
+	// The initiator's streak resets.
+	l, _ := pr.Step(State{Hits: psi - 1}, State{})
+	if l.Hits != 0 {
+		t.Fatalf("initiator hits = %d, want 0", l.Hits)
+	}
+}
+
+func TestFullStreakAdvancesClock(t *testing.T) {
+	pr := New(NewParams(16))
+	psi := uint16(pr.Params().Psi)
+	_, r := pr.Step(State{}, State{Hits: psi - 1, Clock: 4})
+	if r.Clock != 5 {
+		t.Fatalf("clock = %d, want 5", r.Clock)
+	}
+	if r.Hits != 0 {
+		t.Fatalf("hits not reset after win: %d", r.Hits)
+	}
+}
+
+func TestFullStreakDecrementsSignalTTL(t *testing.T) {
+	pr := New(NewParams(16))
+	psi := uint16(pr.Params().Psi)
+	_, r := pr.Step(State{}, State{Hits: psi - 1, SignalR: 5, Clock: 9})
+	if r.SignalR != 4 {
+		t.Fatalf("signal TTL = %d, want 4", r.SignalR)
+	}
+	if r.Clock != 0 {
+		t.Fatalf("clock = %d, want 0 (reset by signal)", r.Clock)
+	}
+	if r.Hits != 0 {
+		t.Fatalf("hits = %d, want 0", r.Hits)
+	}
+}
+
+func TestClockSaturatesAtKappaMax(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	psi := uint16(p.Psi)
+	kmax := uint16(p.KappaMax)
+	_, r := pr.Step(State{Dist: 1}, State{Hits: psi - 1, Clock: kmax, Dist: 2})
+	if r.Clock != kmax {
+		t.Fatalf("clock overflowed κ_max: %d", r.Clock)
+	}
+}
+
+func TestDetectionModeCreatesLeaderOnDistMismatch(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	kmax := uint16(p.KappaMax)
+	// r in detection mode, and l.dist+1 != r.dist.
+	l := State{Dist: 3, Clock: kmax}
+	r := State{Dist: 9, Clock: kmax}
+	_, r2 := pr.Step(l, r)
+	if !r2.Leader {
+		t.Fatal("distance mismatch in detection mode did not create a leader")
+	}
+	// Line 6: the new leader is armed — live bullet (moved or in place),
+	// shielded, no bullet-absence signal.
+	if !r2.War.Shield || r2.War.Signal {
+		t.Fatalf("new leader war state: %+v", r2.War)
+	}
+	// Detection mode must not overwrite dist (line 7 guard).
+	if r2.Dist != 9 {
+		t.Fatalf("detection mode rewrote dist: %d", r2.Dist)
+	}
+}
+
+func TestConstructionModeRewritesDist(t *testing.T) {
+	pr := New(NewParams(16))
+	l := State{Dist: 3}
+	r := State{Dist: 9}
+	_, r2 := pr.Step(l, r)
+	if r2.Leader {
+		t.Fatal("construction mode created a leader")
+	}
+	if r2.Dist != 4 {
+		t.Fatalf("dist = %d, want 4", r2.Dist)
+	}
+}
+
+func TestDistWrapsAtTwoPsi(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	l := State{Dist: uint16(p.TwoPsi() - 1)}
+	_, r2 := pr.Step(l, State{Dist: 5})
+	if r2.Dist != 0 {
+		t.Fatalf("dist = %d, want 0 (wrap)", r2.Dist)
+	}
+}
+
+func TestLeaderResponderHasDistZero(t *testing.T) {
+	pr := New(NewParams(16))
+	l := State{Dist: 7}
+	r := State{Leader: true, Dist: 3, War: war.State{Shield: true}}
+	l2, r2 := pr.Step(l, r)
+	if r2.Dist != 0 {
+		t.Fatalf("leader dist = %d, want 0", r2.Dist)
+	}
+	// Line 9: left neighbor of a leader is in the last segment.
+	if !l2.Last {
+		t.Fatal("left neighbor of leader must have last=1")
+	}
+}
+
+func TestLastPropagation(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	// r at a border (dist ∈ {0, ψ}) and not a leader ⇒ l.last = 0.
+	l := State{Dist: uint16(p.Psi - 1), Last: true}
+	r := State{Dist: uint16(p.Psi), Last: true}
+	l2, _ := pr.Step(l, r)
+	if l2.Last {
+		t.Fatal("l.last should clear when r is a non-leader border")
+	}
+	// Otherwise l.last copies r.last.
+	l = State{Dist: 2, Last: false}
+	r = State{Dist: 3, Last: true}
+	l2, _ = pr.Step(l, r)
+	if !l2.Last {
+		t.Fatal("l.last should copy r.last")
+	}
+}
+
+// TestModeIsDerivedFromClock pins the mode/clock equivalence our
+// representation relies on (DESIGN.md, Section 3): after any interaction,
+// Detect ⇔ clock = κ_max for both agents by construction, so storing mode
+// separately would be redundant.
+func TestModeIsDerivedFromClock(t *testing.T) {
+	p := NewParams(32)
+	pr := New(p)
+	rng := xrand.New(123)
+	for i := 0; i < 5000; i++ {
+		l, r := pr.Step(p.RandomState(rng), p.RandomState(rng))
+		for _, s := range []State{l, r} {
+			wantDetect := int(s.Clock) == p.KappaMax
+			if (p.Mode(s) == Detect) != wantDetect {
+				t.Fatalf("mode/clock divergence: %+v", s)
+			}
+		}
+	}
+}
+
+// TestTransitionPreservesValidity is the domain-closure property: from any
+// pair of in-domain states, the transition yields in-domain states.
+func TestTransitionPreservesValidity(t *testing.T) {
+	p := NewParams(32)
+	pr := New(p)
+	rng := xrand.New(321)
+	cfgGen := func() State { return p.RandomState(rng) }
+	if err := quick.Check(func(seed uint64) bool {
+		l, r := cfgGen(), cfgGen()
+		l2, r2 := pr.Step(l, r)
+		return p.ValidState(l2) && p.ValidState(r2)
+	}, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransitionDeterminism: the transition is a pure function.
+func TestTransitionDeterminism(t *testing.T) {
+	p := NewParams(32)
+	pr := New(p)
+	rng := xrand.New(11)
+	for i := 0; i < 2000; i++ {
+		l, r := p.RandomState(rng), p.RandomState(rng)
+		a1, b1 := pr.Step(l, r)
+		a2, b2 := pr.Step(l, r)
+		if a1 != a2 || b1 != b2 {
+			t.Fatalf("non-deterministic transition on %+v / %+v", l, r)
+		}
+	}
+}
+
+func TestBorderCreatesToken(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	psi := int16(p.Psi)
+	// Black border (dist 0) with b=0: fresh token (ψ, 1, 0), which then
+	// hops to the responder within the same interaction (sequential
+	// semantics of lines 12-13 then 23-25).
+	l := State{Dist: 0, B: 0}
+	r := State{Dist: 1}
+	l2, r2 := pr.Step(l, r)
+	if !l2.TokB.None() {
+		t.Fatalf("token should have hopped off the border: %v", l2.TokB)
+	}
+	if r2.TokB != (Token{Pos: psi - 1, Bit: 1, Carry: 0}) {
+		t.Fatalf("hopped token = %v, want (ψ-1,1,0)", r2.TokB)
+	}
+	// White border (dist ψ) with b=1: fresh white token (ψ, 0, 1).
+	l = State{Dist: uint16(p.Psi), B: 1}
+	r = State{Dist: uint16(p.Psi + 1)}
+	_, r2 = pr.Step(l, r)
+	if r2.TokW != (Token{Pos: psi - 1, Bit: 0, Carry: 1}) {
+		t.Fatalf("white token = %v, want (ψ-1,0,1)", r2.TokW)
+	}
+}
+
+func TestLastSegmentBorderDoesNotCreateToken(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	l := State{Dist: 0, B: 0, Last: true}
+	r := State{Dist: 1, Last: true}
+	l2, r2 := pr.Step(l, r)
+	if !l2.TokB.None() || !r2.TokB.None() {
+		t.Fatal("border in last segment created a token")
+	}
+}
+
+func TestTokenCollisionLeftDies(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	l := State{Dist: 2, TokB: Token{Pos: 3, Bit: 1}}
+	r := State{Dist: 3, TokB: Token{Pos: 2, Bit: 0}}
+	l2, r2 := pr.Step(l, r)
+	if !l2.TokB.None() {
+		t.Fatal("left token survived collision")
+	}
+	if r2.TokB != (Token{Pos: 2, Bit: 0}) {
+		t.Fatalf("right token changed: %v", r2.TokB)
+	}
+}
+
+func TestTokenRightTargetConstruction(t *testing.T) {
+	p := NewParams(16) // ψ=4
+	pr := New(p)
+	psi := int16(p.Psi)
+	// Token with Pos=1 at l reaches its target r in construction mode:
+	// writes Bit into r.b and turns around (Pos = 1-ψ).
+	l := State{Dist: uint16(p.Psi + 1), TokB: Token{Pos: 1, Bit: 1, Carry: 1}}
+	r := State{Dist: uint16(p.Psi + 2), B: 0}
+	l2, r2 := pr.Step(l, r)
+	if r2.B != 1 {
+		t.Fatal("construction mode did not write the token bit")
+	}
+	if r2.TokB != (Token{Pos: 1 - psi, Bit: 1, Carry: 1}) {
+		t.Fatalf("turnaround token = %v", r2.TokB)
+	}
+	if !l2.TokB.None() {
+		t.Fatal("source token not cleared")
+	}
+}
+
+func TestTokenRightTargetDetectionMismatch(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	kmax := uint16(p.KappaMax)
+	l := State{Dist: uint16(p.Psi + 1), Clock: kmax, TokB: Token{Pos: 1, Bit: 1, Carry: 0}}
+	r := State{Dist: uint16(p.Psi + 2), B: 0, Clock: kmax}
+	_, r2 := pr.Step(l, r)
+	if !r2.Leader {
+		t.Fatal("segment-ID mismatch in detection mode did not create a leader")
+	}
+	if r2.B != 0 {
+		t.Fatal("detection mode must not rewrite b")
+	}
+}
+
+func TestTokenRightTargetDetectionMatchIsQuiet(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	kmax := uint16(p.KappaMax)
+	l := State{Dist: uint16(p.Psi + 1), Clock: kmax, TokB: Token{Pos: 1, Bit: 1, Carry: 0}}
+	r := State{Dist: uint16(p.Psi + 2), B: 1, Clock: kmax}
+	_, r2 := pr.Step(l, r)
+	if r2.Leader {
+		t.Fatal("matching bit created a leader")
+	}
+}
+
+func TestTokenLeftTargetCarryUpdate(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	psi := int16(p.Psi)
+	// Left-moving token with Pos=-1 reaches l: with carry=1 the payload
+	// becomes (1-l.b, l.b); with carry=0 it becomes (l.b, 0). (Step 6.)
+	l := State{Dist: 2, B: 1}
+	r := State{Dist: 3, TokB: Token{Pos: -1, Bit: 0, Carry: 1}}
+	l2, r2 := pr.Step(l, r)
+	if l2.TokB != (Token{Pos: psi, Bit: 0, Carry: 1}) {
+		t.Fatalf("carry=1 turnaround = %v, want (ψ,0,1)", l2.TokB)
+	}
+	if !r2.TokB.None() {
+		t.Fatal("left target did not consume the token")
+	}
+
+	l = State{Dist: 2, B: 1}
+	r = State{Dist: 3, TokB: Token{Pos: -1, Bit: 0, Carry: 0}}
+	l2, _ = pr.Step(l, r)
+	if l2.TokB != (Token{Pos: psi, Bit: 1, Carry: 0}) {
+		t.Fatalf("carry=0 turnaround = %v, want (ψ,1,0)", l2.TokB)
+	}
+}
+
+func TestTokenPlainMoves(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	// Rightward move decrements Pos.
+	l := State{Dist: 1, TokB: Token{Pos: 3, Bit: 1, Carry: 1}}
+	r := State{Dist: 2}
+	l2, r2 := pr.Step(l, r)
+	if !l2.TokB.None() || r2.TokB != (Token{Pos: 2, Bit: 1, Carry: 1}) {
+		t.Fatalf("right move: l=%v r=%v", l2.TokB, r2.TokB)
+	}
+	// Leftward move increments Pos and carries r's payload (line 30, see
+	// DESIGN.md on the payload typo).
+	l = State{Dist: 5}
+	r = State{Dist: 6, TokB: Token{Pos: -3, Bit: 1, Carry: 0}}
+	l2, r2 = pr.Step(l, r)
+	if !r2.TokB.None() || l2.TokB != (Token{Pos: -2, Bit: 1, Carry: 0}) {
+		t.Fatalf("left move: l=%v r=%v", l2.TokB, r2.TokB)
+	}
+}
+
+func TestInvalidTokenDeleted(t *testing.T) {
+	p := NewParams(16) // ψ=4, 2ψ=8
+	pr := New(p)
+	// Right-moving black token whose target dist is in [1, ψ-1]: off
+	// trajectory, must be deleted by lines 32-33.
+	l := State{Dist: 0}
+	r := State{Dist: 1, TokB: Token{Pos: 1, Bit: 0}} // target dist 2 ∈ [1,3]
+	// Keep l off the border-creation path by giving it a token-unfriendly
+	// dist: use dist 1 instead.
+	l.Dist = 1
+	r.Dist = 2
+	_, r2 := pr.Step(l, r)
+	if !r2.TokB.None() {
+		t.Fatalf("invalid token survived: %v", r2.TokB)
+	}
+}
+
+func TestTokenAtFinalDestinationDeleted(t *testing.T) {
+	p := NewParams(16) // ψ=4
+	pr := New(p)
+	// A black token reaching its final destination u_{2ψ-1} (dist 7)
+	// spawns a left-mover whose target dist would be ψ — invalid, so it
+	// disappears in the same interaction (lines 21-22 then 32-33).
+	l := State{Dist: uint16(p.TwoPsi() - 2), TokB: Token{Pos: 1, Bit: 1, Carry: 0}}
+	r := State{Dist: uint16(p.TwoPsi() - 1), B: 1}
+	l2, r2 := pr.Step(l, r)
+	if !l2.TokB.None() || !r2.TokB.None() {
+		t.Fatalf("trajectory-complete token survived: l=%v r=%v", l2.TokB, r2.TokB)
+	}
+}
+
+func TestTokenDiesEnteringLastSegment(t *testing.T) {
+	p := NewParams(16)
+	pr := New(p)
+	l := State{Dist: 2, TokB: Token{Pos: 3, Bit: 1}}
+	r := State{Dist: 3, Last: true}
+	l2, r2 := pr.Step(l, r)
+	if !l2.TokB.None() || !r2.TokB.None() {
+		t.Fatalf("token entered last segment: l=%v r=%v", l2.TokB, r2.TokB)
+	}
+}
+
+func TestNewRejectsInvalidParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted invalid params")
+		}
+	}()
+	New(Params{N: 100, Psi: 3, KappaMax: 24})
+}
+
+func BenchmarkTransition(b *testing.B) {
+	p := NewParams(256)
+	pr := New(p)
+	rng := xrand.New(1)
+	l, r := p.RandomState(rng), p.RandomState(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, r = pr.Step(l, r)
+	}
+}

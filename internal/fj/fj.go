@@ -1,0 +1,214 @@
+// Package fj implements an SS-LE ring protocol in the style of Fischer and
+// Jiang (2006) — reference [15] of the paper and the second row of its
+// Table 1: the oracle Ω?, O(1) states, Θ(n³)-class expected convergence.
+//
+// Reconstruction (DESIGN.md §4): the original introduced the
+// bullets-and-shields war on rings, paired with the eventual leader
+// detector Ω?. We model the oracle exactly as the paper does when it
+// attributes the Θ(n³) bound: it reports the absence of a leader
+// immediately. As in the oracle family (Beauquier et al. [7] use two Ω?
+// instances), a second instance reporting the absence of bullets frees a
+// leader stuck waiting for a bullet that an adversarial initial
+// configuration never launched.
+//
+// War rules: a non-waiting leader fires on its next interaction — live and
+// shielded when it is the initiator, dummy and unshielded when it is the
+// responder (one fair coin from the scheduler). Bullets travel clockwise,
+// are absorbed by the bullet ahead, and die at the first leader they
+// reach, killing it when live and unshielded and, either way, licensing it
+// to fire again (relay). A leader whose outstanding live bullet is in
+// flight is still shielded, so the last leader can never shoot itself.
+package fj
+
+import (
+	"repro/internal/population"
+	"repro/internal/war"
+	"repro/internal/xrand"
+)
+
+// State is the per-agent state: O(1) in n.
+type State struct {
+	Leader bool
+	// Waiting marks a leader with an outstanding bullet; it may not fire
+	// again until some bullet reaches it (or Ω? reports a bullet-free
+	// ring).
+	Waiting bool
+	Shield  bool
+	Bullet  war.Bullet
+}
+
+// Oracle is the Ω? view handed to every interaction: global emptiness
+// predicates, computed by the runner just before the interaction.
+type Oracle struct {
+	NoLeader bool
+	NoBullet bool
+}
+
+// Protocol is the FJ-style protocol; it is stateless apart from the rules.
+type Protocol struct{}
+
+// New returns the protocol.
+func New() *Protocol { return &Protocol{} }
+
+// Step is the transition function under the oracle view env.
+func (p *Protocol) Step(l, r State, env Oracle) (State, State) {
+	// Ω?(bullet): a waiting leader in a bullet-free ring may fire again.
+	if env.NoBullet {
+		if l.Leader {
+			l.Waiting = false
+		}
+		if r.Leader {
+			r.Waiting = false
+		}
+	}
+	// Ω?(leader): a leaderless ring elects the responder, armed.
+	if env.NoLeader {
+		r.Leader = true
+		r.Waiting = true
+		r.Shield = true
+		r.Bullet = war.Live
+	}
+	// Firing. Initiator side: live and shielded; responder side: dummy and
+	// unshielded. A passing bullet occupying the slot postpones the shot.
+	if l.Leader && !l.Waiting && l.Bullet == war.None {
+		l.Bullet = war.Live
+		l.Shield = true
+		l.Waiting = true
+	}
+	if r.Leader && !r.Waiting && r.Bullet == war.None {
+		r.Bullet = war.Dummy
+		r.Shield = false
+		r.Waiting = true
+	}
+	// Bullet movement and arrival.
+	if l.Bullet != war.None {
+		switch {
+		case r.Leader:
+			if l.Bullet == war.Live && !r.Shield {
+				r.Leader = false
+				r.Shield = false
+			}
+			r.Waiting = false
+			l.Bullet = war.None
+		case r.Bullet == war.None:
+			r.Bullet = l.Bullet
+			l.Bullet = war.None
+		default:
+			l.Bullet = war.None // absorbed by the bullet ahead
+		}
+	}
+	return l, r
+}
+
+// IsLeader is the output function.
+func IsLeader(s State) bool { return s.Leader }
+
+// StateCount returns |Q| = 2·2·2·3 = 24 — constant.
+func (p *Protocol) StateCount() uint64 { return 2 * 2 * 2 * 3 }
+
+// RandomState samples uniformly from the state space.
+func (p *Protocol) RandomState(rng *xrand.RNG) State {
+	return State{
+		Leader:  rng.Bool(),
+		Waiting: rng.Bool(),
+		Shield:  rng.Bool(),
+		Bullet:  war.Bullet(rng.Intn(3)),
+	}
+}
+
+// RandomConfig samples a full adversarial configuration.
+func (p *Protocol) RandomConfig(rng *xrand.RNG, n int) []State {
+	cfg := make([]State, n)
+	for i := range cfg {
+		cfg[i] = p.RandomState(rng)
+	}
+	return cfg
+}
+
+// Stable reports the absorbing shape: exactly one leader, and either its
+// single outstanding bullet is in flight (shielded if the bullet is live)
+// or the ring is bullet-free with the leader ready to fire. The set is
+// closed under the transition.
+func Stable(cfg []State) bool {
+	leaders, bullets, liveBullets := 0, 0, 0
+	var lead State
+	for _, s := range cfg {
+		if s.Leader {
+			leaders++
+			lead = s
+		}
+		if s.Bullet != war.None {
+			bullets++
+			if s.Bullet == war.Live {
+				liveBullets++
+			}
+		}
+	}
+	if leaders != 1 {
+		return false
+	}
+	if bullets == 0 {
+		return !lead.Waiting
+	}
+	if bullets > 1 {
+		return false
+	}
+	return lead.Waiting && (liveBullets == 0 || lead.Shield)
+}
+
+// Runner couples the protocol with an engine and maintains the oracle's
+// global predicates incrementally.
+type Runner struct {
+	proto   *Protocol
+	eng     *population.Engine[State]
+	leaders int
+	bullets int
+}
+
+// NewRunner builds a runner for a directed ring of n agents.
+func NewRunner(n int, rng *xrand.RNG) *Runner {
+	ru := &Runner{proto: New()}
+	trans := func(l, r State) (State, State) {
+		return ru.proto.Step(l, r, Oracle{
+			NoLeader: ru.leaders == 0,
+			NoBullet: ru.bullets == 0,
+		})
+	}
+	ru.eng = population.NewEngine(population.DirectedRing(n), trans, rng)
+	ru.eng.SetObserver(func(_ int, before, after State) {
+		if before.Leader != after.Leader {
+			if after.Leader {
+				ru.leaders++
+			} else {
+				ru.leaders--
+			}
+		}
+		if (before.Bullet != war.None) != (after.Bullet != war.None) {
+			if after.Bullet != war.None {
+				ru.bullets++
+			} else {
+				ru.bullets--
+			}
+		}
+	})
+	ru.eng.TrackLeaders(IsLeader)
+	return ru
+}
+
+// SetStates installs the initial configuration and recounts the oracle
+// predicates.
+func (ru *Runner) SetStates(cfg []State) {
+	ru.eng.SetStates(cfg)
+	ru.leaders, ru.bullets = 0, 0
+	for _, s := range cfg {
+		if s.Leader {
+			ru.leaders++
+		}
+		if s.Bullet != war.None {
+			ru.bullets++
+		}
+	}
+}
+
+// Engine exposes the underlying engine for stepping and inspection.
+func (ru *Runner) Engine() *population.Engine[State] { return ru.eng }

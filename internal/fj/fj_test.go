@@ -1,0 +1,178 @@
+package fj
+
+import (
+	"testing"
+
+	"repro/internal/war"
+	"repro/internal/xrand"
+)
+
+func TestOracleCreatesLeader(t *testing.T) {
+	p := New()
+	_, r := p.Step(State{}, State{}, Oracle{NoLeader: true, NoBullet: true})
+	if !r.Leader || !r.Shield || !r.Waiting || r.Bullet != war.Live {
+		t.Fatalf("oracle creation: %+v", r)
+	}
+}
+
+func TestInitiatorLeaderFiresLive(t *testing.T) {
+	p := New()
+	l, _ := p.Step(State{Leader: true}, State{}, Oracle{})
+	// The fired bullet moves to the responder within the interaction.
+	if !l.Shield || !l.Waiting {
+		t.Fatalf("initiator fire: %+v", l)
+	}
+}
+
+func TestResponderLeaderFiresDummy(t *testing.T) {
+	p := New()
+	_, r := p.Step(State{}, State{Leader: true, Shield: true}, Oracle{})
+	if r.Shield || !r.Waiting || r.Bullet != war.Dummy {
+		t.Fatalf("responder fire: %+v", r)
+	}
+}
+
+func TestWaitingLeaderHoldsFire(t *testing.T) {
+	p := New()
+	l, _ := p.Step(State{Leader: true, Waiting: true}, State{}, Oracle{})
+	if l.Bullet != war.None {
+		t.Fatal("waiting leader fired")
+	}
+}
+
+func TestNoBulletOracleUnlocks(t *testing.T) {
+	p := New()
+	l, _ := p.Step(State{Leader: true, Waiting: true}, State{}, Oracle{NoBullet: true})
+	// Unlock happens first, so the leader fires in the same interaction.
+	if !l.Waiting || l.Shield != true {
+		t.Fatalf("unlocked leader did not fire: %+v", l)
+	}
+}
+
+func TestBulletArrivalKillsUnshielded(t *testing.T) {
+	p := New()
+	_, r := p.Step(State{Bullet: war.Live}, State{Leader: true, Waiting: true}, Oracle{})
+	if r.Leader {
+		t.Fatal("unshielded leader survived")
+	}
+	if r.Waiting {
+		t.Fatal("kill must clear waiting")
+	}
+}
+
+func TestBulletArrivalUnlocksShielded(t *testing.T) {
+	p := New()
+	_, r := p.Step(State{Bullet: war.Live}, State{Leader: true, Waiting: true, Shield: true}, Oracle{})
+	if !r.Leader {
+		t.Fatal("shielded leader killed")
+	}
+	if r.Waiting {
+		t.Fatal("arrival must unlock the leader")
+	}
+}
+
+func TestDummyNeverKills(t *testing.T) {
+	p := New()
+	_, r := p.Step(State{Bullet: war.Dummy}, State{Leader: true, Waiting: true}, Oracle{})
+	if !r.Leader {
+		t.Fatal("dummy bullet killed a leader")
+	}
+}
+
+func TestBulletAbsorption(t *testing.T) {
+	p := New()
+	l, r := p.Step(State{Bullet: war.Live}, State{Bullet: war.Dummy}, Oracle{})
+	if l.Bullet != war.None || r.Bullet != war.Dummy {
+		t.Fatalf("absorption: l=%v r=%v", l.Bullet, r.Bullet)
+	}
+}
+
+func TestBulletMoves(t *testing.T) {
+	p := New()
+	l, r := p.Step(State{Bullet: war.Live}, State{}, Oracle{})
+	if l.Bullet != war.None || r.Bullet != war.Live {
+		t.Fatalf("move: l=%v r=%v", l.Bullet, r.Bullet)
+	}
+}
+
+func TestConvergenceFromRandom(t *testing.T) {
+	for _, n := range []int{8, 16, 24} {
+		for seed := uint64(0); seed < 3; seed++ {
+			ru := NewRunner(n, xrand.New(seed))
+			rng := xrand.New(seed + 31)
+			ru.SetStates(ru.proto.RandomConfig(rng, n))
+			maxSteps := 3000 * uint64(n) * uint64(n) * uint64(n)
+			_, ok := ru.Engine().RunUntil(Stable, n, maxSteps)
+			if !ok {
+				t.Fatalf("n=%d seed=%d: not stable within %d steps", n, seed, maxSteps)
+			}
+		}
+	}
+}
+
+func TestConvergenceFromEmpty(t *testing.T) {
+	n := 16
+	ru := NewRunner(n, xrand.New(7))
+	ru.SetStates(make([]State, n))
+	if _, ok := ru.Engine().RunUntil(Stable, n, 3000*uint64(n*n*n)); !ok {
+		t.Fatal("empty start never stabilized")
+	}
+}
+
+func TestStabilityIsAbsorbing(t *testing.T) {
+	n := 12
+	ru := NewRunner(n, xrand.New(8))
+	rng := xrand.New(9)
+	ru.SetStates(ru.proto.RandomConfig(rng, n))
+	if _, ok := ru.Engine().RunUntil(Stable, n, 3000*uint64(n*n*n)); !ok {
+		t.Fatal("did not stabilize")
+	}
+	changes := ru.Engine().LeaderChanges()
+	for i := 0; i < 400000; i++ {
+		ru.Engine().Step()
+		if !Stable(ru.Engine().Config()) {
+			t.Fatalf("left the stable set at extra step %d", i)
+		}
+	}
+	if ru.Engine().LeaderChanges() != changes {
+		t.Fatal("leader changed after stabilization")
+	}
+}
+
+func TestStableRejectsBadShapes(t *testing.T) {
+	if Stable([]State{{}, {}}) {
+		t.Fatal("no leader judged stable")
+	}
+	if Stable([]State{{Leader: true}, {Leader: true, Waiting: true, Bullet: war.Dummy}}) {
+		t.Fatal("two leaders judged stable")
+	}
+	if Stable([]State{{Leader: true, Waiting: true}, {}}) {
+		t.Fatal("waiting leader with no bullet judged stable")
+	}
+	if Stable([]State{{Leader: true, Waiting: true}, {Bullet: war.Live}}) {
+		t.Fatal("unshielded leader with live bullet judged stable")
+	}
+	if !Stable([]State{{Leader: true, Waiting: true, Shield: true}, {Bullet: war.Live}}) {
+		t.Fatal("canonical stable shape rejected")
+	}
+	if !Stable([]State{{Leader: true}, {}}) {
+		t.Fatal("bullet-free ready leader rejected")
+	}
+}
+
+func TestStateCountConstant(t *testing.T) {
+	if got := New().StateCount(); got != 24 {
+		t.Fatalf("state count = %d, want 24", got)
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	p := New()
+	l := State{Leader: true}
+	r := State{}
+	env := Oracle{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, r = p.Step(l, r, env)
+	}
+}

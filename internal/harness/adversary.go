@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"repro/internal/stats"
+)
+
+// WorstCase hunts for slow instances: it runs `restarts` trials of the
+// spec at ring size n with independent seeds and returns the convergence
+// statistics together with the slowest observed trial. The paper's bounds
+// are "with high probability", so the interesting quantity is how heavy
+// the convergence-time tail is relative to the mean — a near-constant
+// max/mean ratio across n supports the w.h.p. claim, a growing one would
+// undermine it.
+type WorstCaseResult struct {
+	N        int
+	Steps    stats.Summary
+	Slowest  Result
+	Failures int
+}
+
+// WorstCase runs the hunt.
+func WorstCase(spec Spec, n, restarts int) WorstCaseResult {
+	if spec.FixSize != nil {
+		n = spec.FixSize(n)
+	}
+	out := WorstCaseResult{N: n}
+	var xs []float64
+	for trial := 0; trial < restarts; trial++ {
+		seed := uint64(n)*7_777_777 + uint64(trial)
+		res := spec.Run(n, seed, spec.MaxSteps(n))
+		if !res.Converged {
+			out.Failures++
+			continue
+		}
+		xs = append(xs, float64(res.Steps))
+		if res.Steps > out.Slowest.Steps {
+			out.Slowest = res
+		}
+	}
+	if len(xs) > 0 {
+		out.Steps = stats.Summarize(xs)
+	}
+	return out
+}
+
+// TailRatio returns max/mean of the observed convergence times — the
+// heavy-tail indicator used by E8's w.h.p. discussion.
+func (w WorstCaseResult) TailRatio() float64 {
+	if w.Steps.Count == 0 || w.Steps.Mean == 0 {
+		return 0
+	}
+	return w.Steps.Max / w.Steps.Mean
+}

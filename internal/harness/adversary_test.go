@@ -1,0 +1,34 @@
+package harness
+
+import "testing"
+
+func TestWorstCaseHuntsSlowTrials(t *testing.T) {
+	spec := PPLSpec(0, 8, InitRandom)
+	res := WorstCase(spec, 16, 8)
+	if res.Failures != 0 {
+		t.Fatalf("%d failures", res.Failures)
+	}
+	if res.Steps.Count != 8 {
+		t.Fatalf("sample size %d", res.Steps.Count)
+	}
+	if res.Slowest.Steps != uint64(res.Steps.Max) {
+		t.Fatalf("slowest trial (%d) inconsistent with max (%v)", res.Slowest.Steps, res.Steps.Max)
+	}
+	if r := res.TailRatio(); r < 1 {
+		t.Fatalf("tail ratio %v < 1", r)
+	}
+}
+
+func TestWorstCaseFixesSize(t *testing.T) {
+	res := WorstCase(AngluinSpec(), 8, 2)
+	if res.N != 9 {
+		t.Fatalf("size not fixed: %d", res.N)
+	}
+}
+
+func TestTailRatioEmpty(t *testing.T) {
+	var w WorstCaseResult
+	if w.TailRatio() != 0 {
+		t.Fatal("empty result must have zero tail ratio")
+	}
+}

@@ -1,0 +1,167 @@
+// Package harness drives the paper's experiments: it sweeps ring sizes,
+// runs protocol trials from adversarial initial configurations, aggregates
+// convergence statistics, fits scaling exponents, and renders the markdown
+// tables recorded in EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Result is the outcome of one trial.
+type Result struct {
+	N          int
+	Seed       uint64
+	Steps      uint64 // step at which the convergence predicate first held
+	Stabilized uint64 // last step at which the leader set changed
+	Converged  bool
+}
+
+// RunFunc executes one trial of a protocol on a ring of n agents with the
+// given scheduler seed, giving up after maxSteps.
+type RunFunc func(n int, seed uint64, maxSteps uint64) Result
+
+// Spec describes one protocol under test — one row of Table 1.
+type Spec struct {
+	// Name identifies the protocol ("P_PL", "[28]", ...).
+	Name string
+	// Assumption is the knowledge column of Table 1.
+	Assumption string
+	// PaperTime and PaperStates quote the cited asymptotic bounds.
+	PaperTime   string
+	PaperStates string
+	// States returns the exact state count |Q| at ring size n.
+	States func(n int) uint64
+	// MaxSteps returns the per-trial step budget at ring size n.
+	MaxSteps func(n int) uint64
+	// Run executes one trial.
+	Run RunFunc
+	// FixSize adjusts a requested ring size to one the protocol's
+	// assumption admits (e.g. odd sizes for the mod-k baseline). Nil means
+	// identity.
+	FixSize func(n int) int
+}
+
+// Cell aggregates the trials of one (protocol, size) pair.
+type Cell struct {
+	N          int
+	Steps      stats.Summary
+	Stabilized stats.Summary
+	Failures   int
+}
+
+// Sweep runs trials per size for the spec and returns one cell per size.
+// Seeds are derived deterministically from the trial index.
+func Sweep(spec Spec, sizes []int, trials int) []Cell {
+	cells := make([]Cell, 0, len(sizes))
+	for _, rawN := range sizes {
+		n := rawN
+		if spec.FixSize != nil {
+			n = spec.FixSize(rawN)
+		}
+		var steps, stab []float64
+		failures := 0
+		for trial := 0; trial < trials; trial++ {
+			seed := uint64(n)*1_000_003 + uint64(trial)
+			res := spec.Run(n, seed, spec.MaxSteps(n))
+			if !res.Converged {
+				failures++
+				continue
+			}
+			steps = append(steps, float64(res.Steps))
+			stab = append(stab, float64(res.Stabilized))
+		}
+		cell := Cell{N: n, Failures: failures}
+		if len(steps) > 0 {
+			cell.Steps = stats.Summarize(steps)
+			cell.Stabilized = stats.Summarize(stab)
+		}
+		cells = append(cells, cell)
+	}
+	return cells
+}
+
+// Exponent fits mean convergence steps against n as a power law and
+// returns the exponent. Cells without data are skipped; fewer than two
+// usable cells yield NaN-free zero.
+func Exponent(cells []Cell) float64 {
+	var x, y []float64
+	for _, c := range cells {
+		if c.Steps.Count == 0 {
+			continue
+		}
+		x = append(x, float64(c.N))
+		y = append(y, c.Steps.Mean)
+	}
+	if len(x) < 2 {
+		return 0
+	}
+	return stats.PowerLawExponent(x, y)
+}
+
+// NormalizedBy divides each cell's mean steps by f(n) — used to check
+// flatness against a conjectured growth law (e.g. n² log n).
+func NormalizedBy(cells []Cell, f func(n int) float64) []float64 {
+	var out []float64
+	for _, c := range cells {
+		if c.Steps.Count == 0 {
+			continue
+		}
+		out = append(out, c.Steps.Mean/f(c.N))
+	}
+	return out
+}
+
+// Table renders cells for several specs side by side as a markdown table:
+// one row per requested size, mean convergence steps per protocol.
+func Table(specs []Spec, allCells [][]Cell, sizes []int) string {
+	var b strings.Builder
+	b.WriteString("| n |")
+	for _, s := range specs {
+		fmt.Fprintf(&b, " %s |", s.Name)
+	}
+	b.WriteString("\n|---|")
+	for range specs {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for row := range sizes {
+		fmt.Fprintf(&b, "| %d |", sizes[row])
+		for col := range specs {
+			cells := allCells[col]
+			if row >= len(cells) || cells[row].Steps.Count == 0 {
+				b.WriteString(" — |")
+				continue
+			}
+			fmt.Fprintf(&b, " %.3g |", cells[row].Steps.Mean)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SummaryTable renders the Table 1 reproduction: assumption, paper-cited
+// bounds, measured exponent and state counts.
+func SummaryTable(specs []Spec, allCells [][]Cell, statesAt int) string {
+	var b strings.Builder
+	b.WriteString("| protocol | assumption | paper time | measured exponent | paper states | |Q|(n=" +
+		fmt.Sprint(statesAt) + ") |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for i, s := range specs {
+		exp := Exponent(allCells[i])
+		expStr := "—"
+		if exp != 0 {
+			expStr = fmt.Sprintf("n^%.2f", exp)
+		}
+		n := statesAt
+		if s.FixSize != nil {
+			n = s.FixSize(n)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %d |\n",
+			s.Name, s.Assumption, s.PaperTime, expStr, s.PaperStates, s.States(n))
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSweepPPLConverges(t *testing.T) {
+	spec := PPLSpec(0, 8, InitRandom)
+	cells := Sweep(spec, []int{8, 16}, 3)
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	for _, c := range cells {
+		if c.Failures != 0 {
+			t.Fatalf("n=%d: %d failures", c.N, c.Failures)
+		}
+		if c.Steps.Count != 3 {
+			t.Fatalf("n=%d: %d samples", c.N, c.Steps.Count)
+		}
+		if c.Stabilized.Mean > c.Steps.Mean {
+			t.Fatalf("n=%d: stabilization after safety (%v > %v)", c.N, c.Stabilized.Mean, c.Steps.Mean)
+		}
+	}
+	if cells[1].Steps.Mean <= cells[0].Steps.Mean {
+		t.Fatalf("steps not increasing with n: %v vs %v", cells[0].Steps.Mean, cells[1].Steps.Mean)
+	}
+}
+
+func TestSweepDeterministicSeeds(t *testing.T) {
+	spec := YokotaSpec()
+	a := Sweep(spec, []int{8}, 2)
+	b := Sweep(spec, []int{8}, 2)
+	if a[0].Steps.Mean != b[0].Steps.Mean {
+		t.Fatal("sweeps with identical seeds disagree")
+	}
+}
+
+func TestAngluinFixSize(t *testing.T) {
+	spec := AngluinSpec()
+	cells := Sweep(spec, []int{8}, 2)
+	if cells[0].N != 9 {
+		t.Fatalf("even size not fixed: n=%d", cells[0].N)
+	}
+	if cells[0].Failures != 0 {
+		t.Fatalf("%d failures", cells[0].Failures)
+	}
+}
+
+func TestAllSpecsRunOneTinyTrial(t *testing.T) {
+	for _, spec := range AllTable1Specs() {
+		t.Run(spec.Name, func(t *testing.T) {
+			n := 8
+			if spec.FixSize != nil {
+				n = spec.FixSize(n)
+			}
+			res := spec.Run(n, 1, spec.MaxSteps(n))
+			if !res.Converged {
+				t.Fatalf("%s did not converge at n=%d within %d steps", spec.Name, n, spec.MaxSteps(n))
+			}
+			if res.Steps == 0 && spec.Name != "[11] Chen–Chen" {
+				t.Logf("%s converged at step 0 (random start already stable)", spec.Name)
+			}
+			if spec.States(n) == 0 {
+				t.Fatal("zero state count")
+			}
+		})
+	}
+}
+
+func TestExponentOnSyntheticCells(t *testing.T) {
+	var cells []Cell
+	for _, n := range []int{16, 32, 64, 128} {
+		cells = append(cells, Cell{N: n, Steps: summaryOf(float64(n) * float64(n))})
+	}
+	if got := Exponent(cells); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("exponent = %v, want 2", got)
+	}
+}
+
+func summaryOf(v float64) stats.Summary {
+	return stats.Summary{Count: 1, Mean: v}
+}
+
+func TestNormalizedBy(t *testing.T) {
+	cells := []Cell{
+		{N: 10, Steps: summaryOf(200)},
+		{N: 20, Steps: summaryOf(800)},
+	}
+	norm := NormalizedBy(cells, func(n int) float64 { return float64(n) * float64(n) })
+	if len(norm) != 2 || math.Abs(norm[0]-2) > 1e-9 || math.Abs(norm[1]-2) > 1e-9 {
+		t.Fatalf("normalized = %v", norm)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	specs := []Spec{{Name: "A"}, {Name: "B"}}
+	cellsA := []Cell{{N: 8, Steps: summaryOf(100)}}
+	cellsB := []Cell{{N: 8}}
+	out := Table(specs, [][]Cell{cellsA, cellsB}, []int{8})
+	if !strings.Contains(out, "| A |") || !strings.Contains(out, "100") || !strings.Contains(out, "—") {
+		t.Fatalf("table rendering:\n%s", out)
+	}
+}
+
+func TestSummaryTableRendering(t *testing.T) {
+	specs := []Spec{YokotaSpec()}
+	cells := [][]Cell{{
+		{N: 8, Steps: summaryOf(100)},
+		{N: 16, Steps: summaryOf(420)},
+	}}
+	out := SummaryTable(specs, cells, 16)
+	if !strings.Contains(out, "[28]") || !strings.Contains(out, "Θ(n²)") {
+		t.Fatalf("summary table:\n%s", out)
+	}
+	if !strings.Contains(out, "n^2.07") {
+		t.Fatalf("expected fitted exponent in:\n%s", out)
+	}
+}

@@ -1,0 +1,72 @@
+// Package lottery implements the lottery game of the paper's Definition
+// 3.8 — the probabilistic engine behind DetermineMode's clocks and signal
+// TTLs — and Monte Carlo estimators for the tail bounds of Lemmas 3.9 and
+// 3.10.
+//
+// One round of the game ends when the player sees a tail or k consecutive
+// heads; the round is won in the latter case. W_LG(k, ℓ) is the number of
+// rounds won within the first ℓ fair coin flips. In the protocol, "heads"
+// is an interaction with the left neighbor, "tails" one with the right
+// neighbor, and a win advances a clock or decrements a signal's TTL.
+package lottery
+
+import "repro/internal/xrand"
+
+// Wins plays the lottery game for exactly flips coin flips and returns the
+// number of rounds won — one sample of W_LG(k, flips).
+func Wins(k int, flips int, rng *xrand.RNG) int {
+	wins, streak := 0, 0
+	for i := 0; i < flips; i++ {
+		if rng.Bool() {
+			streak++
+			if streak == k {
+				wins++
+				streak = 0
+			}
+		} else {
+			streak = 0
+		}
+	}
+	return wins
+}
+
+// WinProbability returns the per-round win probability 2^-k.
+func WinProbability(k int) float64 {
+	return 1 / float64(uint64(1)<<uint(k))
+}
+
+// TailAtMost estimates Pr(W_LG(k, flips) <= bound) over trials Monte Carlo
+// samples.
+func TailAtMost(k, flips, bound, trials int, rng *xrand.RNG) float64 {
+	hit := 0
+	for t := 0; t < trials; t++ {
+		if Wins(k, flips, rng) <= bound {
+			hit++
+		}
+	}
+	return float64(hit) / float64(trials)
+}
+
+// TailAtLeast estimates Pr(W_LG(k, flips) >= bound) over trials Monte
+// Carlo samples.
+func TailAtLeast(k, flips, bound, trials int, rng *xrand.RNG) float64 {
+	hit := 0
+	for t := 0; t < trials; t++ {
+		if Wins(k, flips, rng) >= bound {
+			hit++
+		}
+	}
+	return float64(hit) / float64(trials)
+}
+
+// Lemma39Params returns the (flips, bound) pair of Lemma 3.9 for the given
+// k and c: W_LG(k, 4ck·2^k) ≤ 8ck with probability 1 − 2^−ck.
+func Lemma39Params(k, c int) (flips, bound int) {
+	return 4 * c * k << uint(k), 8 * c * k
+}
+
+// Lemma310Params returns the (flips, bound) pair of Lemma 3.10:
+// W_LG(k, 64ck·2^k) ≥ 16ck with probability 1 − 2^−ck.
+func Lemma310Params(k, c int) (flips, bound int) {
+	return 64 * c * k << uint(k), 16 * c * k
+}

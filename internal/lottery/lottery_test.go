@@ -1,0 +1,125 @@
+package lottery
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestWinsDeterministicPatterns(t *testing.T) {
+	// With k=1 every head is a win.
+	rng := xrand.New(1)
+	total := 0
+	const flips = 10000
+	wins := Wins(1, flips, rng)
+	// Expected ~flips/2.
+	if wins < flips/2-300 || wins > flips/2+300 {
+		t.Fatalf("k=1 wins = %d, want ~%d", wins, flips/2)
+	}
+	total += wins
+}
+
+func TestWinsZeroFlips(t *testing.T) {
+	if got := Wins(3, 0, xrand.New(1)); got != 0 {
+		t.Fatalf("zero flips won %d rounds", got)
+	}
+}
+
+func TestWinProbability(t *testing.T) {
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{1, 0.5}, {2, 0.25}, {4, 0.0625}, {10, 1.0 / 1024},
+	}
+	for _, tt := range tests {
+		if got := WinProbability(tt.k); got != tt.want {
+			t.Fatalf("WinProbability(%d) = %v, want %v", tt.k, got, tt.want)
+		}
+	}
+}
+
+// TestMeanWinRate checks the basic renewal analysis: a round takes ~2
+// flips on average (expected flips per round of the streak process is
+// 2(1−2^−k) ≈ 2... conservatively, the win rate per flip approaches
+// 2^−k / E[round length]; we only check the Monte Carlo mean against a
+// direct simulation bound.
+func TestMeanWinRate(t *testing.T) {
+	const trials = 200
+	k := 4
+	flips := 1 << 14
+	rng := xrand.New(9)
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += float64(Wins(k, flips, rng))
+	}
+	mean := sum / trials
+	// Renewal rate: a fresh round ends in an expected 2(2^k−1)/2^k... the
+	// wins-per-flip rate is 1/(2(2^k −1) + k·...) — rather than pin the
+	// closed form, require the mean to be within a factor 2 of
+	// flips·2^−k/2 (each win costs at least k flips, at most ~2^{k+1}).
+	lo := float64(flips) * WinProbability(k) / 4
+	hi := float64(flips) * WinProbability(k) * 2
+	if mean < lo || mean > hi {
+		t.Fatalf("mean wins %.1f outside [%.1f, %.1f]", mean, lo, hi)
+	}
+}
+
+// TestLemma39 checks Pr(W_LG(k, 4ck·2^k) ≤ 8ck) ≥ 1 − 2^−ck by Monte
+// Carlo for small k, c.
+func TestLemma39(t *testing.T) {
+	rng := xrand.New(11)
+	for _, k := range []int{2, 3, 4, 5} {
+		for _, c := range []int{1, 2} {
+			flips, bound := Lemma39Params(k, c)
+			const trials = 2000
+			p := TailAtMost(k, flips, bound, trials, rng)
+			want := 1 - math.Pow(2, -float64(c*k))
+			// Allow Monte Carlo slack below the bound: 3 sigma of the
+			// binomial estimator.
+			sigma := math.Sqrt(want * (1 - want) / trials)
+			if p < want-3*sigma-0.01 {
+				t.Fatalf("k=%d c=%d: Pr(W ≤ %d in %d flips) = %.4f < %.4f",
+					k, c, bound, flips, p, want)
+			}
+		}
+	}
+}
+
+// TestLemma310 checks Pr(W_LG(k, 64ck·2^k) ≥ 16ck) ≥ 1 − 2^−ck.
+func TestLemma310(t *testing.T) {
+	rng := xrand.New(12)
+	for _, k := range []int{2, 3, 4, 5} {
+		for _, c := range []int{1, 2} {
+			flips, bound := Lemma310Params(k, c)
+			const trials = 1000
+			p := TailAtLeast(k, flips, bound, trials, rng)
+			want := 1 - math.Pow(2, -float64(c*k))
+			sigma := math.Sqrt(want * (1 - want) / trials)
+			if p < want-3*sigma-0.01 {
+				t.Fatalf("k=%d c=%d: Pr(W ≥ %d in %d flips) = %.4f < %.4f",
+					k, c, bound, flips, p, want)
+			}
+		}
+	}
+}
+
+func TestParamHelpers(t *testing.T) {
+	flips, bound := Lemma39Params(4, 2)
+	if flips != 4*2*4*16 || bound != 8*2*4 {
+		t.Fatalf("Lemma39Params = (%d,%d)", flips, bound)
+	}
+	flips, bound = Lemma310Params(3, 1)
+	if flips != 64*3*8 || bound != 16*3 {
+		t.Fatalf("Lemma310Params = (%d,%d)", flips, bound)
+	}
+}
+
+func BenchmarkWins(b *testing.B) {
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Wins(6, 4096, rng)
+	}
+}

@@ -1,0 +1,186 @@
+// Package modelcheck exhaustively verifies population protocols on tiny
+// rings by enumerating their configuration space. For the O(1)-state
+// modules (the elimination war, the baselines, the orientation protocol)
+// the space at n = 3..4 is small enough to check the paper's safety
+// lemmas outright rather than statistically:
+//
+//   - an invariant holds in every reachable configuration;
+//   - a set is closed (no interaction leaves it) — the paper's closure
+//     lemmas (4.1, 4.7-style);
+//   - a target set is reachable from every configuration — combined with
+//     closure this implies almost-sure absorption under the uniformly
+//     random scheduler, i.e. self-stabilization on the checked instance.
+//
+// The checker works at configuration granularity (a step maps a
+// configuration and an arc to a successor configuration), so protocols
+// with oracle inputs computed from global state (the [15]- and [11]-style
+// baselines) are checked exactly, oracle included.
+package modelcheck
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stepper applies the interaction on arc k of the topology to cfg and
+// returns the successor configuration (it must not modify cfg).
+type Stepper[S any] func(cfg []S, arc int) []S
+
+// Encoder renders a configuration as a compact unique key.
+type Encoder[S any] func(cfg []S) string
+
+// ErrSpaceExceeded reports that exploration hit the configured limit.
+var ErrSpaceExceeded = errors.New("modelcheck: configuration space limit exceeded")
+
+// Space is an explored configuration graph: every configuration reachable
+// from the initial set, with one successor per (configuration, arc).
+type Space[S any] struct {
+	numArcs int
+	configs [][]S
+	index   map[string]int
+	// succ[i*numArcs+a] is the index of the successor of configuration i
+	// under arc a.
+	succ []int32
+}
+
+// Explore runs a breadth-first enumeration from the initial
+// configurations. numArcs is the topology's arc count; maxConfigs bounds
+// the explored space.
+func Explore[S any](numArcs int, step Stepper[S], enc Encoder[S], initial [][]S, maxConfigs int) (*Space[S], error) {
+	if numArcs < 1 {
+		return nil, fmt.Errorf("modelcheck: numArcs = %d", numArcs)
+	}
+	sp := &Space[S]{
+		numArcs: numArcs,
+		index:   make(map[string]int, len(initial)*4),
+	}
+	add := func(cfg []S) (int, bool, error) {
+		key := enc(cfg)
+		if id, ok := sp.index[key]; ok {
+			return id, false, nil
+		}
+		if len(sp.configs) >= maxConfigs {
+			return 0, false, ErrSpaceExceeded
+		}
+		id := len(sp.configs)
+		sp.index[key] = id
+		own := make([]S, len(cfg))
+		copy(own, cfg)
+		sp.configs = append(sp.configs, own)
+		return id, true, nil
+	}
+	queue := make([]int, 0, len(initial))
+	for _, cfg := range initial {
+		id, fresh, err := add(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if fresh {
+			queue = append(queue, id)
+		}
+	}
+	// Every fresh configuration receives the next dense id and is queued
+	// exactly once, so processing ids in queue order appends the successor
+	// of (id, arc) at exactly index id*numArcs+arc.
+	for head := 0; head < len(queue); head++ {
+		id := queue[head]
+		for a := 0; a < numArcs; a++ {
+			next := step(sp.configs[id], a)
+			nid, fresh, err := add(next)
+			if err != nil {
+				return nil, err
+			}
+			sp.succ = append(sp.succ, int32(nid))
+			if fresh {
+				queue = append(queue, nid)
+			}
+		}
+	}
+	return sp, nil
+}
+
+// Size returns the number of reachable configurations.
+func (sp *Space[S]) Size() int { return len(sp.configs) }
+
+// Config returns configuration i (shared storage; treat as read-only).
+func (sp *Space[S]) Config(i int) []S { return sp.configs[i] }
+
+// CheckInvariant returns the index of a reachable configuration violating
+// pred, or -1 if the invariant holds everywhere.
+func (sp *Space[S]) CheckInvariant(pred func([]S) bool) int {
+	for i, cfg := range sp.configs {
+		if !pred(cfg) {
+			return i
+		}
+	}
+	return -1
+}
+
+// CheckClosed verifies that no interaction leaves the set: for every
+// reachable configuration in the set, all successors are in the set. It
+// returns a violating (from, arc) pair, or (-1, -1).
+func (sp *Space[S]) CheckClosed(set func([]S) bool) (from, arc int) {
+	for i, cfg := range sp.configs {
+		if !set(cfg) {
+			continue
+		}
+		for a := 0; a < sp.numArcs; a++ {
+			if !set(sp.configs[sp.succ[i*sp.numArcs+a]]) {
+				return i, a
+			}
+		}
+	}
+	return -1, -1
+}
+
+// CheckEventuallyReaches verifies that from every reachable configuration
+// some configuration in target is reachable. Together with CheckClosed on
+// the target this implies almost-sure absorption under the uniformly
+// random scheduler. It returns the index of a configuration that cannot
+// reach the target, or -1.
+func (sp *Space[S]) CheckEventuallyReaches(target func([]S) bool) int {
+	n := len(sp.configs)
+	// Build reverse adjacency.
+	preds := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for a := 0; a < sp.numArcs; a++ {
+			j := sp.succ[i*sp.numArcs+a]
+			if int(j) != i {
+				preds[j] = append(preds[j], int32(i))
+			}
+		}
+	}
+	canReach := make([]bool, n)
+	var queue []int32
+	for i, cfg := range sp.configs {
+		if target(cfg) {
+			canReach[i] = true
+			queue = append(queue, int32(i))
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		for _, p := range preds[queue[head]] {
+			if !canReach[p] {
+				canReach[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	for i := range canReach {
+		if !canReach[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Count returns how many reachable configurations satisfy pred.
+func (sp *Space[S]) Count(pred func([]S) bool) int {
+	count := 0
+	for _, cfg := range sp.configs {
+		if pred(cfg) {
+			count++
+		}
+	}
+	return count
+}

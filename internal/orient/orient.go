@@ -1,0 +1,183 @@
+// Package orient implements P_OR, the paper's self-stabilizing ring
+// orientation protocol (Section 5, Algorithm 6): given a two-hop coloring
+// (internal/twohop), agents on an undirected ring agree on a common
+// direction within O(n² log n) steps w.h.p. using O(1) states, after which
+// the directed-ring protocol P_PL applies.
+//
+// Segments of agents pointing the same way compete at their facing heads;
+// a strong head beats a weak one, the initiator breaks ties, and the
+// winner's momentum travels with the strong bit placed on the advancing
+// head, so a winning segment keeps winning w.h.p. until its opponent
+// disappears. Non-head strong bits decay (lines 70–73).
+//
+// Interpretation note (DESIGN.md erratum 4): Algorithm 6 changes dir only
+// in the facing-heads case, so a dir value that names neither neighbor
+// (possible in an adversarial initial configuration, since dir ranges
+// over all colors) would never be corrected. We add the minimal
+// sanitization — an agent whose dir names neither remembered neighbor
+// color re-points at its current partner — which never fires in a safe
+// configuration and therefore preserves closure.
+package orient
+
+import (
+	"repro/internal/xrand"
+)
+
+// NoColor marks an empty neighbor-color memory slot.
+const NoColor = ^uint8(0)
+
+// State is the per-agent state of P_OR. Color is the two-hop coloring
+// input (never modified); Dir and the color memory M1/M2 evolve; Strong is
+// the head-momentum bit. Outputs are Color and Dir (Definition 5.1).
+type State struct {
+	Color  uint8
+	Dir    uint8
+	M1, M2 uint8
+	Strong bool
+}
+
+// Protocol is P_OR. It has no parameters; the color space is whatever the
+// coloring uses.
+type Protocol struct{}
+
+// New returns the protocol.
+func New() *Protocol { return &Protocol{} }
+
+// Step is the transition function for an interaction between two adjacent
+// agents u (initiator) and v (responder) of an undirected ring.
+func (p *Protocol) Step(u, v State) (State, State) {
+	// Neighbor-color memory: remember the two distinct colors observed most
+	// recently (the rule the paper states for maintaining c1/c2).
+	observe(&u, v.Color)
+	observe(&v, u.Color)
+
+	// Sanitization (see package comment): a dir naming neither remembered
+	// neighbor re-points at the current partner.
+	if u.Dir != u.M1 && u.Dir != u.M2 {
+		u.Dir = v.Color
+	}
+	if v.Dir != v.M1 && v.Dir != v.M2 {
+		v.Dir = u.Color
+	}
+
+	switch {
+	case u.Dir == v.Color && v.Dir == u.Color:
+		// Lines 63–69: facing heads.
+		if !u.Strong && v.Strong {
+			// v wins: u turns away from v and becomes the new head of v's
+			// segment, inheriting the momentum.
+			u.Dir = otherColor(u, v.Color)
+			u.Strong, v.Strong = true, false
+		} else {
+			// u wins (strong beats weak, initiator breaks ties; two weak
+			// heads make the initiator strong through its new head).
+			v.Dir = otherColor(v, u.Color)
+			u.Strong, v.Strong = false, true
+		}
+	case u.Dir == v.Color:
+		// Lines 70–71: u is mid-segment; stray strength decays.
+		u.Strong = false
+	case v.Dir == u.Color:
+		// Lines 72–73.
+		v.Strong = false
+	}
+	return u, v
+}
+
+func observe(s *State, c uint8) {
+	if s.M1 == c {
+		return
+	}
+	s.M2 = s.M1
+	s.M1 = c
+}
+
+// otherColor returns the remembered neighbor color that differs from
+// avoid; with stale memory the choice may be wrong, which self-corrects
+// once both neighbors have been observed.
+func otherColor(s State, avoid uint8) uint8 {
+	if s.M1 != avoid {
+		return s.M1
+	}
+	return s.M2
+}
+
+// InitialConfig builds a configuration from a two-hop coloring with
+// adversarial dir, strong and memory chosen by rng.
+func InitialConfig(colors []uint8, rng *xrand.RNG) []State {
+	maxColor := 0
+	for _, c := range colors {
+		if int(c) > maxColor {
+			maxColor = int(c)
+		}
+	}
+	cfg := make([]State, len(colors))
+	for i := range cfg {
+		cfg[i] = State{
+			Color:  colors[i],
+			Dir:    uint8(rng.Intn(maxColor + 2)), // may name no neighbor
+			M1:     uint8(rng.Intn(maxColor + 2)),
+			M2:     uint8(rng.Intn(maxColor + 2)),
+			Strong: rng.Bool(),
+		}
+	}
+	return cfg
+}
+
+// Oriented reports whether the ring is fully oriented: every agent points
+// at its clockwise neighbor, or every agent points at its counter-clockwise
+// neighbor (condition (ii) of Definition 5.1). Indices follow the
+// underlying ring layout, with agent i adjacent to i±1.
+func Oriented(cfg []State) bool {
+	n := len(cfg)
+	cw, ccw := true, true
+	for i := 0; i < n; i++ {
+		if cfg[i].Dir != cfg[(i+1)%n].Color {
+			cw = false
+		}
+		if cfg[i].Dir != cfg[(i-1+n)%n].Color {
+			ccw = false
+		}
+	}
+	return cw || ccw
+}
+
+// Clockwise reports whether an oriented ring points clockwise (agent i at
+// agent i+1). Valid only when Oriented holds.
+func Clockwise(cfg []State) bool {
+	return cfg[0].Dir == cfg[1%len(cfg)].Color
+}
+
+// Heads returns the number of facing-head pairs plus lone heads: arcs
+// where neither direction aligns. A fully oriented ring has zero.
+func Heads(cfg []State) int {
+	n := len(cfg)
+	count := 0
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		cwAligned := cfg[i].Dir == cfg[j].Color && cfg[j].Dir != cfg[i].Color
+		ccwAligned := cfg[j].Dir == cfg[i].Color && cfg[i].Dir != cfg[j].Color
+		if !cwAligned && !ccwAligned {
+			count++
+		}
+	}
+	return count
+}
+
+// StateCount returns |Q| for a color space of ξ colors:
+// ξ (color) × ξ (dir) × ξ² (memory) × 2 (strong) — constant in n for
+// constant ξ.
+func StateCount(xi int) uint64 {
+	x := uint64(xi)
+	return x * x * x * x * 2
+}
+
+// Colors extracts the coloring of a configuration (for verification
+// against twohop.Valid).
+func Colors(cfg []State) []uint8 {
+	out := make([]uint8, len(cfg))
+	for i, s := range cfg {
+		out[i] = s.Color
+	}
+	return out
+}

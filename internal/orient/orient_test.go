@@ -1,0 +1,201 @@
+package orient
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/twohop"
+	"repro/internal/xrand"
+)
+
+// orientedConfig builds a fully clockwise-oriented configuration with
+// converged memories.
+func orientedConfig(n int) []State {
+	colors := twohop.Coloring(n)
+	cfg := make([]State, n)
+	for i := range cfg {
+		cfg[i] = State{
+			Color: colors[i],
+			Dir:   colors[(i+1)%n],
+			M1:    colors[(i+1)%n],
+			M2:    colors[(i-1+n)%n],
+		}
+	}
+	return cfg
+}
+
+func TestOrientedRecognizesBothDirections(t *testing.T) {
+	n := 10
+	cw := orientedConfig(n)
+	if !Oriented(cw) || !Clockwise(cw) {
+		t.Fatal("clockwise configuration not recognized")
+	}
+	colors := twohop.Coloring(n)
+	ccw := make([]State, n)
+	for i := range ccw {
+		ccw[i] = State{Color: colors[i], Dir: colors[(i-1+n)%n]}
+	}
+	if !Oriented(ccw) || Clockwise(ccw) {
+		t.Fatal("counter-clockwise configuration not recognized")
+	}
+}
+
+func TestOrientedRejectsMixed(t *testing.T) {
+	cfg := orientedConfig(10)
+	cfg[4].Dir = cfg[4].M2 // point backwards
+	if Oriented(cfg) {
+		t.Fatal("mixed directions judged oriented")
+	}
+	if Heads(cfg) == 0 {
+		t.Fatal("mixed directions must expose heads")
+	}
+}
+
+func TestMemoryRule(t *testing.T) {
+	s := State{M1: 7, M2: 9}
+	observe(&s, 7)
+	if s.M1 != 7 || s.M2 != 9 {
+		t.Fatal("repeat observation must not shift memory")
+	}
+	observe(&s, 3)
+	if s.M1 != 3 || s.M2 != 7 {
+		t.Fatalf("memory after new color: %+v", s)
+	}
+}
+
+func TestFacingHeadsStrongBeatsWeak(t *testing.T) {
+	p := New()
+	// u weak faces v strong: v wins, u flips away and carries the strength.
+	u := State{Color: 0, Dir: 1, M1: 1, M2: 2}
+	v := State{Color: 1, Dir: 0, M1: 0, M2: 2, Strong: true}
+	u2, v2 := p.Step(u, v)
+	if u2.Dir != 2 {
+		t.Fatalf("loser did not turn away: dir=%d", u2.Dir)
+	}
+	if !u2.Strong || v2.Strong {
+		t.Fatal("momentum did not move to the new head")
+	}
+	if v2.Dir != 0 {
+		t.Fatal("winner's dir must not change")
+	}
+}
+
+func TestFacingHeadsInitiatorBreaksTies(t *testing.T) {
+	p := New()
+	u := State{Color: 0, Dir: 1, M1: 1, M2: 2}
+	v := State{Color: 1, Dir: 0, M1: 0, M2: 2}
+	u2, v2 := p.Step(u, v)
+	if v2.Dir != 2 {
+		t.Fatalf("responder did not turn: dir=%d", v2.Dir)
+	}
+	if !v2.Strong || u2.Strong {
+		t.Fatal("initiator's win must strengthen its new head")
+	}
+}
+
+func TestMidSegmentStrengthDecays(t *testing.T) {
+	p := New()
+	u := State{Color: 0, Dir: 1, M1: 1, M2: 2, Strong: true}
+	v := State{Color: 1, Dir: 2, M1: 2, M2: 0} // v points onward, not back
+	u2, _ := p.Step(u, v)
+	if u2.Strong {
+		t.Fatal("mid-segment strong bit did not decay")
+	}
+	if u2.Dir != 1 {
+		t.Fatal("aligned dir must not change")
+	}
+}
+
+func TestSanitizationRepairsGarbageDir(t *testing.T) {
+	p := New()
+	// u's dir names neither remembered neighbor.
+	u := State{Color: 0, Dir: 7, M1: 1, M2: 2}
+	v := State{Color: 1, Dir: 2, M1: 2, M2: 0}
+	u2, _ := p.Step(u, v)
+	if u2.Dir != 1 {
+		t.Fatalf("garbage dir not repaired: %d", u2.Dir)
+	}
+}
+
+func TestConvergenceFromAdversarial(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64} {
+		colors := twohop.Coloring(n)
+		for seed := uint64(0); seed < 3; seed++ {
+			rng := xrand.New(seed + 200)
+			cfg := InitialConfig(colors, rng)
+			p := New()
+			eng := population.NewEngine(population.UndirectedRing(n), p.Step, xrand.New(seed))
+			eng.SetStates(cfg)
+			maxSteps := 2000 * uint64(n) * uint64(n)
+			_, ok := eng.RunUntil(Oriented, n, maxSteps)
+			if !ok {
+				t.Fatalf("n=%d seed=%d: not oriented within %d steps (%d heads)",
+					n, seed, maxSteps, Heads(eng.Config()))
+			}
+		}
+	}
+}
+
+// TestClosure is condition (iii) of Definition 5.1: once oriented, colors
+// and dirs never change.
+func TestClosure(t *testing.T) {
+	n := 16
+	p := New()
+	eng := population.NewEngine(population.UndirectedRing(n), p.Step, xrand.New(3))
+	eng.SetStates(orientedConfig(n))
+	before := eng.Snapshot()
+	eng.Run(500000)
+	after := eng.Config()
+	for i := range after {
+		if after[i].Dir != before[i].Dir || after[i].Color != before[i].Color {
+			t.Fatalf("output changed at agent %d: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+	if !Oriented(after) {
+		t.Fatal("left the oriented set")
+	}
+}
+
+// TestConvergedMemoriesAreNeighbors: after convergence each agent's memory
+// holds exactly its two neighbors' colors.
+func TestConvergedMemoriesAreNeighbors(t *testing.T) {
+	n := 12
+	colors := twohop.Coloring(n)
+	p := New()
+	eng := population.NewEngine(population.UndirectedRing(n), p.Step, xrand.New(9))
+	eng.SetStates(InitialConfig(colors, xrand.New(10)))
+	if _, ok := eng.RunUntil(Oriented, n, 2000*uint64(n*n)); !ok {
+		t.Fatal("did not orient")
+	}
+	eng.Run(uint64(100 * n * n)) // let memories settle everywhere
+	for i := 0; i < n; i++ {
+		s := eng.State(i)
+		left, right := colors[(i-1+n)%n], colors[(i+1)%n]
+		if !((s.M1 == left && s.M2 == right) || (s.M1 == right && s.M2 == left)) {
+			t.Fatalf("agent %d memory {%d,%d}, neighbors {%d,%d}", i, s.M1, s.M2, left, right)
+		}
+	}
+}
+
+func TestStateCountConstant(t *testing.T) {
+	if got := StateCount(3); got != 3*3*3*3*2 {
+		t.Fatalf("StateCount(3) = %d", got)
+	}
+}
+
+func TestColorsExtraction(t *testing.T) {
+	cfg := orientedConfig(9)
+	if !twohop.Valid(Colors(cfg)) {
+		t.Fatal("extracted coloring invalid")
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	p := New()
+	u := State{Color: 0, Dir: 1, M1: 1, M2: 2}
+	v := State{Color: 1, Dir: 2, M1: 2, M2: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v = p.Step(u, v)
+	}
+}

@@ -1,0 +1,23 @@
+package population
+
+import "repro/internal/xrand"
+
+// OccurrenceTime draws uniformly random arcs from [0, numArcs) and returns
+// how many draws pass before the given arc sequence has occurred in order
+// (not necessarily consecutively) — the quantity bounded by the paper's
+// Lemma 2.3: a sequence of length ℓ occurs within numArcs·ℓ draws in
+// expectation, and within O(c·numArcs·(ℓ + log n)) draws w.h.p.
+func OccurrenceTime(numArcs int, schedule []int, rng *xrand.RNG) uint64 {
+	if len(schedule) == 0 {
+		return 0
+	}
+	var steps uint64
+	next := 0
+	for next < len(schedule) {
+		steps++
+		if rng.Intn(numArcs) == schedule[next] {
+			next++
+		}
+	}
+	return steps
+}

@@ -1,0 +1,70 @@
+package population
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestOccurrenceTimeEmpty(t *testing.T) {
+	if got := OccurrenceTime(5, nil, xrand.New(1)); got != 0 {
+		t.Fatalf("empty schedule took %d steps", got)
+	}
+}
+
+func TestOccurrenceTimeSingleArc(t *testing.T) {
+	// A single arc among n occurs within ~n steps in expectation.
+	const n = 16
+	rng := xrand.New(2)
+	var total uint64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		total += OccurrenceTime(n, []int{3}, rng)
+	}
+	mean := float64(total) / trials
+	if mean < 0.8*n || mean > 1.2*n {
+		t.Fatalf("mean occurrence %v, want ~%d", mean, n)
+	}
+}
+
+// TestLemma23Expectation: a sequence of length ℓ occurs within n·ℓ steps
+// in expectation.
+func TestLemma23Expectation(t *testing.T) {
+	const n = 12
+	rng := xrand.New(3)
+	for _, ell := range []int{4, 12, 24} {
+		schedule := ScheduleSeqR(n, 0, ell)
+		var total uint64
+		const trials = 800
+		for i := 0; i < trials; i++ {
+			total += OccurrenceTime(n, schedule, rng)
+		}
+		mean := float64(total) / trials
+		want := float64(n * ell)
+		if mean < 0.85*want || mean > 1.15*want {
+			t.Fatalf("ℓ=%d: mean %v, want ~%v", ell, mean, want)
+		}
+	}
+}
+
+// TestLemma23Tail: the w.h.p. clause — occurrences beyond c·n(ℓ+log n)
+// must be rare.
+func TestLemma23Tail(t *testing.T) {
+	const (
+		n      = 12
+		ell    = 12
+		trials = 2000
+	)
+	rng := xrand.New(4)
+	schedule := ScheduleSeqR(n, 0, ell)
+	budget := uint64(4 * n * (ell + 4)) // c=4, log2(12)≈3.6
+	exceed := 0
+	for i := 0; i < trials; i++ {
+		if OccurrenceTime(n, schedule, rng) > budget {
+			exceed++
+		}
+	}
+	if rate := float64(exceed) / trials; rate > 0.05 {
+		t.Fatalf("tail rate %.3f too heavy (budget %d)", rate, budget)
+	}
+}

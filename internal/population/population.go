@@ -1,0 +1,284 @@
+// Package population implements the population protocol model used by the
+// paper: a fixed set of anonymous agents, a set of directed arcs describing
+// which ordered pairs may interact, and a uniformly random scheduler that
+// picks one arc per step. Protocols are deterministic pairwise transition
+// functions over an arbitrary state type.
+//
+// The engine is generic over the agent state type so each protocol gets a
+// monomorphized, allocation-free simulation loop. Time is measured in steps
+// (scheduler picks), exactly as in the paper.
+package population
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Arc is an ordered pair of agent indices: Arc[0] is the initiator (the
+// "left" agent in the paper's ring notation) and Arc[1] the responder.
+type Arc [2]int32
+
+// Topology is the interaction graph of a population: n agents and the list
+// of arcs the scheduler draws from uniformly.
+type Topology struct {
+	N    int
+	Arcs []Arc
+}
+
+// DirectedRing returns the topology of the paper's Section 2: agents
+// u_0..u_{n-1} with arcs (u_i, u_{i+1 mod n}). Interactions flow left to
+// right only.
+func DirectedRing(n int) Topology {
+	if n < 2 {
+		panic(fmt.Sprintf("population: directed ring needs n >= 2, got %d", n))
+	}
+	arcs := make([]Arc, n)
+	for i := 0; i < n; i++ {
+		arcs[i] = Arc{int32(i), int32((i + 1) % n)}
+	}
+	return Topology{N: n, Arcs: arcs}
+}
+
+// UndirectedRing returns the topology of Section 5: both (u_i, u_{i+1}) and
+// (u_{i+1}, u_i) are arcs, so either endpoint of an edge can initiate.
+func UndirectedRing(n int) Topology {
+	if n < 3 {
+		panic(fmt.Sprintf("population: undirected ring needs n >= 3, got %d", n))
+	}
+	arcs := make([]Arc, 0, 2*n)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		arcs = append(arcs, Arc{int32(i), int32(j)}, Arc{int32(j), int32(i)})
+	}
+	return Topology{N: n, Arcs: arcs}
+}
+
+// Transition computes the post-interaction states of an initiator/responder
+// pair from their pre-interaction states. It must be deterministic.
+type Transition[S any] func(l, r S) (S, S)
+
+// Observer is notified after each interaction with the index of a touched
+// agent and its states before and after the transition. It is invoked for
+// both participants of every interaction.
+type Observer[S any] func(agent int, before, after S)
+
+// Engine simulates one execution of a protocol on a topology.
+type Engine[S any] struct {
+	topo   Topology
+	states []S
+	step   uint64
+	rng    *xrand.RNG
+	trans  Transition[S]
+
+	isLeader         func(S) bool
+	leaderCount      int
+	lastLeaderChange uint64
+	leaderChanges    uint64
+
+	observer Observer[S]
+}
+
+// NewEngine creates an engine over topo with all agents in their zero state.
+// Use SetStates or SetState to install an initial configuration.
+func NewEngine[S any](topo Topology, trans Transition[S], rng *xrand.RNG) *Engine[S] {
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	return &Engine[S]{
+		topo:   topo,
+		states: make([]S, topo.N),
+		rng:    rng,
+		trans:  trans,
+	}
+}
+
+// N returns the number of agents.
+func (e *Engine[S]) N() int { return e.topo.N }
+
+// Steps returns the number of scheduler steps executed so far.
+func (e *Engine[S]) Steps() uint64 { return e.step }
+
+// State returns agent i's current state.
+func (e *Engine[S]) State(i int) S { return e.states[i] }
+
+// Snapshot returns a copy of the full configuration.
+func (e *Engine[S]) Snapshot() []S {
+	out := make([]S, len(e.states))
+	copy(out, e.states)
+	return out
+}
+
+// Config returns the live configuration slice. It is shared with the
+// engine: callers must treat it as read-only. Predicates on hot paths use
+// this to avoid per-check copies.
+func (e *Engine[S]) Config() []S { return e.states }
+
+// SetStates installs a full initial configuration (copied).
+func (e *Engine[S]) SetStates(states []S) {
+	if len(states) != e.topo.N {
+		panic(fmt.Sprintf("population: SetStates got %d states for %d agents", len(states), e.topo.N))
+	}
+	copy(e.states, states)
+	e.recountLeaders()
+}
+
+// SetState installs agent i's state.
+func (e *Engine[S]) SetState(i int, s S) {
+	e.states[i] = s
+	e.recountLeaders()
+}
+
+// SetObserver installs an observer notified of every touched agent. Pass nil
+// to remove it.
+func (e *Engine[S]) SetObserver(obs Observer[S]) { e.observer = obs }
+
+// TrackLeaders enables leader-set change accounting using the given output
+// predicate. It must be called after the initial configuration is installed.
+func (e *Engine[S]) TrackLeaders(isLeader func(S) bool) {
+	e.isLeader = isLeader
+	e.recountLeaders()
+}
+
+func (e *Engine[S]) recountLeaders() {
+	if e.isLeader == nil {
+		return
+	}
+	n := 0
+	for _, s := range e.states {
+		if e.isLeader(s) {
+			n++
+		}
+	}
+	e.leaderCount = n
+}
+
+// LeaderCount returns the current number of agents whose output is leader.
+// Valid only after TrackLeaders.
+func (e *Engine[S]) LeaderCount() int { return e.leaderCount }
+
+// LastLeaderChange returns the step index (1-based: the value of Steps()
+// right after the interaction) at which the leader set last changed, or 0 if
+// it never changed since tracking began.
+func (e *Engine[S]) LastLeaderChange() uint64 { return e.lastLeaderChange }
+
+// LeaderChanges returns how many interactions changed the leader set.
+func (e *Engine[S]) LeaderChanges() uint64 { return e.leaderChanges }
+
+// Step executes one scheduler step: a uniformly random arc interacts.
+func (e *Engine[S]) Step() {
+	e.applyArc(e.rng.Intn(len(e.topo.Arcs)))
+}
+
+// ApplyArc forces the interaction on arc k of the topology. It is used by
+// deterministic-schedule tests (for example, the Figure 2 trajectory).
+func (e *Engine[S]) ApplyArc(k int) {
+	e.applyArc(k)
+}
+
+func (e *Engine[S]) applyArc(k int) {
+	arc := e.topo.Arcs[k]
+	li, ri := arc[0], arc[1]
+	lb, rb := e.states[li], e.states[ri]
+	la, ra := e.trans(lb, rb)
+	e.states[li], e.states[ri] = la, ra
+	e.step++
+	if e.isLeader != nil {
+		changed := false
+		if wl, il := e.isLeader(lb), e.isLeader(la); wl != il {
+			changed = true
+			if il {
+				e.leaderCount++
+			} else {
+				e.leaderCount--
+			}
+		}
+		if wr, ir := e.isLeader(rb), e.isLeader(ra); wr != ir {
+			changed = true
+			if ir {
+				e.leaderCount++
+			} else {
+				e.leaderCount--
+			}
+		}
+		if changed {
+			e.lastLeaderChange = e.step
+			e.leaderChanges++
+		}
+	}
+	if e.observer != nil {
+		e.observer(int(li), lb, la)
+		e.observer(int(ri), rb, ra)
+	}
+}
+
+// Run executes exactly steps scheduler steps.
+func (e *Engine[S]) Run(steps uint64) {
+	for i := uint64(0); i < steps; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil runs until pred holds over the configuration, checking every
+// checkEvery steps (and once before running), or until maxSteps have
+// executed in total (counting steps from previous runs). It returns the
+// engine step count at which pred was first observed and whether it was.
+//
+// If pred is a closed predicate (once true, always true — such as
+// membership in the paper's S_PL), the returned step overestimates the true
+// hitting time by at most checkEvery-1 steps.
+func (e *Engine[S]) RunUntil(pred func([]S) bool, checkEvery int, maxSteps uint64) (uint64, bool) {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	if pred(e.states) {
+		return e.step, true
+	}
+	for e.step < maxSteps {
+		batch := uint64(checkEvery)
+		if rem := maxSteps - e.step; rem < batch {
+			batch = rem
+		}
+		e.Run(batch)
+		if pred(e.states) {
+			return e.step, true
+		}
+	}
+	return e.step, false
+}
+
+// ScheduleSeqR returns the arc indices of the paper's seq_R(i, j) on a
+// directed ring: interactions e_i, e_{i+1}, ..., e_{i+j-1}, where e_k is the
+// arc (u_k, u_{k+1}).
+func ScheduleSeqR(n, i, j int) []int {
+	out := make([]int, j)
+	for k := 0; k < j; k++ {
+		out[k] = mod(i+k, n)
+	}
+	return out
+}
+
+// ScheduleSeqL returns the arc indices of the paper's seq_L(i, j):
+// e_{i-1}, e_{i-2}, ..., e_{i-j}.
+func ScheduleSeqL(n, i, j int) []int {
+	out := make([]int, j)
+	for k := 1; k <= j; k++ {
+		out[k-1] = mod(i-k, n)
+	}
+	return out
+}
+
+// ApplySchedule forces the given interactions in order.
+func (e *Engine[S]) ApplySchedule(arcs []int) {
+	for _, k := range arcs {
+		e.applyArc(k)
+	}
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}

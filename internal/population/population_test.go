@@ -1,0 +1,277 @@
+package population
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// counterState is a trivial protocol state for engine tests: each agent
+// counts its interactions, and the initiator hands its parity to the
+// responder's lead bit.
+type counterState struct {
+	count  int
+	leader bool
+}
+
+func countTransition(l, r counterState) (counterState, counterState) {
+	l.count++
+	r.count++
+	r.leader = l.count%2 == 0
+	return l, r
+}
+
+func TestDirectedRingTopology(t *testing.T) {
+	topo := DirectedRing(5)
+	if topo.N != 5 || len(topo.Arcs) != 5 {
+		t.Fatalf("unexpected topology: N=%d arcs=%d", topo.N, len(topo.Arcs))
+	}
+	for i, a := range topo.Arcs {
+		if int(a[0]) != i || int(a[1]) != (i+1)%5 {
+			t.Fatalf("arc %d is %v", i, a)
+		}
+	}
+}
+
+func TestUndirectedRingTopology(t *testing.T) {
+	topo := UndirectedRing(4)
+	if topo.N != 4 || len(topo.Arcs) != 8 {
+		t.Fatalf("unexpected topology: N=%d arcs=%d", topo.N, len(topo.Arcs))
+	}
+	// Every edge must appear in both directions.
+	seen := make(map[Arc]bool, 8)
+	for _, a := range topo.Arcs {
+		seen[a] = true
+	}
+	for i := 0; i < 4; i++ {
+		j := (i + 1) % 4
+		if !seen[Arc{int32(i), int32(j)}] || !seen[Arc{int32(j), int32(i)}] {
+			t.Fatalf("edge %d-%d missing a direction", i, j)
+		}
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"directed n=1", func() { DirectedRing(1) }},
+		{"undirected n=2", func() { UndirectedRing(2) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+func TestStepAppliesTransitionToRandomArc(t *testing.T) {
+	e := NewEngine(DirectedRing(8), countTransition, xrand.New(1))
+	e.Run(1000)
+	if e.Steps() != 1000 {
+		t.Fatalf("Steps = %d, want 1000", e.Steps())
+	}
+	total := 0
+	for i := 0; i < e.N(); i++ {
+		total += e.State(i).count
+	}
+	if total != 2000 {
+		t.Fatalf("total interaction count %d, want 2000 (2 per step)", total)
+	}
+}
+
+func TestSchedulerUniformity(t *testing.T) {
+	// Each agent of a directed n-ring participates in exactly 2 arcs, so
+	// over many steps its interaction count should be ~2*steps/n.
+	const (
+		n     = 16
+		steps = 160000
+	)
+	e := NewEngine(DirectedRing(n), countTransition, xrand.New(2))
+	e.Run(steps)
+	expected := float64(2*steps) / n
+	for i := 0; i < n; i++ {
+		c := float64(e.State(i).count)
+		if c < 0.9*expected || c > 1.1*expected {
+			t.Fatalf("agent %d interacted %v times, expected ~%v", i, c, expected)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []counterState {
+		e := NewEngine(DirectedRing(6), countTransition, xrand.New(99))
+		e.Run(5000)
+		return e.Snapshot()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("agent %d diverged across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLeaderTracking(t *testing.T) {
+	e := NewEngine(DirectedRing(4), countTransition, xrand.New(3))
+	e.TrackLeaders(func(s counterState) bool { return s.leader })
+	if e.LeaderCount() != 0 {
+		t.Fatalf("initial leader count = %d", e.LeaderCount())
+	}
+	e.Run(200)
+	// Recount from scratch and compare with the incremental counter.
+	want := 0
+	for i := 0; i < e.N(); i++ {
+		if e.State(i).leader {
+			want++
+		}
+	}
+	if e.LeaderCount() != want {
+		t.Fatalf("incremental leader count %d, recount %d", e.LeaderCount(), want)
+	}
+	if e.LeaderChanges() == 0 {
+		t.Fatal("expected some leader-set changes in this protocol")
+	}
+	if e.LastLeaderChange() == 0 || e.LastLeaderChange() > e.Steps() {
+		t.Fatalf("LastLeaderChange = %d out of range (steps=%d)", e.LastLeaderChange(), e.Steps())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(DirectedRing(4), countTransition, xrand.New(4))
+	pred := func(cfg []counterState) bool {
+		total := 0
+		for _, s := range cfg {
+			total += s.count
+		}
+		return total >= 100
+	}
+	step, ok := e.RunUntil(pred, 7, 10000)
+	if !ok {
+		t.Fatal("predicate never held")
+	}
+	if !pred(e.Config()) {
+		t.Fatal("predicate does not hold at reported step")
+	}
+	if step != e.Steps() {
+		t.Fatalf("returned step %d != engine steps %d", step, e.Steps())
+	}
+	// total grows by exactly 2 per step, so it first reaches 100 at step 50;
+	// with checkEvery=7 detection must occur within one check period.
+	if step < 50 || step >= 50+7 {
+		t.Fatalf("detected at step %d, want within [50, 57)", step)
+	}
+}
+
+func TestRunUntilRespectsMaxSteps(t *testing.T) {
+	e := NewEngine(DirectedRing(4), countTransition, xrand.New(5))
+	step, ok := e.RunUntil(func([]counterState) bool { return false }, 10, 123)
+	if ok {
+		t.Fatal("impossible predicate reported true")
+	}
+	if step != 123 || e.Steps() != 123 {
+		t.Fatalf("engine ran %d steps, want exactly 123", e.Steps())
+	}
+}
+
+func TestRunUntilImmediate(t *testing.T) {
+	e := NewEngine(DirectedRing(4), countTransition, xrand.New(6))
+	step, ok := e.RunUntil(func([]counterState) bool { return true }, 10, 100)
+	if !ok || step != 0 {
+		t.Fatalf("immediate predicate: step=%d ok=%v", step, ok)
+	}
+}
+
+func TestApplyArcDeterministicSchedule(t *testing.T) {
+	e := NewEngine(DirectedRing(4), countTransition, nil)
+	e.ApplyArc(2) // interaction (u_2, u_3)
+	if e.State(2).count != 1 || e.State(3).count != 1 {
+		t.Fatalf("arc 2 did not touch agents 2,3: %+v", e.Snapshot())
+	}
+	if e.State(0).count != 0 || e.State(1).count != 0 {
+		t.Fatalf("arc 2 touched wrong agents: %+v", e.Snapshot())
+	}
+}
+
+func TestScheduleSeqR(t *testing.T) {
+	got := ScheduleSeqR(5, 3, 4)
+	want := []int{3, 4, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScheduleSeqR(5,3,4) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleSeqL(t *testing.T) {
+	got := ScheduleSeqL(5, 1, 4)
+	want := []int{0, 4, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScheduleSeqL(5,1,4) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSeqRTouchesEveryAgent(t *testing.T) {
+	const n = 7
+	e := NewEngine(DirectedRing(n), countTransition, nil)
+	e.ApplySchedule(ScheduleSeqR(n, 0, n))
+	for i := 0; i < n; i++ {
+		if e.State(i).count == 0 {
+			t.Fatalf("agent %d untouched by seq_R(0,n)", i)
+		}
+	}
+}
+
+func TestObserver(t *testing.T) {
+	e := NewEngine(DirectedRing(4), countTransition, xrand.New(8))
+	touched := make(map[int]int)
+	e.SetObserver(func(agent int, before, after counterState) {
+		touched[agent]++
+		if after.count != before.count+1 {
+			t.Fatalf("observer saw inconsistent states: %+v -> %+v", before, after)
+		}
+	})
+	e.Run(100)
+	total := 0
+	for _, c := range touched {
+		total += c
+	}
+	if total != 200 {
+		t.Fatalf("observer calls = %d, want 200", total)
+	}
+}
+
+func TestSetStatesRejectsWrongLength(t *testing.T) {
+	e := NewEngine(DirectedRing(4), countTransition, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong-length SetStates")
+		}
+	}()
+	e.SetStates(make([]counterState, 3))
+}
+
+func BenchmarkEngineStep(b *testing.B) {
+	e := NewEngine(DirectedRing(256), countTransition, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineStepTracked(b *testing.B) {
+	e := NewEngine(DirectedRing(256), countTransition, xrand.New(1))
+	e.TrackLeaders(func(s counterState) bool { return s.leader })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

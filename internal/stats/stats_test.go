@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEqual(got, 2.138, 0.001) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample StdDev must be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Interpolation.
+	if got := Quantile([]float64{0, 10}, 0.3); !almostEqual(got, 3, 1e-12) {
+		t.Fatalf("interpolated quantile = %v", got)
+	}
+	// Input must not be reordered.
+	orig := []float64{3, 1, 2}
+	Quantile(orig, 0.5)
+	if orig[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.Count != 5 || s.Min != 1 || s.Max != 100 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, intercept := LinearFit(x, y)
+	if !almostEqual(slope, 2, 1e-12) || !almostEqual(intercept, 3, 1e-12) {
+		t.Fatalf("fit = (%v, %v)", slope, intercept)
+	}
+	if r2 := RSquared(x, y); !almostEqual(r2, 1, 1e-12) {
+		t.Fatalf("R² = %v", r2)
+	}
+}
+
+func TestLinearFitRecoversNoisyLine(t *testing.T) {
+	rng := xrand.New(5)
+	var x, y []float64
+	for i := 1; i <= 200; i++ {
+		x = append(x, float64(i))
+		y = append(y, 3*float64(i)+10+(rng.Float64()-0.5))
+	}
+	slope, intercept := LinearFit(x, y)
+	if !almostEqual(slope, 3, 0.01) || !almostEqual(intercept, 10, 1) {
+		t.Fatalf("noisy fit = (%v, %v)", slope, intercept)
+	}
+}
+
+func TestPowerLawExponent(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(n float64) float64
+		want float64
+		eps  float64
+	}{
+		{"quadratic", func(n float64) float64 { return 5 * n * n }, 2, 1e-9},
+		{"cubic", func(n float64) float64 { return 0.1 * n * n * n }, 3, 1e-9},
+		{"n² log n", func(n float64) float64 { return n * n * math.Log(n) }, 2.35, 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var x, y []float64
+			for _, n := range []float64{16, 32, 64, 128, 256} {
+				x = append(x, n)
+				y = append(y, tt.f(n))
+			}
+			if got := PowerLawExponent(x, y); !almostEqual(got, tt.want, tt.eps) {
+				t.Fatalf("exponent = %v, want %v±%v", got, tt.want, tt.eps)
+			}
+		})
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanWithinMinMax(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Package thuemorse implements the Thue–Morse sequence and cube-detection
+// utilities — the string substrate of the Chen–Chen SS-LE protocol
+// (reference [11] of the paper, discussed in its Section 3.1).
+//
+// The Thue–Morse sequence t(0), t(1), ... has t(i) equal to the parity of
+// the number of 1-bits of i. Its prefixes are cube-free: no string www with
+// w non-empty appears as a contiguous substring (Thue 1912). Chen and Chen
+// embed a prefix on the ring anchored at the leader, so a surviving leader
+// makes cube detection impossible, while a leaderless ring always exhibits
+// a cube when read cyclically.
+package thuemorse
+
+import "math/bits"
+
+// Bit returns the i-th Thue–Morse bit: the parity of popcount(i).
+func Bit(i int) uint8 {
+	return uint8(bits.OnesCount64(uint64(i)) & 1)
+}
+
+// Prefix returns the first n Thue–Morse bits.
+func Prefix(n int) []uint8 {
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = Bit(i)
+	}
+	return out
+}
+
+// IsPrefix reports whether s equals the Thue–Morse prefix of its length.
+func IsPrefix(s []uint8) bool {
+	for i, b := range s {
+		if b != Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindCube returns the start index and period of the first cube www found
+// in the linear string s, or (-1, 0) when s is cube-free. A cube with
+// period d at position i means s[i+j] = s[i+d+j] = s[i+2d+j] for all
+// j < d.
+func FindCube(s []uint8) (start, period int) {
+	n := len(s)
+	for d := 1; 3*d <= n; d++ {
+		for i := 0; i+3*d <= n; i++ {
+			if isCubeAt(s, i, d, false) {
+				return i, d
+			}
+		}
+	}
+	return -1, 0
+}
+
+// FindCubeCyclic is FindCube on the cyclic string: occurrences may wrap,
+// and periods up to the full length are admitted (a period-n "cube" is the
+// ring read three times, which always exists — the detectability of a
+// leaderless ring).
+func FindCubeCyclic(s []uint8) (start, period int) {
+	n := len(s)
+	for d := 1; d <= n; d++ {
+		for i := 0; i < n; i++ {
+			if isCubeAt(s, i, d, true) {
+				return i, d
+			}
+		}
+	}
+	return -1, 0
+}
+
+func isCubeAt(s []uint8, i, d int, cyclic bool) bool {
+	n := len(s)
+	for j := 0; j < d; j++ {
+		a, b, c := i+j, i+j+d, i+j+2*d
+		if cyclic {
+			a, b, c = a%n, b%n, c%n
+		}
+		if s[a] != s[b] || s[b] != s[c] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,146 @@
+package thuemorse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBitKnownValues(t *testing.T) {
+	// 0 1 1 0 1 0 0 1 1 0 0 1 0 1 1 0 (OEIS A010060).
+	want := []uint8{0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0}
+	for i, w := range want {
+		if got := Bit(i); got != w {
+			t.Fatalf("Bit(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRecurrences(t *testing.T) {
+	// t(2n) = t(n); t(2n+1) = 1 - t(n).
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw)
+		return Bit(2*n) == Bit(n) && Bit(2*n+1) == 1-Bit(n)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMorphismFixedPoint(t *testing.T) {
+	// The prefix of length 2^{k+1} is the length-2^k prefix followed by its
+	// complement.
+	for k := 0; k <= 10; k++ {
+		n := 1 << uint(k)
+		p := Prefix(2 * n)
+		for i := 0; i < n; i++ {
+			if p[n+i] != 1-p[i] {
+				t.Fatalf("k=%d: doubling identity broken at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestPrefixAndIsPrefix(t *testing.T) {
+	p := Prefix(100)
+	if !IsPrefix(p) {
+		t.Fatal("Prefix not recognized by IsPrefix")
+	}
+	p[57] ^= 1
+	if IsPrefix(p) {
+		t.Fatal("corrupted prefix accepted")
+	}
+	if !IsPrefix(nil) {
+		t.Fatal("empty string is trivially a prefix")
+	}
+}
+
+// TestPrefixesAreCubeFree is the load-bearing property from Thue (1912)
+// that the Chen–Chen construction rests on.
+func TestPrefixesAreCubeFree(t *testing.T) {
+	s := Prefix(512)
+	if i, d := FindCube(s); i >= 0 {
+		t.Fatalf("cube of period %d at %d in a Thue–Morse prefix", d, i)
+	}
+}
+
+func TestFindCubeFindsPlantedCubes(t *testing.T) {
+	tests := []struct {
+		name string
+		s    []uint8
+		want bool
+	}{
+		{"triple zero", []uint8{0, 0, 0}, true},
+		{"triple one embedded", []uint8{0, 1, 1, 1, 0}, true},
+		{"period two", []uint8{0, 1, 0, 1, 0, 1}, true},
+		{"square only", []uint8{0, 1, 0, 1}, false},
+		{"too short", []uint8{0, 0}, false},
+		{"empty", nil, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			i, d := FindCube(tt.s)
+			if got := i >= 0; got != tt.want {
+				t.Fatalf("FindCube(%v) = (%d,%d), want cube=%v", tt.s, i, d, tt.want)
+			}
+		})
+	}
+}
+
+func TestFindCubeReturnsRealCube(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 200; trial++ {
+		n := 6 + rng.Intn(40)
+		s := make([]uint8, n)
+		for i := range s {
+			s[i] = uint8(rng.Intn(2))
+		}
+		i, d := FindCube(s)
+		if i < 0 {
+			continue
+		}
+		for j := 0; j < d; j++ {
+			if s[i+j] != s[i+j+d] || s[i+j] != s[i+j+2*d] {
+				t.Fatalf("reported cube (%d,%d) is not a cube in %v", i, d, s)
+			}
+		}
+	}
+}
+
+// TestCyclicAlwaysHasCube is the leaderless-detectability fact: any cyclic
+// binary string contains a cube when wrapping is allowed (at worst the
+// trivial period-n reading).
+func TestCyclicAlwaysHasCube(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(30)
+		s := make([]uint8, n)
+		for i := range s {
+			s[i] = uint8(rng.Intn(2))
+		}
+		if i, _ := FindCubeCyclic(s); i < 0 {
+			t.Fatalf("cyclic string %v reported cube-free", s)
+		}
+	}
+	// Even Thue–Morse prefixes have cyclic cubes.
+	if i, _ := FindCubeCyclic(Prefix(16)); i < 0 {
+		t.Fatal("cyclic Thue-Morse prefix reported cube-free")
+	}
+}
+
+func TestLinearVsCyclicAgreeOnLinearCubes(t *testing.T) {
+	s := []uint8{1, 0, 0, 0, 1}
+	li, ld := FindCube(s)
+	ci, cd := FindCubeCyclic(s)
+	if li < 0 || ci < 0 {
+		t.Fatalf("planted cube missed: linear (%d,%d), cyclic (%d,%d)", li, ld, ci, cd)
+	}
+}
+
+func BenchmarkFindCube(b *testing.B) {
+	s := Prefix(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindCube(s)
+	}
+}

@@ -1,0 +1,130 @@
+// Package trace provides observability for P_PL executions: exact event
+// counters fed by the engine's observer hook, plus periodic configuration
+// sampling for in-flight quantities (tokens, signals, bullets, modes).
+// The collectors quantify which phase of the protocol an execution spends
+// its steps in — detection, elimination, or construction — and back the
+// per-phase accounting reported by cmd/ringsim and EXPERIMENTS.md.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/war"
+)
+
+// Events counts exact state transitions observed at agents.
+type Events struct {
+	// LeaderCreations counts follower→leader flips (lines 6/18 of the
+	// paper, the detection machinery firing).
+	LeaderCreations uint64
+	// LeaderKills counts leader→follower flips (live bullets landing).
+	LeaderKills uint64
+	// LiveFired and DummyFired count bullet slots arming at a leader.
+	LiveFired  uint64
+	DummyFired uint64
+	// DetectEntries counts construction→detection mode flips.
+	DetectEntries uint64
+}
+
+// Collector accumulates Events; install Observe on a
+// population.Engine[core.State].
+type Collector struct {
+	params core.Params
+	ev     Events
+}
+
+// NewCollector returns a collector for executions under p.
+func NewCollector(p core.Params) *Collector {
+	return &Collector{params: p}
+}
+
+// Observe is the engine observer: it compares an agent's state before and
+// after each interaction it took part in.
+func (c *Collector) Observe(_ int, before, after core.State) {
+	if !before.Leader && after.Leader {
+		c.ev.LeaderCreations++
+	}
+	if before.Leader && !after.Leader {
+		c.ev.LeaderKills++
+	}
+	// A fire is the consumption of a bullet-absence signal at a leader
+	// (lines 51–54); the fired live bullet leaves the initiator within the
+	// same interaction, so slot-watching cannot see it. The shield after
+	// the interaction tells live (raised) from dummy (dropped). Fires in
+	// the same interaction as the leader's own death are counted as kills
+	// only.
+	if before.Leader && after.Leader && before.War.Signal && !after.War.Signal {
+		if after.War.Shield {
+			c.ev.LiveFired++
+		} else {
+			c.ev.DummyFired++
+		}
+	}
+	if c.params.Mode(before) == core.Construct && c.params.Mode(after) == core.Detect {
+		c.ev.DetectEntries++
+	}
+}
+
+// Events returns the counters accumulated so far.
+func (c *Collector) Events() Events { return c.ev }
+
+// Sample is a snapshot of in-flight protocol quantities.
+type Sample struct {
+	Leaders    int
+	Tokens     int // black + white tokens in flight
+	SignalsR   int // clockwise resetting signals
+	SignalsB   int // bullet-absence signals
+	Bullets    int
+	DetectMode int // agents currently in detection mode
+	MeanClock  float64
+}
+
+// Snapshot computes a Sample of the configuration.
+func Snapshot(p core.Params, cfg []core.State) Sample {
+	var s Sample
+	clockSum := 0
+	for _, a := range cfg {
+		if a.Leader {
+			s.Leaders++
+		}
+		if !a.TokB.None() {
+			s.Tokens++
+		}
+		if !a.TokW.None() {
+			s.Tokens++
+		}
+		if a.SignalR > 0 {
+			s.SignalsR++
+		}
+		if a.War.Signal {
+			s.SignalsB++
+		}
+		if a.War.Bullet != war.None {
+			s.Bullets++
+		}
+		if p.Mode(a) == core.Detect {
+			s.DetectMode++
+		}
+		clockSum += int(a.Clock)
+	}
+	s.MeanClock = float64(clockSum) / float64(len(cfg))
+	return s
+}
+
+// Format renders events and a final sample as an aligned text block.
+func Format(ev Events, s Sample) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "leader creations : %d\n", ev.LeaderCreations)
+	fmt.Fprintf(&b, "leader kills     : %d\n", ev.LeaderKills)
+	fmt.Fprintf(&b, "live fired       : %d\n", ev.LiveFired)
+	fmt.Fprintf(&b, "dummy fired      : %d\n", ev.DummyFired)
+	fmt.Fprintf(&b, "detect entries   : %d\n", ev.DetectEntries)
+	fmt.Fprintf(&b, "final leaders    : %d\n", s.Leaders)
+	fmt.Fprintf(&b, "tokens in flight : %d\n", s.Tokens)
+	fmt.Fprintf(&b, "signals (R/B)    : %d/%d\n", s.SignalsR, s.SignalsB)
+	fmt.Fprintf(&b, "bullets in flight: %d\n", s.Bullets)
+	fmt.Fprintf(&b, "detect-mode agents: %d (mean clock %.1f)\n", s.DetectMode, s.MeanClock)
+	return b.String()
+}

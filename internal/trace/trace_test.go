@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/war"
+	"repro/internal/xrand"
+)
+
+func runWithCollector(t *testing.T, p core.Params, cfg []core.State, steps uint64, seed uint64) (*Collector, []core.State) {
+	t.Helper()
+	pr := core.New(p)
+	eng := population.NewEngine(population.DirectedRing(p.N), pr.Step, xrand.New(seed))
+	eng.SetStates(cfg)
+	col := NewCollector(p)
+	eng.SetObserver(col.Observe)
+	eng.Run(steps)
+	return col, eng.Snapshot()
+}
+
+func TestCreationsAndKillsBalance(t *testing.T) {
+	p := core.NewParams(16)
+	col, final := runWithCollector(t, p, p.AllLeaders(), 200000, 1)
+	ev := col.Events()
+	if ev.LeaderKills == 0 {
+		t.Fatal("elimination from all-leaders produced no kills")
+	}
+	// leaders(final) = leaders(init) + creations − kills.
+	want := 16 + int(ev.LeaderCreations) - int(ev.LeaderKills)
+	if got := core.LeaderCount(final); got != want {
+		t.Fatalf("leader bookkeeping: final %d, init+creations−kills = %d", got, want)
+	}
+}
+
+func TestNoEventsInSafeConfiguration(t *testing.T) {
+	p := core.NewParams(16)
+	col, final := runWithCollector(t, p, p.PerfectConfig(0, 0), 200000, 2)
+	ev := col.Events()
+	if ev.LeaderCreations != 0 || ev.LeaderKills != 0 {
+		t.Fatalf("safe execution had creations=%d kills=%d", ev.LeaderCreations, ev.LeaderKills)
+	}
+	// The unique leader keeps firing — both kinds appear over a long run.
+	if ev.LiveFired == 0 || ev.DummyFired == 0 {
+		t.Fatalf("steady-state war silent: live=%d dummy=%d", ev.LiveFired, ev.DummyFired)
+	}
+	if core.LeaderCount(final) != 1 {
+		t.Fatal("leader lost in safe run")
+	}
+}
+
+func TestDetectEntriesOnLeaderlessRun(t *testing.T) {
+	p := core.NewParams(16)
+	cfg := p.NoLeaderAligned()
+	for i := range cfg {
+		cfg[i].Clock = 0 // cold start: modes must climb
+	}
+	col, _ := runWithCollector(t, p, cfg, 300000, 3)
+	if col.Events().DetectEntries == 0 {
+		t.Fatal("no detection-mode entries on a leaderless cold start")
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	p := core.NewParams(16)
+	cfg := p.PerfectConfig(0, 0)
+	cfg[1].TokB = core.Token{Pos: 2, Bit: 1}
+	cfg[2].TokW = core.Token{Pos: -1, Bit: 0}
+	cfg[3].SignalR = 5
+	cfg[4].War.Signal = true
+	cfg[5].War.Bullet = war.Dummy
+	cfg[6].Clock = uint16(p.KappaMax)
+	s := Snapshot(p, cfg)
+	if s.Leaders != 1 || s.Tokens != 2 || s.SignalsR != 1 || s.SignalsB != 1 || s.Bullets != 1 || s.DetectMode != 1 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	if s.MeanClock <= 0 {
+		t.Fatalf("mean clock: %v", s.MeanClock)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := Format(Events{LeaderCreations: 3}, Sample{Leaders: 1})
+	for _, want := range []string{"leader creations : 3", "final leaders    : 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package twohop provides the two-hop coloring substrate assumed by the
+// paper's Section 5 ring-orientation protocol: a coloring of the ring such
+// that agents two hops apart always differ, which lets every agent tell
+// its two neighbors apart by color.
+//
+// The paper assumes this substrate from Sudo et al. [24] ("without loss of
+// generality ... the first condition of Definition 5.1 is always
+// satisfied") and so do we: the package supplies an exact constructor and
+// verifier for ring two-hop colorings (3–4 colors suffice for every n ≥ 3)
+// rather than reimplementing [24]'s general-graph protocol. The
+// "remember the two most recently observed distinct colors" memory rule,
+// which the paper does specify, lives in the orientation protocol's state
+// (internal/orient).
+package twohop
+
+import "fmt"
+
+// MinColors returns the number of colors the constructor uses for a ring
+// of n agents.
+func MinColors(n int) int {
+	if n%2 == 0 && (n/2)%2 == 0 {
+		return 2 // two even cycles, each 2-colorable
+	}
+	return 3
+}
+
+// Coloring returns a valid two-hop coloring of the n-ring:
+// color[i] != color[(i+2) % n] for all i. It panics for n < 3.
+func Coloring(n int) []uint8 {
+	if n < 3 {
+		panic(fmt.Sprintf("twohop: ring size %d < 3", n))
+	}
+	colors := make([]uint8, n)
+	if n%2 == 0 {
+		// The two-hop graph is two disjoint cycles of length n/2: the even
+		// positions and the odd positions. Color each independently.
+		colorCycle(colors, evens(n))
+		colorCycle(colors, odds(n))
+		return colors
+	}
+	// Odd n: the two-hop graph is a single cycle 0, 2, 4, ..., visiting
+	// every position: order j ↦ 2j mod n.
+	cycle := make([]int, n)
+	for j := 0; j < n; j++ {
+		cycle[j] = (2 * j) % n
+	}
+	colorCycle(colors, cycle)
+	return colors
+}
+
+// colorCycle assigns alternating colors 0/1 along the cycle positions,
+// patching the final vertex with color 2 when the cycle has odd length.
+func colorCycle(colors []uint8, cycle []int) {
+	m := len(cycle)
+	for j, pos := range cycle {
+		colors[pos] = uint8(j % 2)
+	}
+	if m%2 == 1 {
+		colors[cycle[m-1]] = 2
+	}
+}
+
+func evens(n int) []int {
+	out := make([]int, 0, (n+1)/2)
+	for i := 0; i < n; i += 2 {
+		out = append(out, i)
+	}
+	return out
+}
+
+func odds(n int) []int {
+	out := make([]int, 0, n/2)
+	for i := 1; i < n; i += 2 {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Valid reports whether colors is a two-hop coloring of its ring: every
+// pair of agents at distance two differs. This is condition (i) of the
+// paper's Definition 5.1.
+func Valid(colors []uint8) bool {
+	n := len(colors)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if colors[i] == colors[(i+2)%n] {
+			return false
+		}
+	}
+	return true
+}
+
+// NeighborsDistinguishable reports the property the orientation protocol
+// actually consumes: each agent's two neighbors carry different colors.
+// It is implied by Valid (the neighbors are two hops apart from each
+// other).
+func NeighborsDistinguishable(colors []uint8) bool {
+	n := len(colors)
+	for i := 0; i < n; i++ {
+		if colors[(i-1+n)%n] == colors[(i+1)%n] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package twohop
+
+import "testing"
+
+func TestColoringValidForAllSizes(t *testing.T) {
+	for n := 3; n <= 300; n++ {
+		colors := Coloring(n)
+		if !Valid(colors) {
+			t.Fatalf("n=%d: invalid two-hop coloring %v", n, colors)
+		}
+		if !NeighborsDistinguishable(colors) {
+			t.Fatalf("n=%d: neighbors not distinguishable", n)
+		}
+	}
+}
+
+func TestColoringUsesFewColors(t *testing.T) {
+	for n := 3; n <= 100; n++ {
+		colors := Coloring(n)
+		max := uint8(0)
+		for _, c := range colors {
+			if c > max {
+				max = c
+			}
+		}
+		if int(max) > 2 {
+			t.Fatalf("n=%d: used color %d; 3 colors must suffice", n, max)
+		}
+	}
+}
+
+func TestValidDetectsConflicts(t *testing.T) {
+	colors := Coloring(10)
+	colors[4] = colors[6]
+	if Valid(colors) {
+		t.Fatal("two-hop conflict not detected")
+	}
+}
+
+func TestValidRejectsTiny(t *testing.T) {
+	if Valid([]uint8{0, 1}) {
+		t.Fatal("two-agent ring accepted")
+	}
+}
+
+func TestNeighborsDistinguishableFollowsFromValid(t *testing.T) {
+	// Implied property: spot-check on a hand-made valid coloring.
+	colors := []uint8{0, 1, 2, 0, 1, 2}
+	if !Valid(colors) || !NeighborsDistinguishable(colors) {
+		t.Fatal("period-3 coloring must be valid on n=6")
+	}
+}
+
+func TestColoringPanicsOnTinyRing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Coloring(2)
+}
+
+func TestMinColorsConsistent(t *testing.T) {
+	// MinColors is advisory; the constructor must never exceed 3.
+	for n := 3; n <= 50; n++ {
+		if MinColors(n) > 3 {
+			t.Fatalf("MinColors(%d) = %d", n, MinColors(n))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package war implements the bullets-and-shields leader elimination of the
+// paper's Algorithm 5 (EliminateLeaders), taken unmodified from Yokota,
+// Sudo, Masuzawa (2021) [28]. It decreases the number of leaders on a
+// directed ring to exactly one within O(n^2) expected steps without ever
+// killing the last leader, once every live bullet is "peaceful".
+//
+// The module is shared by the paper's protocol (internal/core) and by the
+// baseline protocols that use the same war for their elimination phase.
+package war
+
+// Bullet is the bullet slot of an agent: empty, a dummy bullet (cannot
+// kill), or a live bullet (kills an unshielded leader).
+type Bullet uint8
+
+const (
+	None Bullet = iota
+	Dummy
+	Live
+)
+
+// String returns a short human-readable bullet name.
+func (b Bullet) String() string {
+	switch b {
+	case None:
+		return "-"
+	case Dummy:
+		return "dummy"
+	case Live:
+		return "live"
+	default:
+		return "invalid"
+	}
+}
+
+// State holds the Algorithm 5 variables of one agent other than its leader
+// bit: bullet ∈ {0,1,2}, shield ∈ {0,1}, and signalB ∈ {0,1} (the
+// bullet-absence signal that propagates right to left).
+type State struct {
+	Bullet Bullet
+	Shield bool
+	Signal bool
+}
+
+// Arm returns the war state adopted by a freshly created leader (lines 6
+// and 18 of Algorithms 2–3): it fires a live bullet, raises its shield and
+// clears any bullet-absence signal, which makes the new bullet peaceful.
+func Arm() State {
+	return State{Bullet: Live, Shield: true}
+}
+
+// Step applies EliminateLeaders (Algorithm 5, lines 51–62) to an
+// interaction with initiator l and responder r. Leader bits are passed by
+// pointer because a live bullet may kill the responder. Statements execute
+// sequentially with read-your-writes semantics, exactly as in the
+// pseudocode.
+func Step(lLeader, rLeader *bool, l, r *State) {
+	// Lines 51–52: a leader holding a bullet-absence signal that interacts
+	// with its right neighbor fires a live bullet and becomes shielded.
+	if *lLeader && l.Signal {
+		l.Bullet, l.Shield, l.Signal = Live, true, false
+	}
+	// Lines 53–54: a leader holding the signal that interacts with its left
+	// neighbor fires a dummy bullet and drops its shield. The two cases
+	// extract one fair coin flip from the uniformly random scheduler.
+	if *rLeader && r.Signal {
+		r.Bullet, r.Shield, r.Signal = Dummy, false, false
+	}
+	switch {
+	case l.Bullet != None && *rLeader:
+		// Lines 55–57: the bullet reaches a leader and disappears; a live
+		// bullet kills the leader unless it is shielded.
+		if l.Bullet == Live && !r.Shield {
+			*rLeader = false
+		}
+		l.Bullet = None
+	case l.Bullet != None:
+		// Lines 58–61: the bullet moves right unless the right agent already
+		// carries one (then it is absorbed); either way it disables any
+		// bullet-absence signal at the right agent.
+		if r.Bullet == None {
+			r.Bullet = l.Bullet
+		}
+		l.Bullet = None
+		r.Signal = false
+	}
+	// Line 62: the bullet-absence signal propagates right to left, and a
+	// leader (still alive after the bullet check) seeds it in its left
+	// neighbor.
+	if r.Signal || *rLeader {
+		l.Signal = true
+	}
+}
+
+// DistToLeftLeader returns d_LL(i): the distance from agent i to its
+// nearest left leader (0 if i itself is a leader), or -1 when the ring has
+// no leader.
+func DistToLeftLeader(i int, leader []bool) int {
+	n := len(leader)
+	for j := 0; j < n; j++ {
+		if leader[((i-j)%n+n)%n] {
+			return j
+		}
+	}
+	return -1
+}
+
+// Peaceful reports whether a live bullet located at agent i is peaceful
+// (Section 4.1): its nearest left leader exists and is shielded, and no
+// agent between that leader and the bullet (inclusive) carries a
+// bullet-absence signal. A peaceful bullet can never kill the last leader.
+func Peaceful(i int, leader []bool, st []State) bool {
+	d := DistToLeftLeader(i, leader)
+	if d < 0 {
+		return false
+	}
+	n := len(leader)
+	if !st[((i-d)%n+n)%n].Shield {
+		return false
+	}
+	for j := 0; j <= d; j++ {
+		if st[((i-j)%n+n)%n].Signal {
+			return false
+		}
+	}
+	return true
+}
+
+// AllLiveBulletsPeaceful reports whether the configuration is in C_PB: at
+// least one leader exists and every live bullet is peaceful.
+func AllLiveBulletsPeaceful(leader []bool, st []State) bool {
+	hasLeader := false
+	for _, l := range leader {
+		if l {
+			hasLeader = true
+			break
+		}
+	}
+	if !hasLeader {
+		return false
+	}
+	for i, s := range st {
+		if s.Bullet == Live && !Peaceful(i, leader, st) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,327 @@
+package war
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/xrand"
+)
+
+// agent is the minimal protocol state for war-only simulations: the leader
+// bit plus the Algorithm 5 variables. Leader creation is disabled, matching
+// the paper's auxiliary protocol P'_PL used in Lemma 4.11.
+type agent struct {
+	leader bool
+	w      State
+}
+
+func warTransition(l, r agent) (agent, agent) {
+	Step(&l.leader, &r.leader, &l.w, &r.w)
+	return l, r
+}
+
+func TestLeaderFiresLiveAsInitiator(t *testing.T) {
+	// Lines 51-52 fire a live bullet at l and shield it; because the
+	// pseudocode executes sequentially, lines 58-60 then move the fresh
+	// bullet to the responder within the same interaction.
+	l := agent{leader: true, w: State{Signal: true}}
+	r := agent{}
+	l2, r2 := warTransition(l, r)
+	if !l2.w.Shield || l2.w.Signal {
+		t.Fatalf("initiator leader after firing: %+v", l2.w)
+	}
+	if l2.w.Bullet != None || r2.w.Bullet != Live {
+		t.Fatalf("fresh bullet placement: l=%v r=%v", l2.w.Bullet, r2.w.Bullet)
+	}
+}
+
+func TestLeaderFiresDummyAsResponder(t *testing.T) {
+	l := agent{}
+	r := agent{leader: true, w: State{Signal: true, Shield: true}}
+	_, r2 := warTransition(l, r)
+	if r2.w.Bullet != Dummy || r2.w.Shield || r2.w.Signal {
+		t.Fatalf("responder leader with signal: %+v", r2.w)
+	}
+}
+
+func TestLiveBulletKillsUnshieldedLeader(t *testing.T) {
+	l := agent{w: State{Bullet: Live}}
+	r := agent{leader: true}
+	l2, r2 := warTransition(l, r)
+	if r2.leader {
+		t.Fatal("unshielded leader survived a live bullet")
+	}
+	if l2.w.Bullet != None {
+		t.Fatal("bullet survived hitting a leader")
+	}
+}
+
+func TestLiveBulletBlockedByShield(t *testing.T) {
+	l := agent{w: State{Bullet: Live}}
+	r := agent{leader: true, w: State{Shield: true}}
+	l2, r2 := warTransition(l, r)
+	if !r2.leader {
+		t.Fatal("shielded leader was killed")
+	}
+	if l2.w.Bullet != None {
+		t.Fatal("bullet survived hitting a shielded leader")
+	}
+}
+
+func TestDummyBulletNeverKills(t *testing.T) {
+	l := agent{w: State{Bullet: Dummy}}
+	r := agent{leader: true}
+	_, r2 := warTransition(l, r)
+	if !r2.leader {
+		t.Fatal("dummy bullet killed a leader")
+	}
+}
+
+func TestBulletMovesRight(t *testing.T) {
+	l := agent{w: State{Bullet: Live}}
+	r := agent{}
+	l2, r2 := warTransition(l, r)
+	if l2.w.Bullet != None || r2.w.Bullet != Live {
+		t.Fatalf("bullet did not move right: l=%+v r=%+v", l2.w, r2.w)
+	}
+}
+
+func TestBulletAbsorbedByExistingBullet(t *testing.T) {
+	l := agent{w: State{Bullet: Live}}
+	r := agent{w: State{Bullet: Dummy}}
+	l2, r2 := warTransition(l, r)
+	if l2.w.Bullet != None {
+		t.Fatal("left bullet not absorbed")
+	}
+	if r2.w.Bullet != Dummy {
+		t.Fatalf("right bullet overwritten: %v", r2.w.Bullet)
+	}
+}
+
+func TestBulletDisablesSignal(t *testing.T) {
+	l := agent{w: State{Bullet: Dummy}}
+	r := agent{w: State{Signal: true}}
+	l2, r2 := warTransition(l, r)
+	if r2.w.Signal {
+		t.Fatal("bullet did not disable the bullet-absence signal")
+	}
+	// The signal must not have jumped over the bullet to l either.
+	if l2.w.Signal {
+		t.Fatal("signal crossed a bullet")
+	}
+}
+
+func TestSignalPropagatesLeft(t *testing.T) {
+	l := agent{}
+	r := agent{w: State{Signal: true}}
+	l2, r2 := warTransition(l, r)
+	if !l2.w.Signal {
+		t.Fatal("signal did not propagate left")
+	}
+	if !r2.w.Signal {
+		t.Fatal("signal should persist at the right agent")
+	}
+}
+
+func TestLeaderSeedsSignalInLeftNeighbor(t *testing.T) {
+	l := agent{}
+	r := agent{leader: true}
+	l2, _ := warTransition(l, r)
+	if !l2.w.Signal {
+		t.Fatal("leader did not seed a bullet-absence signal in its left neighbor")
+	}
+}
+
+func TestKilledLeaderDoesNotSeedSignal(t *testing.T) {
+	// Line 62 reads r.leader after the bullet check: a leader killed in
+	// this interaction must not seed a signal.
+	l := agent{w: State{Bullet: Live}}
+	r := agent{leader: true}
+	l2, _ := warTransition(l, r)
+	if l2.w.Signal {
+		t.Fatal("killed leader seeded a signal")
+	}
+}
+
+func TestArmIsPeacefulByConstruction(t *testing.T) {
+	s := Arm()
+	if s.Bullet != Live || !s.Shield || s.Signal {
+		t.Fatalf("Arm() = %+v", s)
+	}
+}
+
+func TestDistToLeftLeader(t *testing.T) {
+	tests := []struct {
+		name   string
+		leader []bool
+		i      int
+		want   int
+	}{
+		{"self", []bool{true, false, false}, 0, 0},
+		{"one away", []bool{true, false, false}, 1, 1},
+		{"wraps", []bool{false, false, true}, 1, 2},
+		{"none", []bool{false, false, false}, 1, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DistToLeftLeader(tt.i, tt.leader); got != tt.want {
+				t.Fatalf("got %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPeaceful(t *testing.T) {
+	leader := []bool{true, false, false, false}
+	shielded := []State{{Shield: true}, {}, {Bullet: Live}, {}}
+	if !Peaceful(2, leader, shielded) {
+		t.Fatal("bullet with shielded left leader and no signals should be peaceful")
+	}
+	unshielded := []State{{}, {}, {Bullet: Live}, {}}
+	if Peaceful(2, leader, unshielded) {
+		t.Fatal("bullet with unshielded left leader should not be peaceful")
+	}
+	signal := []State{{Shield: true}, {Signal: true}, {Bullet: Live}, {}}
+	if Peaceful(2, leader, signal) {
+		t.Fatal("signal between leader and bullet should break peace")
+	}
+	noLeader := []bool{false, false, false, false}
+	if Peaceful(2, noLeader, shielded) {
+		t.Fatal("bullet without any leader cannot be peaceful")
+	}
+}
+
+// leaders builds the leader-bit slice of a configuration.
+func leaders(cfg []agent) []bool {
+	out := make([]bool, len(cfg))
+	for i, a := range cfg {
+		out[i] = a.leader
+	}
+	return out
+}
+
+func warStates(cfg []agent) []State {
+	out := make([]State, len(cfg))
+	for i, a := range cfg {
+		out[i] = a.w
+	}
+	return out
+}
+
+func countLeaders(cfg []agent) int {
+	n := 0
+	for _, a := range cfg {
+		if a.leader {
+			n++
+		}
+	}
+	return n
+}
+
+// TestEliminationConvergesToOneLeader covers Lemma 4.11: starting from a
+// C_PB configuration with k >= 1 leaders, the war reaches exactly one
+// leader and never zero.
+func TestEliminationConvergesToOneLeader(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		leaders int
+	}{
+		{"two leaders", 16, 2},
+		{"quarter leaders", 16, 4},
+		{"all leaders", 16, 16},
+		{"odd ring", 15, 5},
+		{"large all leaders", 64, 64},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 5; seed++ {
+				rng := xrand.New(seed)
+				cfg := make([]agent, tt.n)
+				for i := 0; i < tt.leaders; i++ {
+					cfg[i] = agent{leader: true, w: Arm()}
+				}
+				e := population.NewEngine(population.DirectedRing(tt.n), warTransition, rng)
+				e.SetStates(cfg)
+				e.TrackLeaders(func(a agent) bool { return a.leader })
+
+				maxSteps := uint64(tt.n) * uint64(tt.n) * 200
+				_, ok := e.RunUntil(func(c []agent) bool {
+					return countLeaders(c) == 1
+				}, tt.n, maxSteps)
+				if !ok {
+					t.Fatalf("seed %d: never reached one leader in %d steps (now %d leaders)",
+						seed, maxSteps, e.LeaderCount())
+				}
+				// Keep running: the count must stay pinned at one.
+				e.Run(uint64(tt.n) * uint64(tt.n) * 20)
+				if got := countLeaders(e.Config()); got != 1 {
+					t.Fatalf("seed %d: leader count left 1, now %d", seed, got)
+				}
+			}
+		})
+	}
+}
+
+// TestNeverKillsLastLeaderFromCPB checks the closure of C_PB (Lemma 4.1 +
+// 4.2): random peaceful configurations never lose their last leader.
+func TestNeverKillsLastLeaderFromCPB(t *testing.T) {
+	const n = 12
+	rng := xrand.New(77)
+	for trial := 0; trial < 30; trial++ {
+		// Generate a random configuration, then re-sample until peaceful.
+		var cfg []agent
+		for {
+			cfg = make([]agent, n)
+			for i := range cfg {
+				cfg[i] = agent{
+					leader: rng.Intn(3) == 0,
+					w: State{
+						Bullet: Bullet(rng.Intn(3)),
+						Shield: rng.Bool(),
+						Signal: rng.Bool(),
+					},
+				}
+			}
+			if AllLiveBulletsPeaceful(leaders(cfg), warStates(cfg)) {
+				break
+			}
+		}
+		e := population.NewEngine(population.DirectedRing(n), warTransition, rng.Split())
+		e.SetStates(cfg)
+		for s := 0; s < 40000; s++ {
+			e.Step()
+			if countLeaders(e.Config()) == 0 {
+				t.Fatalf("trial %d: all leaders died at step %d", trial, s)
+			}
+		}
+	}
+}
+
+// TestCPBIsClosed verifies Lemma 4.1 empirically: once every live bullet is
+// peaceful, it stays that way under arbitrary scheduling.
+func TestCPBIsClosed(t *testing.T) {
+	const n = 10
+	rng := xrand.New(5)
+	cfg := make([]agent, n)
+	cfg[0] = agent{leader: true, w: Arm()}
+	cfg[4] = agent{leader: true, w: Arm()}
+	e := population.NewEngine(population.DirectedRing(n), warTransition, rng)
+	e.SetStates(cfg)
+	for s := 0; s < 30000; s++ {
+		e.Step()
+		c := e.Config()
+		if !AllLiveBulletsPeaceful(leaders(c), warStates(c)) {
+			t.Fatalf("left C_PB at step %d", s)
+		}
+	}
+}
+
+func BenchmarkWarStep(b *testing.B) {
+	l := agent{leader: true, w: State{Signal: true}}
+	r := agent{w: State{Signal: true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warTransition(l, r)
+	}
+}

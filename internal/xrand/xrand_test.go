@@ -1,0 +1,169 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	// SplitMix64 reference values for seed 0 (from the public-domain
+	// reference implementation by Sebastiano Vigna).
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	r := New(0)
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("value %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n int) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		n = n%1000 + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square test over 16 buckets; threshold is the 99.9% quantile of
+	// chi2 with 15 degrees of freedom (~37.7), with headroom.
+	const (
+		buckets = 16
+		draws   = 160000
+	)
+	r := New(7)
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 45 {
+		t.Fatalf("chi-square %.2f too large; counts %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(11)
+	heads := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool() {
+			heads++
+		}
+	}
+	if ratio := float64(heads) / draws; math.Abs(ratio-0.5) > 0.01 {
+		t.Fatalf("Bool ratio %.4f too far from 0.5", ratio)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(5)
+	child := r.Split()
+	// The child stream must not simply replay the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split stream matched parent %d/100 times", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	if v := r.Intn(10); v < 0 || v >= 10 {
+		t.Fatalf("zero-value RNG out of range: %d", v)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(1000)
+	}
+	_ = sink
+}

@@ -1,0 +1,128 @@
+// Package yokota implements the time-optimal SS-LE ring protocol of
+// Yokota, Sudo, Masuzawa (2021) — reference [28] of the paper and the
+// fourth row of its Table 1: Θ(n²) expected convergence using O(n) states,
+// given an upper bound N = n + O(n) on the population size.
+//
+// Reconstruction (see DESIGN.md §4): leader absence is detected by exact
+// distance counting — each agent computes its distance from the nearest
+// left leader, and an agent that would sit at distance N or larger becomes
+// a leader; elimination is exactly the Algorithm 5 war (internal/war),
+// which the paper states it shares with P_PL verbatim.
+package yokota
+
+import (
+	"fmt"
+
+	"repro/internal/war"
+	"repro/internal/xrand"
+)
+
+// State is the per-agent state: the leader bit, a distance counter in
+// [0, N], and the war variables. The state count is Θ(N) = Θ(n).
+type State struct {
+	Leader bool
+	Dist   uint32
+	War    war.State
+}
+
+// Protocol is the [28] protocol for rings of size at most N.
+type Protocol struct {
+	// UpperBound is the knowledge N = n + O(n); the protocol is correct for
+	// any ring of size n ≤ N.
+	UpperBound int
+}
+
+// New returns the protocol with knowledge N. A common instantiation for a
+// ring of known approximate size n is N = 2n (the paper's N = n + O(n)).
+func New(upperBound int) *Protocol {
+	if upperBound < 2 {
+		panic(fmt.Sprintf("yokota: upper bound %d < 2", upperBound))
+	}
+	return &Protocol{UpperBound: upperBound}
+}
+
+// Step is the transition: distance propagation with creation at the
+// threshold, then leader elimination.
+func (p *Protocol) Step(l, r State) (State, State) {
+	if r.Leader {
+		r.Dist = 0
+	} else {
+		d := l.Dist + 1
+		if d >= uint32(p.UpperBound) {
+			// No leader within N hops to the left: impossible in a
+			// correctly-labelled ring of size n ≤ N, so a leader is
+			// missing. Become one, armed as in the paper's line 6.
+			r.Leader = true
+			r.Dist = 0
+			r.War = war.Arm()
+		} else {
+			r.Dist = d
+		}
+	}
+	war.Step(&l.Leader, &r.Leader, &l.War, &r.War)
+	return l, r
+}
+
+// IsLeader is the output function.
+func IsLeader(s State) bool { return s.Leader }
+
+// StateCount returns |Q| = 2·(N+1)·12: linear in the knowledge N.
+func (p *Protocol) StateCount() uint64 {
+	return 2 * uint64(p.UpperBound+1) * 3 * 2 * 2
+}
+
+// RandomState samples uniformly from the state space.
+func (p *Protocol) RandomState(rng *xrand.RNG) State {
+	return State{
+		Leader: rng.Bool(),
+		Dist:   uint32(rng.Intn(p.UpperBound + 1)),
+		War: war.State{
+			Bullet: war.Bullet(rng.Intn(3)),
+			Shield: rng.Bool(),
+			Signal: rng.Bool(),
+		},
+	}
+}
+
+// RandomConfig samples a full adversarial configuration for a ring of n
+// agents.
+func (p *Protocol) RandomConfig(rng *xrand.RNG, n int) []State {
+	cfg := make([]State, n)
+	for i := range cfg {
+		cfg[i] = p.RandomState(rng)
+	}
+	return cfg
+}
+
+// Stable reports whether the configuration has converged to its absorbing
+// shape: exactly one leader, every distance exactly the hop count from it
+// (all below N), and every live bullet peaceful. From such a configuration
+// the leader set never changes again: distances never reach the creation
+// threshold and the war cannot kill the last leader.
+func (p *Protocol) Stable(cfg []State) bool {
+	n := len(cfg)
+	k := -1
+	for i, s := range cfg {
+		if s.Leader {
+			if k >= 0 {
+				return false
+			}
+			k = i
+		}
+	}
+	if k < 0 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if got := cfg[(k+i)%n].Dist; got != uint32(i) {
+			return false
+		}
+	}
+	leaders := make([]bool, n)
+	states := make([]war.State, n)
+	for i, s := range cfg {
+		leaders[i] = s.Leader
+		states[i] = s.War
+	}
+	return war.AllLiveBulletsPeaceful(leaders, states)
+}

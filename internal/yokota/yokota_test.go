@@ -1,0 +1,170 @@
+package yokota
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/xrand"
+)
+
+func engine(n, upper int, seed uint64) (*Protocol, *population.Engine[State]) {
+	p := New(upper)
+	eng := population.NewEngine(population.DirectedRing(n), p.Step, xrand.New(seed))
+	return p, eng
+}
+
+func TestDistancePropagation(t *testing.T) {
+	p := New(16)
+	l := State{Dist: 3}
+	r := State{Dist: 9}
+	_, r2 := p.Step(l, r)
+	if r2.Dist != 4 || r2.Leader {
+		t.Fatalf("responder = %+v, want dist 4 follower", r2)
+	}
+}
+
+func TestLeaderResetsDistance(t *testing.T) {
+	p := New(16)
+	_, r2 := p.Step(State{Dist: 7}, State{Leader: true, Dist: 5})
+	if r2.Dist != 0 {
+		t.Fatalf("leader dist = %d, want 0", r2.Dist)
+	}
+}
+
+func TestThresholdCreatesLeader(t *testing.T) {
+	p := New(16)
+	_, r2 := p.Step(State{Dist: 15}, State{Dist: 2})
+	if !r2.Leader || r2.Dist != 0 {
+		t.Fatalf("threshold crossing: %+v", r2)
+	}
+	if !r2.War.Shield {
+		t.Fatal("new leader must be armed")
+	}
+}
+
+func TestBelowThresholdNoCreation(t *testing.T) {
+	p := New(16)
+	_, r2 := p.Step(State{Dist: 14}, State{Dist: 2})
+	if r2.Leader {
+		t.Fatalf("spurious creation at dist 15: %+v", r2)
+	}
+	if r2.Dist != 15 {
+		t.Fatalf("dist = %d, want 15", r2.Dist)
+	}
+}
+
+func TestConvergenceFromRandom(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 48} {
+		p, eng := engine(n, 2*n, uint64(n))
+		rng := xrand.New(uint64(n) + 100)
+		eng.SetStates(p.RandomConfig(rng, n))
+		eng.TrackLeaders(IsLeader)
+		maxSteps := uint64(n) * uint64(n) * 500
+		_, ok := eng.RunUntil(p.Stable, n, maxSteps)
+		if !ok {
+			t.Fatalf("n=%d: not stable within %d steps (%d leaders)", n, maxSteps, eng.LeaderCount())
+		}
+	}
+}
+
+func TestConvergenceFromNoLeader(t *testing.T) {
+	n := 24
+	p, eng := engine(n, 2*n, 9)
+	// Consistent-looking distances without any leader: detection must kick
+	// in once some distance would reach N.
+	cfg := make([]State, n)
+	for i := range cfg {
+		cfg[i] = State{Dist: uint32(i)}
+	}
+	eng.SetStates(cfg)
+	_, ok := eng.RunUntil(p.Stable, n, uint64(n)*uint64(n)*500)
+	if !ok {
+		t.Fatal("no-leader start never stabilized")
+	}
+}
+
+func TestConvergenceFromAllLeaders(t *testing.T) {
+	n := 24
+	p, eng := engine(n, 2*n, 10)
+	cfg := make([]State, n)
+	for i := range cfg {
+		cfg[i] = State{Leader: true}
+	}
+	eng.SetStates(cfg)
+	_, ok := eng.RunUntil(p.Stable, n, uint64(n)*uint64(n)*500)
+	if !ok {
+		t.Fatal("all-leaders start never stabilized")
+	}
+}
+
+func TestStability(t *testing.T) {
+	n := 16
+	p, eng := engine(n, 2*n, 11)
+	rng := xrand.New(12)
+	eng.SetStates(p.RandomConfig(rng, n))
+	eng.TrackLeaders(IsLeader)
+	if _, ok := eng.RunUntil(p.Stable, n, uint64(n)*uint64(n)*500); !ok {
+		t.Fatal("did not stabilize")
+	}
+	changesAt := eng.LeaderChanges()
+	eng.Run(300000)
+	if eng.LeaderChanges() != changesAt {
+		t.Fatal("leader set changed after stabilization")
+	}
+	if !p.Stable(eng.Config()) {
+		t.Fatal("left the stable set")
+	}
+}
+
+func TestStableRejectsBadShapes(t *testing.T) {
+	p := New(8)
+	if p.Stable([]State{{}, {}, {}}) {
+		t.Fatal("no-leader configuration judged stable")
+	}
+	if p.Stable([]State{{Leader: true}, {Leader: true, Dist: 1}, {Dist: 1}}) {
+		t.Fatal("two-leader configuration judged stable")
+	}
+	if p.Stable([]State{{Leader: true}, {Dist: 2}, {Dist: 2}}) {
+		t.Fatal("wrong distances judged stable")
+	}
+	if !p.Stable([]State{{Leader: true}, {Dist: 1}, {Dist: 2}}) {
+		t.Fatal("correct configuration rejected")
+	}
+}
+
+func TestStateCountLinear(t *testing.T) {
+	a, b := New(100).StateCount(), New(200).StateCount()
+	if b <= a || b >= 3*a {
+		t.Fatalf("state count not ~linear: %d → %d", a, b)
+	}
+}
+
+func TestRandomStateInDomain(t *testing.T) {
+	p := New(32)
+	rng := xrand.New(13)
+	for i := 0; i < 1000; i++ {
+		s := p.RandomState(rng)
+		if s.Dist > uint32(p.UpperBound) {
+			t.Fatalf("random dist %d out of domain", s.Dist)
+		}
+	}
+}
+
+func TestNewPanicsOnTinyBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1)
+}
+
+func BenchmarkStep(b *testing.B) {
+	p := New(512)
+	l := State{Dist: 100}
+	r := State{Dist: 101}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, r = p.Step(l, r)
+	}
+}

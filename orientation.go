@@ -1,0 +1,66 @@
+package repro
+
+import (
+	"repro/internal/orient"
+	"repro/internal/population"
+	"repro/internal/twohop"
+	"repro/internal/xrand"
+)
+
+// RingOrientation simulates the paper's Section 5 protocol P_OR on an
+// undirected ring: starting from any direction assignment, the agents
+// agree on a common orientation within O(n² log n) steps w.h.p. using O(1)
+// states, given a two-hop coloring.
+type RingOrientation struct {
+	proto *orient.Protocol
+	eng   *population.Engine[orient.State]
+	rng   *xrand.RNG
+}
+
+// NewRingOrientation builds a simulation for an undirected ring of n ≥ 3
+// agents with a valid two-hop coloring and adversarial directions,
+// strengths and memories.
+func NewRingOrientation(n int, opts ...Option) *RingOrientation {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	rng := xrand.New(o.seed)
+	proto := orient.New()
+	eng := population.NewEngine(population.UndirectedRing(n), proto.Step, rng)
+	eng.SetStates(orient.InitialConfig(twohop.Coloring(n), rng.Split()))
+	return &RingOrientation{proto: proto, eng: eng, rng: rng}
+}
+
+// N returns the ring size.
+func (o *RingOrientation) N() int { return o.eng.N() }
+
+// Scramble re-randomizes directions, strengths and memories while keeping
+// the coloring — a transient-fault burst for the orientation layer.
+func (o *RingOrientation) Scramble() {
+	colors := orient.Colors(o.eng.Config())
+	o.eng.SetStates(orient.InitialConfig(colors, o.rng.Split()))
+}
+
+// Step executes one scheduler step.
+func (o *RingOrientation) Step() { o.eng.Step() }
+
+// RunToOriented runs until the ring is fully oriented (Definition 5.1
+// condition (ii)) and returns the step count and success. maxSteps of 0
+// applies the paper's bound with a generous constant.
+func (o *RingOrientation) RunToOriented(maxSteps uint64) (uint64, bool) {
+	if maxSteps == 0 {
+		n := uint64(o.eng.N())
+		maxSteps = o.eng.Steps() + 4000*n*n
+	}
+	return o.eng.RunUntil(orient.Oriented, o.eng.N(), maxSteps)
+}
+
+// Oriented reports whether all agents currently share a direction.
+func (o *RingOrientation) Oriented() bool { return orient.Oriented(o.eng.Config()) }
+
+// Clockwise reports the agreed direction; meaningful only when Oriented.
+func (o *RingOrientation) Clockwise() bool { return orient.Clockwise(o.eng.Config()) }
+
+// Steps returns the number of scheduler steps executed so far.
+func (o *RingOrientation) Steps() uint64 { return o.eng.Steps() }
