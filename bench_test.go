@@ -10,6 +10,7 @@ package repro
 // model-level cost are reported side by side.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -19,9 +20,47 @@ import (
 	"repro/internal/lottery"
 	"repro/internal/orient"
 	"repro/internal/population"
+	"repro/internal/runner"
 	"repro/internal/twohop"
 	"repro/internal/xrand"
 )
+
+// benchTrials fans b.N independent trials out across the internal/runner
+// worker pool (b.RunParallel-style batching: iterations are protocol trials,
+// cores share them) and returns the per-trial results. Seeds depend only on
+// the iteration index, so every reported metric is identical to a serial
+// loop — only wall-clock time shrinks.
+func benchTrials[T any](b *testing.B, fn func(i int) T) []T {
+	b.Helper()
+	out, err := runner.Map(context.Background(), b.N, fn, runner.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// benchStepsPerOp fans b.N trials of fn out through the pool, fails the
+// benchmark with failMsg if any trial did not complete, and reports the mean
+// step count as steps/op.
+func benchStepsPerOp(b *testing.B, failMsg string, fn func(i int) (uint64, bool)) {
+	b.Helper()
+	type trial struct {
+		steps uint64
+		ok    bool
+	}
+	results := benchTrials(b, func(i int) trial {
+		steps, ok := fn(i)
+		return trial{steps, ok}
+	})
+	var total uint64
+	for _, tr := range results {
+		if !tr.ok {
+			b.Fatal(failMsg)
+		}
+		total += tr.steps
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "steps/op")
+}
 
 // runSpec benchmarks one (protocol, n) Table 1 cell.
 func runSpec(b *testing.B, spec harness.Spec, n int) {
@@ -29,10 +68,13 @@ func runSpec(b *testing.B, spec harness.Spec, n int) {
 	if spec.FixSize != nil {
 		n = spec.FixSize(n)
 	}
+	maxSteps := spec.MaxSteps(n)
+	results := benchTrials(b, func(i int) harness.Result {
+		return spec.Run(n, uint64(i)+1, maxSteps)
+	})
 	var total uint64
 	fails := 0
-	for i := 0; i < b.N; i++ {
-		res := spec.Run(n, uint64(i)+1, spec.MaxSteps(n))
+	for _, res := range results {
 		if !res.Converged {
 			fails++
 			continue
@@ -150,15 +192,14 @@ func BenchmarkModeDetermination(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			p := core.NewParams(n)
 			pr := core.New(p)
-			var total uint64
-			for i := 0; i < b.N; i++ {
+			benchStepsPerOp(b, "mode determination never completed", func(i int) (uint64, bool) {
 				eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(i)))
 				cfg := p.NoLeaderAligned()
 				for j := range cfg {
 					cfg[j].Clock = 0 // start in construction mode
 				}
 				eng.SetStates(cfg)
-				steps, ok := eng.RunUntil(func(c []core.State) bool {
+				return eng.RunUntil(func(c []core.State) bool {
 					allDetect := true
 					for _, s := range c {
 						if s.Leader {
@@ -170,12 +211,7 @@ func BenchmarkModeDetermination(b *testing.B) {
 					}
 					return allDetect
 				}, n, 3000*uint64(n)*uint64(n)*uint64(p.Psi))
-				if !ok {
-					b.Fatal("mode determination never completed")
-				}
-				total += steps
-			}
-			b.ReportMetric(float64(total)/float64(b.N), "steps/op")
+			})
 		})
 	}
 }
@@ -197,9 +233,12 @@ func BenchmarkTheorem31(b *testing.B) {
 		for _, n := range []int{32, 64, 128} {
 			b.Run(fmt.Sprintf("%s/n=%d", cl.name, n), func(b *testing.B) {
 				spec := harness.PPLSpec(0, core.DefaultC1, cl.init)
+				maxSteps := spec.MaxSteps(n)
+				results := benchTrials(b, func(i int) harness.Result {
+					return spec.Run(n, uint64(i)+1, maxSteps)
+				})
 				var total uint64
-				for i := 0; i < b.N; i++ {
-					res := spec.Run(n, uint64(i)+1, spec.MaxSteps(n))
+				for _, res := range results {
 					if !res.Converged {
 						b.Fatal("no convergence")
 					}
@@ -220,17 +259,11 @@ func BenchmarkOrientation(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			colors := twohop.Coloring(n)
 			p := orient.New()
-			var total uint64
-			for i := 0; i < b.N; i++ {
+			benchStepsPerOp(b, "orientation never completed", func(i int) (uint64, bool) {
 				eng := population.NewEngine(population.UndirectedRing(n), p.Step, xrand.New(uint64(i)))
 				eng.SetStates(orient.InitialConfig(colors, xrand.New(uint64(i)+999)))
-				steps, ok := eng.RunUntil(orient.Oriented, n, 4000*uint64(n)*uint64(n))
-				if !ok {
-					b.Fatal("orientation never completed")
-				}
-				total += steps
-			}
-			b.ReportMetric(float64(total)/float64(b.N), "steps/op")
+				return eng.RunUntil(orient.Oriented, n, 4000*uint64(n)*uint64(n))
+			})
 		})
 	}
 }
@@ -265,20 +298,14 @@ func BenchmarkElimination(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			p := core.NewParams(n)
 			pr := core.New(p)
-			var total uint64
-			for i := 0; i < b.N; i++ {
+			benchStepsPerOp(b, "elimination never finished", func(i int) (uint64, bool) {
 				eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(i)))
 				eng.SetStates(p.AllLeaders())
 				eng.TrackLeaders(core.IsLeader)
-				steps, ok := eng.RunUntil(func(c []core.State) bool {
+				return eng.RunUntil(func(c []core.State) bool {
 					return core.LeaderCount(c) == 1
 				}, n, 2000*uint64(n)*uint64(n))
-				if !ok {
-					b.Fatal("elimination never finished")
-				}
-				total += steps
-			}
-			b.ReportMetric(float64(total)/float64(b.N), "steps/op")
+			})
 		})
 	}
 }

@@ -4,14 +4,20 @@
 // Usage:
 //
 //	ringsim -proto ppl -n 64 -seed 1 -init random [-v]
+//	ringsim -proto ppl -n 64 -trials 32            # parallel repetitions
 //
 // Protocols: ppl (the paper's P_PL), yokota [28], angluin [5], fj [15],
 // chenchen [11], orient (Section 5 ring orientation).
 // Initial configurations (ppl only): random, noleader, allleaders,
 // corrupted.
+//
+// With -trials k > 1, the k repetitions use seeds seed, seed+1, ...,
+// seed+k-1 and fan out across all cores through internal/runner; the summary
+// is identical to running them one at a time.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,6 +25,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/runner"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -38,6 +46,8 @@ func run() error {
 		slack   = flag.Int("slack", 0, "ψ slack (ppl)")
 		verbose = flag.Bool("v", false, "print the final configuration (ppl)")
 		stat    = flag.Bool("stats", false, "print event counters and a final snapshot (ppl)")
+		trials  = flag.Int("trials", 1, "number of repetitions (seeds seed..seed+trials-1, run in parallel)")
+		workers = flag.Int("workers", 0, "trial worker-pool size (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -56,6 +66,12 @@ func run() error {
 			fmt.Printf("note: ring size adjusted to %d for %s\n", size, spec.Name)
 		}
 	}
+	if *trials > 1 {
+		if *verbose || *stat {
+			fmt.Println("note: -v and -stats apply to single trials only; ignored with -trials > 1")
+		}
+		return runRepeated(spec, size, *seed, *trials, *workers)
+	}
 	res := spec.Run(size, *seed, spec.MaxSteps(size))
 	fmt.Printf("protocol    : %s\n", spec.Name)
 	fmt.Printf("assumption  : %s\n", spec.Assumption)
@@ -72,6 +88,42 @@ func run() error {
 	if *verbose && *proto == "ppl" {
 		printFinalPPL(size, *slack, *c1, *init, *seed)
 	}
+	return nil
+}
+
+// runRepeated fans trials repetitions of one spec out across the worker
+// pool and prints aggregate convergence statistics.
+func runRepeated(spec harness.Spec, n int, seed uint64, trials, workers int) error {
+	maxSteps := spec.MaxSteps(n)
+	results, err := runner.Map(context.Background(), trials, func(i int) harness.Result {
+		return spec.Run(n, seed+uint64(i), maxSteps)
+	}, runner.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	var steps []float64
+	failures := 0
+	for _, res := range results {
+		if !res.Converged {
+			failures++
+			continue
+		}
+		steps = append(steps, float64(res.Steps))
+	}
+	fmt.Printf("protocol    : %s\n", spec.Name)
+	fmt.Printf("assumption  : %s\n", spec.Assumption)
+	fmt.Printf("ring size   : %d\n", n)
+	fmt.Printf("|Q|         : %d states/agent\n", spec.States(n))
+	fmt.Printf("trials      : %d (seeds %d..%d)\n", trials, seed, seed+uint64(trials)-1)
+	if failures > 0 {
+		fmt.Printf("failures    : %d (budget %d steps)\n", failures, maxSteps)
+	}
+	if len(steps) == 0 {
+		return fmt.Errorf("no trial converged within %d steps", maxSteps)
+	}
+	s := stats.Summarize(steps)
+	fmt.Printf("safe after  : mean %.0f | median %.0f | min %.0f | max %.0f steps\n",
+		s.Mean, s.Median, s.Min, s.Max)
 	return nil
 }
 

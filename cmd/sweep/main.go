@@ -1,18 +1,27 @@
 // Command sweep runs the full experiment suite (E1–E13 of DESIGN.md) and
 // prints a markdown report; EXPERIMENTS.md records a run of this tool.
 //
+// Every trial-driving section fans its independent trials out across the
+// internal/runner worker pool; per-trial seeds are derived deterministically
+// from the trial index, so the report is identical whatever the worker
+// count — parallelism only changes wall-clock time.
+//
 // Usage:
 //
-//	sweep           full profile (minutes)
-//	sweep -quick    reduced sizes/trials (tens of seconds)
-//	sweep -only E8  run a single experiment section
+//	sweep                 full profile (minutes)
+//	sweep -quick          reduced sizes/trials (tens of seconds)
+//	sweep -only E8        run a single experiment section
+//	sweep -workers 4      cap the trial worker pool (default: all cores)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
+	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -21,6 +30,7 @@ import (
 	"repro/internal/lottery"
 	"repro/internal/orient"
 	"repro/internal/population"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/twohop"
 	"repro/internal/xrand"
@@ -35,10 +45,16 @@ type profile struct {
 	trials       int
 }
 
+// pool is the worker-pool configuration shared by every section; set from
+// the -workers flag in main.
+var pool runner.Options
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced sizes and trial counts")
 	only := flag.String("only", "", "run a single section (E1..E13)")
+	workers := flag.Int("workers", 0, "trial worker-pool size (0 = all cores)")
 	flag.Parse()
+	pool = runner.Options{Workers: *workers}
 
 	prof := profile{
 		table1Sizes:  []int{16, 32, 64, 128},
@@ -82,10 +98,48 @@ func header(id, title string) {
 	fmt.Printf("\n## %s — %s\n\n", id, title)
 }
 
+// check aborts the sweep on a trial-execution error (a cancelled context or
+// a panicking trial surfaced by the runner pool).
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// sweep fans a spec's trials out through the shared worker pool.
+func sweep(spec harness.Spec, sizes []int, trials int) []harness.Cell {
+	cells, err := harness.SweepContext(context.Background(), spec, sizes, trials, pool)
+	check(err)
+	return cells
+}
+
+// trialMeans runs trials of fn in parallel and returns the mean of the
+// successful samples. fn must be a pure function of the trial index.
+func trialMeans(trials int, fn func(trial int) (float64, bool)) float64 {
+	type sample struct {
+		v  float64
+		ok bool
+	}
+	results, err := runner.Map(context.Background(), trials, func(t int) sample {
+		v, ok := fn(t)
+		return sample{v, ok}
+	}, pool)
+	check(err)
+	var xs []float64
+	for _, s := range results {
+		if s.ok {
+			xs = append(xs, s.v)
+		}
+	}
+	return stats.Mean(xs)
+}
+
 // e1Table1 regenerates Table 1 (E1 time column, E2 states column).
 func e1Table1(p profile) {
 	header("E1/E2", "Table 1: convergence time and state count per protocol")
-	res := repro.Comparison(p.table1Sizes, p.table1Trials, 16)
+	res, err := repro.ComparisonContext(context.Background(), p.table1Sizes, p.table1Trials, 16, pool)
+	check(err)
 	fmt.Print(res.Markdown)
 	fmt.Println("\nBits per agent (E2, P_PL vs [28]):")
 	fmt.Println("\n| n | P_PL bits | [28] bits |")
@@ -105,21 +159,23 @@ func e3Figure1(profile) {
 	fmt.Print(p.FormatRing(p.PerfectConfig(0, 8)))
 	fmt.Println("```")
 	fmt.Printf("\nperfect configuration is in S_PL: %v\n", p.IsSafe(p.PerfectConfig(0, 8)))
-	// Monte Carlo Lemma 3.2: random leaderless aligned configurations.
-	rng := xrand.New(1)
-	violations := 0
+	// Monte Carlo Lemma 3.2: random leaderless aligned configurations, one
+	// independent seed per trial so the trials parallelize.
+	var violations atomic.Int64
 	const trials = 10000
-	for i := 0; i < trials; i++ {
+	err := runner.ForEach(context.Background(), trials, func(i int) {
+		rng := xrand.New(runner.DeriveSeed(1, i))
 		cfg := make([]core.State, p.N)
 		for j := range cfg {
 			cfg[j] = core.State{Dist: uint16(j % p.TwoPsi()), B: uint8(rng.Intn(2))}
 		}
 		if !p.IsPerfect(cfg) {
-			violations++
+			violations.Add(1)
 		}
-	}
+	}, pool)
+	check(err)
 	fmt.Printf("Lemma 3.2 Monte Carlo: %d/%d leaderless configurations imperfect (must be all)\n",
-		violations, trials)
+		violations.Load(), trials)
 }
 
 // e4Figure2 prints trajectory lengths.
@@ -146,36 +202,46 @@ func e5Lemma23(p profile) {
 	header("E5", "Lemma 2.3: seq_R(0, ℓ) occurs in ~nℓ steps")
 	fmt.Println("| n | ℓ | mean steps | n·ℓ | ratio |")
 	fmt.Println("|---|---|---|---|---|")
-	rng := xrand.New(5)
 	for _, n := range []int{32, 128, 512} {
 		for _, ell := range []int{n / 2, n, 2 * n} {
 			schedule := population.ScheduleSeqR(n, 0, ell)
-			var xs []float64
-			for t := 0; t < p.trials; t++ {
-				xs = append(xs, float64(population.OccurrenceTime(n, schedule, rng)))
-			}
-			mean := stats.Mean(xs)
+			base := uint64(n)*1_000_003 + uint64(ell)
+			mean := trialMeans(p.trials, func(t int) (float64, bool) {
+				rng := xrand.New(runner.DeriveSeed(base, t))
+				return float64(population.OccurrenceTime(n, schedule, rng)), true
+			})
 			fmt.Printf("| %d | %d | %.0f | %d | %.3f |\n", n, ell, mean, n*ell, mean/float64(n*ell))
 		}
 	}
 }
 
-// e6Lottery estimates the Lemma 3.9/3.10 tail probabilities.
+// e6Lottery estimates the Lemma 3.9/3.10 tail probabilities; the (k, c)
+// grid cells are independent and run in parallel.
 func e6Lottery(profile) {
 	header("E6", "Lemmas 3.9/3.10: lottery game tail bounds")
-	rng := xrand.New(6)
 	const trials = 4000
-	fmt.Println("| k | c | Pr(W ≤ 8ck in 4ck·2^k) | bound 1−2^−ck | Pr(W ≥ 16ck in 64ck·2^k) | bound |")
-	fmt.Println("|---|---|---|---|---|---|")
+	type cell struct{ k, c int }
+	var grid []cell
 	for _, k := range []int{3, 4, 5, 6} {
 		for _, c := range []int{1, 2} {
-			f39, b39 := lottery.Lemma39Params(k, c)
-			f310, b310 := lottery.Lemma310Params(k, c)
-			p39 := lottery.TailAtMost(k, f39, b39, trials, rng)
-			p310 := lottery.TailAtLeast(k, f310, b310, trials, rng)
-			bound := 1 - math.Pow(2, -float64(c*k))
-			fmt.Printf("| %d | %d | %.4f | %.4f | %.4f | %.4f |\n", k, c, p39, bound, p310, bound)
+			grid = append(grid, cell{k, c})
 		}
+	}
+	rows, err := runner.Map(context.Background(), len(grid), func(i int) string {
+		k, c := grid[i].k, grid[i].c
+		rng := xrand.New(runner.DeriveSeed(6, i))
+		f39, b39 := lottery.Lemma39Params(k, c)
+		f310, b310 := lottery.Lemma310Params(k, c)
+		p39 := lottery.TailAtMost(k, f39, b39, trials, rng)
+		p310 := lottery.TailAtLeast(k, f310, b310, trials, rng)
+		bound := 1 - math.Pow(2, -float64(c*k))
+		return fmt.Sprintf("| %d | %d | %.4f | %.4f | %.4f | %.4f |", k, c, p39, bound, p310, bound)
+	}, pool)
+	check(err)
+	fmt.Println("| k | c | Pr(W ≤ 8ck in 4ck·2^k) | bound 1−2^−ck | Pr(W ≥ 16ck in 64ck·2^k) | bound |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 }
 
@@ -193,8 +259,7 @@ func e7Modes(p profile) {
 	for _, n := range sizes {
 		par := core.NewParams(n)
 		pr := core.New(par)
-		var xs []float64
-		for t := 0; t < p.deepTrials; t++ {
+		mean := trialMeans(p.deepTrials, func(t int) (float64, bool) {
 			eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(t)))
 			cfg := par.NoLeaderAligned()
 			for j := range cfg {
@@ -213,11 +278,8 @@ func e7Modes(p profile) {
 				}
 				return allDetect
 			}, n, 4000*uint64(n)*uint64(n)*uint64(par.Psi))
-			if ok {
-				xs = append(xs, float64(steps))
-			}
-		}
-		mean := stats.Mean(xs)
+			return float64(steps), ok
+		})
 		fmt.Printf("| %d | %.0f | %.3f |\n", n, mean, mean/(float64(n)*float64(n)*math.Log2(float64(n))))
 	}
 }
@@ -237,7 +299,7 @@ func e8Theorem31(p profile) {
 	fmt.Println("|---|" + strings.Repeat("---|", len(p.deepSizes)+1))
 	for _, cl := range classes {
 		spec := harness.PPLSpec(0, core.DefaultC1, cl.init)
-		cells := harness.Sweep(spec, p.deepSizes, p.deepTrials)
+		cells := sweep(spec, p.deepSizes, p.deepTrials)
 		fmt.Printf("| %s |", cl.name)
 		for _, c := range cells {
 			fmt.Printf(" %.3g |", c.Steps.Mean)
@@ -253,20 +315,20 @@ func e8Theorem31(p profile) {
 	fmt.Println("|---|---|---|")
 	spec := harness.PPLSpec(0, core.DefaultC1, harness.InitNoLeader)
 	for _, n := range []int{16, 48, 112, 256} {
-		cells := harness.Sweep(spec, []int{n}, p.deepTrials)
+		cells := sweep(spec, []int{n}, p.deepTrials)
 		fmt.Printf("| %d | %.3g | token-comparison detection + full reconstruction |\n",
 			n, cells[0].Steps.Mean)
 	}
 	// Normalized flatness for the random class.
 	spec = harness.PPLSpec(0, core.DefaultC1, harness.InitRandom)
-	cells := harness.Sweep(spec, p.deepSizes, p.deepTrials)
+	cells := sweep(spec, p.deepSizes, p.deepTrials)
 	norm := harness.NormalizedBy(cells, func(n int) float64 {
 		return float64(n) * float64(n) * math.Log2(float64(n))
 	})
 	fmt.Printf("\nsteps/(n² log n), random class: %s — flat ⇒ the bound is tight up to constants.\n",
 		floats(norm))
 	// Contrast: [28] at the same sizes for the ×log n separation.
-	yok := harness.Sweep(harness.YokotaSpec(), p.deepSizes, p.deepTrials)
+	yok := sweep(harness.YokotaSpec(), p.deepSizes, p.deepTrials)
 	normY := harness.NormalizedBy(yok, func(n int) float64 { return float64(n) * float64(n) })
 	fmt.Printf("steps/n², [28] baseline:        %s — flat ⇒ Θ(n²), the paper's separation.\n", floats(normY))
 }
@@ -280,16 +342,12 @@ func e9Orientation(p profile) {
 	for _, n := range p.orientSizes {
 		colors := twohop.Coloring(n)
 		pr := orient.New()
-		var sample []float64
-		for t := 0; t < p.deepTrials; t++ {
+		mean := trialMeans(p.deepTrials, func(t int) (float64, bool) {
 			eng := population.NewEngine(population.UndirectedRing(n), pr.Step, xrand.New(uint64(t)))
 			eng.SetStates(orient.InitialConfig(colors, xrand.New(uint64(t)+500)))
 			steps, ok := eng.RunUntil(orient.Oriented, n, 6000*uint64(n)*uint64(n))
-			if ok {
-				sample = append(sample, float64(steps))
-			}
-		}
-		mean := stats.Mean(sample)
+			return float64(steps), ok
+		})
 		xs = append(xs, float64(n))
 		ys = append(ys, mean)
 		fmt.Printf("| %d | %.0f | %.3f |\n", n, mean, mean/(float64(n)*float64(n)*math.Log2(float64(n))))
@@ -308,8 +366,8 @@ func e10Kappa(p profile) {
 	fmt.Println("| c₁ | steps to S_PL (random start) | steps to S_PL (cold leaderless) | failures |")
 	fmt.Println("|---|---|---|---|")
 	for _, c1 := range []int{2, 4, 8, 16, 32} {
-		random := harness.Sweep(harness.PPLSpec(0, c1, harness.InitRandom), []int{n}, p.trials)
-		cold := harness.Sweep(harness.PPLSpec(0, c1, harness.InitNoLeaderCold), []int{n}, p.trials)
+		random := sweep(harness.PPLSpec(0, c1, harness.InitRandom), []int{n}, p.trials)
+		cold := sweep(harness.PPLSpec(0, c1, harness.InitNoLeaderCold), []int{n}, p.trials)
 		rm, cm := 0.0, 0.0
 		if random[0].Steps.Count > 0 {
 			rm = random[0].Steps.Mean
@@ -333,7 +391,7 @@ func e11Psi(p profile) {
 	for _, slack := range []int{0, 1, 2, 4} {
 		par := core.NewParamsSlack(n, slack, core.DefaultC1)
 		spec := harness.PPLSpec(slack, core.DefaultC1, harness.InitRandom)
-		cells := harness.Sweep(spec, []int{n}, p.trials)
+		cells := sweep(spec, []int{n}, p.trials)
 		fmt.Printf("| %d | %d | %.1f | %.3g |\n", slack, par.Psi, par.BitsPerAgent(), cells[0].Steps.Mean)
 	}
 }
@@ -347,19 +405,15 @@ func e12Elimination(p profile) {
 	for _, n := range p.deepSizes[:min(4, len(p.deepSizes))] {
 		par := core.NewParams(n)
 		pr := core.New(par)
-		var sample []float64
-		for t := 0; t < p.deepTrials; t++ {
+		mean := trialMeans(p.deepTrials, func(t int) (float64, bool) {
 			eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(t)))
 			eng.SetStates(par.AllLeaders())
 			eng.TrackLeaders(core.IsLeader)
 			steps, ok := eng.RunUntil(func(c []core.State) bool {
 				return core.LeaderCount(c) == 1
 			}, n, 4000*uint64(n)*uint64(n))
-			if ok {
-				sample = append(sample, float64(steps))
-			}
-		}
-		mean := stats.Mean(sample)
+			return float64(steps), ok
+		})
 		xs = append(xs, float64(n))
 		ys = append(ys, mean)
 		fmt.Printf("| %d | %.0f | %.3f |\n", n, mean, mean/(float64(n)*float64(n)))
@@ -367,12 +421,15 @@ func e12Elimination(p profile) {
 	fmt.Printf("\nfitted exponent: n^%.2f (paper: O(n²) expected).\n", stats.PowerLawExponent(xs, ys))
 }
 
-// e13Closure holds a safe configuration for a long run.
+// e13Closure holds a safe configuration for a long run; the per-size holds
+// are independent and run in parallel.
 func e13Closure(p profile) {
 	header("E13", "Lemma 4.7: closure of S_PL")
 	fmt.Println("| n | steps held | leader changes | still in S_PL |")
 	fmt.Println("|---|---|---|---|")
-	for _, n := range []int{16, 64, 256} {
+	sizes := []int{16, 64, 256}
+	rows, err := runner.Map(context.Background(), len(sizes), func(i int) string {
+		n := sizes[i]
 		par := core.NewParams(n)
 		pr := core.New(par)
 		eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(n)))
@@ -380,7 +437,11 @@ func e13Closure(p profile) {
 		eng.TrackLeaders(core.IsLeader)
 		hold := uint64(2_000_000)
 		eng.Run(hold)
-		fmt.Printf("| %d | %d | %d | %v |\n", n, hold, eng.LeaderChanges(), par.IsSafe(eng.Config()))
+		return fmt.Sprintf("| %d | %d | %d | %v |", n, hold, eng.LeaderChanges(), par.IsSafe(eng.Config()))
+	}, pool)
+	check(err)
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 }
 

@@ -3,12 +3,16 @@
 // convergence steps from random adversarial configurations, fits scaling
 // exponents, and prints the comparison as markdown.
 //
+// Trials fan out across all cores through internal/runner; the table is
+// identical whatever the worker count.
+//
 // Usage:
 //
-//	table1 -sizes 16,32,64 -trials 5 -ccmax 8
+//	table1 -sizes 16,32,64 -trials 5 -ccmax 8 [-workers 4]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,13 +20,15 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		sizes  = flag.String("sizes", "16,32,64", "comma-separated ring sizes")
-		trials = flag.Int("trials", 5, "trials per (protocol, size) cell")
-		ccmax  = flag.Int("ccmax", 8, "largest size for the [11]-style baseline")
+		sizes   = flag.String("sizes", "16,32,64", "comma-separated ring sizes")
+		trials  = flag.Int("trials", 5, "trials per (protocol, size) cell")
+		ccmax   = flag.Int("ccmax", 8, "largest size for the [11]-style baseline")
+		workers = flag.Int("workers", 0, "trial worker-pool size (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -31,7 +37,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)
 	}
-	res := repro.Comparison(ns, *trials, *ccmax)
+	res, err := repro.ComparisonContext(context.Background(), ns, *trials, *ccmax,
+		runner.Options{Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
 	fmt.Print(res.Markdown)
 }
 

@@ -1,10 +1,12 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/runner"
 )
 
 // ComparisonResult is the outcome of a Table 1 regeneration: the measured
@@ -26,8 +28,23 @@ type ComparisonResult struct {
 // up to maxChenChen (its original is super-exponential; see DESIGN.md).
 //
 // This is compute-heavy at larger sizes; sizes of {16, 32, 64} with a
-// handful of trials complete in seconds, {128, 256} in minutes.
+// handful of trials complete in seconds, {128, 256} in minutes. Trials run
+// in parallel across all cores (see ComparisonContext for worker control);
+// a panicking trial re-panics here, matching the loud failure of a serial
+// loop.
 func Comparison(sizes []int, trials, maxChenChen int) ComparisonResult {
+	res, err := ComparisonContext(context.Background(), sizes, trials, maxChenChen, runner.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ComparisonContext is Comparison with cancellation and worker-pool control:
+// each protocol's trials fan out through the internal/runner pool, so the
+// Θ(n³)-class baselines no longer serialize the whole regeneration. Results
+// are byte-identical to serial execution for the same seeds.
+func ComparisonContext(ctx context.Context, sizes []int, trials, maxChenChen int, opts runner.Options) (ComparisonResult, error) {
 	specs := []harness.Spec{
 		harness.AngluinSpec(),
 		harness.FJSpec(),
@@ -47,7 +64,11 @@ func Comparison(sizes []int, trials, maxChenChen int) ComparisonResult {
 				}
 			}
 		}
-		all[i] = harness.Sweep(spec, sz, trials)
+		cells, err := harness.SweepContext(ctx, spec, sz, trials, opts)
+		if err != nil {
+			return ComparisonResult{}, err
+		}
+		all[i] = cells
 		exps[spec.Name] = harness.Exponent(all[i])
 	}
 	var b strings.Builder
@@ -56,5 +77,5 @@ func Comparison(sizes []int, trials, maxChenChen int) ComparisonResult {
 	b.WriteString("\n### Table 1 reproduction\n\n")
 	b.WriteString(harness.SummaryTable(specs, all, sizes[len(sizes)-1]))
 	fmt.Fprintf(&b, "\nTrials per cell: %d.\n", trials)
-	return ComparisonResult{Markdown: b.String(), Exponents: exps}
+	return ComparisonResult{Markdown: b.String(), Exponents: exps}, nil
 }

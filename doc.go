@@ -13,8 +13,11 @@
 // (internal/core), the shared elimination war (internal/war), the
 // baselines (internal/yokota, internal/angluin, internal/fj,
 // internal/chenchen), the substrates (internal/thuemorse,
-// internal/twohop, internal/lottery) and the experiment harness
-// (internal/harness, internal/stats).
+// internal/twohop, internal/lottery), the experiment harness
+// (internal/harness, internal/stats) and the parallel trial-execution
+// engine (internal/runner), through which every trial-driving layer fans
+// independent trials out across all cores with deterministic per-trial
+// seeds — results are byte-identical to serial execution, just faster.
 //
 // Quickstart:
 //

@@ -5,9 +5,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -53,35 +55,80 @@ type Cell struct {
 	Failures   int
 }
 
+// TrialSeed is the deterministic scheduler seed of trial index trial at
+// ring size n. Every execution path — serial or parallel, sweep or
+// benchmark — derives seeds through this function, which is what makes
+// parallel sweeps byte-identical to serial ones.
+func TrialSeed(n, trial int) uint64 {
+	return uint64(n)*1_000_003 + uint64(trial)
+}
+
 // Sweep runs trials per size for the spec and returns one cell per size.
-// Seeds are derived deterministically from the trial index.
+// Seeds are derived deterministically from the trial index (TrialSeed), and
+// trials execute in parallel across all cores through internal/runner; the
+// cells are bit-for-bit identical to serial execution. A panicking trial
+// re-panics here (with a *runner.PanicError carrying the original stack),
+// matching the loud failure of a serial loop; use SweepContext to handle it
+// as an error instead.
 func Sweep(spec Spec, sizes []int, trials int) []Cell {
+	cells, err := SweepContext(context.Background(), spec, sizes, trials, runner.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return cells
+}
+
+// SweepContext is Sweep with cancellation and worker-pool control. Trials of
+// each size are fanned out through runner.Map; per-trial Results are
+// collected in trial order before aggregation, so the returned cells do not
+// depend on scheduling. On cancellation it returns the cells completed so
+// far along with ctx.Err().
+func SweepContext(ctx context.Context, spec Spec, sizes []int, trials int, opts runner.Options) ([]Cell, error) {
 	cells := make([]Cell, 0, len(sizes))
 	for _, rawN := range sizes {
 		n := rawN
 		if spec.FixSize != nil {
 			n = spec.FixSize(rawN)
 		}
-		var steps, stab []float64
-		failures := 0
-		for trial := 0; trial < trials; trial++ {
-			seed := uint64(n)*1_000_003 + uint64(trial)
-			res := spec.Run(n, seed, spec.MaxSteps(n))
-			if !res.Converged {
-				failures++
-				continue
-			}
-			steps = append(steps, float64(res.Steps))
-			stab = append(stab, float64(res.Stabilized))
+		results, err := RunTrials(ctx, spec, n, trials, opts)
+		if err != nil {
+			return cells, err
 		}
-		cell := Cell{N: n, Failures: failures}
-		if len(steps) > 0 {
-			cell.Steps = stats.Summarize(steps)
-			cell.Stabilized = stats.Summarize(stab)
-		}
-		cells = append(cells, cell)
+		cells = append(cells, Aggregate(n, results))
 	}
-	return cells
+	return cells, nil
+}
+
+// RunTrials executes trials independent trials of spec at ring size n (which
+// must already be FixSize-adjusted) through the worker pool and returns the
+// per-trial Results indexed by trial number. Trial t uses seed
+// TrialSeed(n, t).
+func RunTrials(ctx context.Context, spec Spec, n, trials int, opts runner.Options) ([]Result, error) {
+	maxSteps := spec.MaxSteps(n)
+	return runner.Map(ctx, trials, func(trial int) Result {
+		return spec.Run(n, TrialSeed(n, trial), maxSteps)
+	}, opts)
+}
+
+// Aggregate folds per-trial results into the summary cell for one
+// (protocol, size) pair, in the order given.
+func Aggregate(n int, results []Result) Cell {
+	var steps, stab []float64
+	failures := 0
+	for _, res := range results {
+		if !res.Converged {
+			failures++
+			continue
+		}
+		steps = append(steps, float64(res.Steps))
+		stab = append(stab, float64(res.Stabilized))
+	}
+	cell := Cell{N: n, Failures: failures}
+	if len(steps) > 0 {
+		cell.Steps = stats.Summarize(steps)
+		cell.Stabilized = stats.Summarize(stab)
+	}
+	return cell
 }
 
 // Exponent fits mean convergence steps against n as a power law and

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -27,6 +29,72 @@ func TestSweepPPLConverges(t *testing.T) {
 	}
 	if cells[1].Steps.Mean <= cells[0].Steps.Mean {
 		t.Fatalf("steps not increasing with n: %v vs %v", cells[0].Steps.Mean, cells[1].Steps.Mean)
+	}
+}
+
+// TestParallelTrialsMatchSerial is the acceptance check of the parallel
+// execution engine: trials fanned out across a worker pool must yield the
+// exact per-seed Result values of a plain serial loop.
+func TestParallelTrialsMatchSerial(t *testing.T) {
+	for _, spec := range []Spec{PPLSpec(0, 8, InitRandom), YokotaSpec()} {
+		t.Run(spec.Name, func(t *testing.T) {
+			const n, trials = 16, 8
+			want := make([]Result, trials)
+			for trial := 0; trial < trials; trial++ {
+				want[trial] = spec.Run(n, TrialSeed(n, trial), spec.MaxSteps(n))
+			}
+			got, err := RunTrials(context.Background(), spec, n, trials,
+				runner.Options{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := range want {
+				if got[trial] != want[trial] {
+					t.Fatalf("trial %d: parallel %+v != serial %+v", trial, got[trial], want[trial])
+				}
+			}
+		})
+	}
+}
+
+// TestSweepContextMatchesSerialAggregation pins the whole parallel sweep
+// path (runner fan-out + Aggregate) against a hand-rolled serial sweep.
+func TestSweepContextMatchesSerialAggregation(t *testing.T) {
+	spec := PPLSpec(0, 8, InitRandom)
+	sizes := []int{8, 16}
+	const trials = 4
+	var want []Cell
+	for _, n := range sizes {
+		results := make([]Result, trials)
+		for trial := range results {
+			results[trial] = spec.Run(n, TrialSeed(n, trial), spec.MaxSteps(n))
+		}
+		want = append(want, Aggregate(n, results))
+	}
+	got, err := SweepContext(context.Background(), spec, sizes, trials,
+		runner.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: parallel %+v != serial %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSweepContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cells, err := SweepContext(ctx, YokotaSpec(), []int{8, 16}, 4, runner.Options{})
+	if err == nil {
+		t.Fatal("cancelled sweep reported no error")
+	}
+	if len(cells) != 0 {
+		t.Fatalf("cancelled-before-start sweep returned %d cells", len(cells))
 	}
 }
 

@@ -73,6 +73,7 @@ type Engine[S any] struct {
 
 	isLeader         func(S) bool
 	leaderCount      int
+	leaderDirty      bool
 	lastLeaderChange uint64
 	leaderChanges    uint64
 
@@ -120,13 +121,15 @@ func (e *Engine[S]) SetStates(states []S) {
 		panic(fmt.Sprintf("population: SetStates got %d states for %d agents", len(states), e.topo.N))
 	}
 	copy(e.states, states)
-	e.recountLeaders()
+	e.leaderDirty = true
 }
 
-// SetState installs agent i's state.
+// SetState installs agent i's state. The leader count is not recomputed
+// eagerly — installing an n-agent configuration state-by-state is O(n), not
+// O(n²) — but lazily on the next read or interaction.
 func (e *Engine[S]) SetState(i int, s S) {
 	e.states[i] = s
-	e.recountLeaders()
+	e.leaderDirty = true
 }
 
 // SetObserver installs an observer notified of every touched agent. Pass nil
@@ -141,6 +144,7 @@ func (e *Engine[S]) TrackLeaders(isLeader func(S) bool) {
 }
 
 func (e *Engine[S]) recountLeaders() {
+	e.leaderDirty = false
 	if e.isLeader == nil {
 		return
 	}
@@ -155,7 +159,12 @@ func (e *Engine[S]) recountLeaders() {
 
 // LeaderCount returns the current number of agents whose output is leader.
 // Valid only after TrackLeaders.
-func (e *Engine[S]) LeaderCount() int { return e.leaderCount }
+func (e *Engine[S]) LeaderCount() int {
+	if e.leaderDirty {
+		e.recountLeaders()
+	}
+	return e.leaderCount
+}
 
 // LastLeaderChange returns the step index (1-based: the value of Steps()
 // right after the interaction) at which the leader set last changed, or 0 if
@@ -177,45 +186,96 @@ func (e *Engine[S]) ApplyArc(k int) {
 }
 
 func (e *Engine[S]) applyArc(k int) {
+	if e.leaderDirty {
+		e.recountLeaders()
+	}
 	arc := e.topo.Arcs[k]
 	li, ri := arc[0], arc[1]
 	lb, rb := e.states[li], e.states[ri]
-	la, ra := e.trans(lb, rb)
-	e.states[li], e.states[ri] = la, ra
-	e.step++
-	if e.isLeader != nil {
-		changed := false
-		if wl, il := e.isLeader(lb), e.isLeader(la); wl != il {
-			changed = true
-			if il {
-				e.leaderCount++
-			} else {
-				e.leaderCount--
-			}
-		}
-		if wr, ir := e.isLeader(rb), e.isLeader(ra); wr != ir {
-			changed = true
-			if ir {
-				e.leaderCount++
-			} else {
-				e.leaderCount--
-			}
-		}
-		if changed {
-			e.lastLeaderChange = e.step
-			e.leaderChanges++
-		}
-	}
+	e.applyPair(li, ri, lb, rb)
 	if e.observer != nil {
-		e.observer(int(li), lb, la)
-		e.observer(int(ri), rb, ra)
+		e.observer(int(li), lb, e.states[li])
+		e.observer(int(ri), rb, e.states[ri])
 	}
 }
 
-// Run executes exactly steps scheduler steps.
+// applyPair executes the transition on the arc (li, ri) with pre-states
+// (lb, rb) and maintains the step counter and leader accounting. It is the
+// single copy of the interaction bookkeeping shared by the step-at-a-time
+// and batched paths; callers handle the dirty check and observer dispatch.
+func (e *Engine[S]) applyPair(li, ri int32, lb, rb S) {
+	la, ra := e.trans(lb, rb)
+	e.states[li], e.states[ri] = la, ra
+	e.step++
+	if e.isLeader == nil {
+		return
+	}
+	changed := false
+	if wl, il := e.isLeader(lb), e.isLeader(la); wl != il {
+		changed = true
+		if il {
+			e.leaderCount++
+		} else {
+			e.leaderCount--
+		}
+	}
+	if wr, ir := e.isLeader(rb), e.isLeader(ra); wr != ir {
+		changed = true
+		if ir {
+			e.leaderCount++
+		} else {
+			e.leaderCount--
+		}
+	}
+	if changed {
+		e.lastLeaderChange = e.step
+		e.leaderChanges++
+	}
+}
+
+// Run executes exactly steps scheduler steps. When no observer is installed
+// it takes the RunBatch fast path; the random arc sequence is identical
+// either way.
 func (e *Engine[S]) Run(steps uint64) {
+	if e.observer == nil {
+		e.RunBatch(steps)
+		return
+	}
 	for i := uint64(0); i < steps; i++ {
 		e.Step()
+	}
+}
+
+// arcBatch is the number of random arc indices drawn per RNG call in
+// RunBatch — large enough to amortize call overhead, small enough to stay in
+// L1 on the stack.
+const arcBatch = 256
+
+// RunBatch executes exactly steps scheduler steps on the hot path: arc draws
+// are batched through xrand.RNG.FillIntn and observer dispatch is skipped
+// entirely (any installed observer is NOT notified — callers that need
+// observation must use Run or Step). The RNG stream and all state,
+// leader-tracking, and step accounting are bit-for-bit identical to the
+// step-at-a-time path.
+func (e *Engine[S]) RunBatch(steps uint64) {
+	if e.leaderDirty {
+		e.recountLeaders()
+	}
+	var buf [arcBatch]int32
+	nArcs := len(e.topo.Arcs)
+	for steps > 0 {
+		batch := uint64(arcBatch)
+		if steps < batch {
+			batch = steps
+		}
+		draws := buf[:batch]
+		e.rng.FillIntn(nArcs, draws)
+		for _, k := range draws {
+			arc := e.topo.Arcs[k]
+			li, ri := arc[0], arc[1]
+			e.applyPair(li, ri, e.states[li], e.states[ri])
+		}
+		steps -= batch
 	}
 }
 

@@ -188,6 +188,76 @@ func TestRunUntilImmediate(t *testing.T) {
 	}
 }
 
+func TestRunBatchMatchesStepLoop(t *testing.T) {
+	// The batched fast path must replay the exact arc sequence and leader
+	// accounting of the step-at-a-time path.
+	isLeader := func(s counterState) bool { return s.leader }
+	for _, steps := range []uint64{0, 1, 255, 256, 257, 5000} {
+		serial := NewEngine(DirectedRing(9), countTransition, xrand.New(21))
+		serial.TrackLeaders(isLeader)
+		for i := uint64(0); i < steps; i++ {
+			serial.Step()
+		}
+		batched := NewEngine(DirectedRing(9), countTransition, xrand.New(21))
+		batched.TrackLeaders(isLeader)
+		batched.RunBatch(steps)
+		if serial.Steps() != batched.Steps() {
+			t.Fatalf("steps=%d: step counters diverged: %d vs %d", steps, serial.Steps(), batched.Steps())
+		}
+		a, b := serial.Snapshot(), batched.Snapshot()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("steps=%d: agent %d diverged: %+v vs %+v", steps, i, a[i], b[i])
+			}
+		}
+		if serial.LeaderCount() != batched.LeaderCount() ||
+			serial.LeaderChanges() != batched.LeaderChanges() ||
+			serial.LastLeaderChange() != batched.LastLeaderChange() {
+			t.Fatalf("steps=%d: leader accounting diverged", steps)
+		}
+	}
+}
+
+func TestRunBatchUntrackedMatchesStepLoop(t *testing.T) {
+	serial := NewEngine(DirectedRing(7), countTransition, xrand.New(33))
+	for i := 0; i < 4000; i++ {
+		serial.Step()
+	}
+	batched := NewEngine(DirectedRing(7), countTransition, xrand.New(33))
+	batched.RunBatch(4000)
+	a, b := serial.Snapshot(), batched.Snapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("agent %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSetStateLazyRecount(t *testing.T) {
+	e := NewEngine(DirectedRing(6), countTransition, xrand.New(1))
+	e.TrackLeaders(func(s counterState) bool { return s.leader })
+	// Install a configuration state-by-state after tracking is enabled: the
+	// count must come out right even though no recount runs per SetState.
+	for i := 0; i < e.N(); i++ {
+		e.SetState(i, counterState{leader: i%2 == 0})
+	}
+	if got := e.LeaderCount(); got != 3 {
+		t.Fatalf("LeaderCount after state-by-state install = %d, want 3", got)
+	}
+	// The incremental accounting must start from the recounted base.
+	e.SetState(0, counterState{leader: false})
+	e.Run(500)
+	want := 0
+	for i := 0; i < e.N(); i++ {
+		if e.State(i).leader {
+			want++
+		}
+	}
+	if e.LeaderCount() != want {
+		t.Fatalf("incremental count %d, recount %d", e.LeaderCount(), want)
+	}
+}
+
 func TestApplyArcDeterministicSchedule(t *testing.T) {
 	e := NewEngine(DirectedRing(4), countTransition, nil)
 	e.ApplyArc(2) // interaction (u_2, u_3)

@@ -98,6 +98,33 @@ func TestIntnUniformity(t *testing.T) {
 	}
 }
 
+func TestFillIntnMatchesIntnStream(t *testing.T) {
+	// FillIntn must draw the exact same stream as successive Intn calls —
+	// the engine's batched fast path relies on this for reproducibility.
+	for _, n := range []int{1, 2, 3, 7, 64, 1000, 1 << 20} {
+		a, b := New(17), New(17)
+		buf := make([]int32, 257)
+		a.FillIntn(n, buf)
+		for i, got := range buf {
+			if want := b.Intn(n); int(got) != want {
+				t.Fatalf("n=%d: batch draw %d = %d, serial Intn = %d", n, i, got, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: RNG states diverged after batch", n)
+		}
+	}
+}
+
+func TestFillIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FillIntn(0, ...) did not panic")
+		}
+	}()
+	New(1).FillIntn(0, make([]int32, 4))
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := New(3)
 	sum := 0.0
