@@ -1,8 +1,8 @@
 package repro
 
-// Benchmark harness for every table and figure of the paper; the mapping
-// from benchmarks to paper artifacts is the experiment index in DESIGN.md
-// (E1–E13) and results are recorded in EXPERIMENTS.md.
+// Benchmark harness for every table and figure of the paper, driven
+// through the public Protocol API; the E1–E13 numbering matches the
+// cmd/sweep experiment sections.
 //
 // One benchmark iteration is one full protocol trial; the quantity the
 // paper bounds — scheduler steps to convergence — is emitted as the
@@ -16,7 +16,6 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/harness"
 	"repro/internal/lottery"
 	"repro/internal/orient"
 	"repro/internal/population"
@@ -62,15 +61,16 @@ func benchStepsPerOp(b *testing.B, failMsg string, fn func(i int) (uint64, bool)
 	b.ReportMetric(float64(total)/float64(b.N), "steps/op")
 }
 
-// runSpec benchmarks one (protocol, n) Table 1 cell.
-func runSpec(b *testing.B, spec harness.Spec, n int) {
+// runProtocol benchmarks one (protocol, n) cell of the scenario.
+func runProtocol(b *testing.B, p Protocol, sc Scenario, n int) {
 	b.Helper()
-	if spec.FixSize != nil {
-		n = spec.FixSize(n)
-	}
-	maxSteps := spec.MaxSteps(n)
-	results := benchTrials(b, func(i int) harness.Result {
-		return spec.Run(n, uint64(i)+1, maxSteps)
+	n = p.FixSize(n)
+	results := benchTrials(b, func(i int) TrialResult {
+		res, err := p.Trial(sc, n, uint64(i)+1)
+		if err != nil {
+			panic(err)
+		}
+		return res
 	})
 	var total uint64
 	fails := 0
@@ -89,23 +89,23 @@ func runSpec(b *testing.B, spec harness.Spec, n int) {
 
 // BenchmarkTable1 is E1: convergence steps of every protocol row across
 // ring sizes. The Θ(n³)-class baselines are capped at smaller sizes and
-// the [11]-style baseline at n=8 (see DESIGN.md).
+// the [11]-style baseline at n=8 (see internal/chenchen).
 func BenchmarkTable1(b *testing.B) {
 	type row struct {
-		spec  harness.Spec
+		proto Protocol
 		sizes []int
 	}
 	rows := []row{
-		{harness.AngluinSpec(), []int{9, 17, 33}},
-		{harness.FJSpec(), []int{8, 16, 32}},
-		{harness.ChenChenSpec(), []int{4, 8}},
-		{harness.YokotaSpec(), []int{16, 32, 64, 128}},
-		{harness.PPLSpec(0, core.DefaultC1, harness.InitRandom), []int{16, 32, 64, 128}},
+		{angluinProtocol{}, []int{9, 17, 33}},
+		{fjProtocol{}, []int{8, 16, 32}},
+		{chenchenProtocol{}, []int{4, 8}},
+		{yokotaProtocol{}, []int{16, 32, 64, 128}},
+		{PPL(0, 0), []int{16, 32, 64, 128}},
 	}
 	for _, r := range rows {
 		for _, n := range r.sizes {
-			b.Run(fmt.Sprintf("%s/n=%d", r.spec.Name, n), func(b *testing.B) {
-				runSpec(b, r.spec, n)
+			b.Run(fmt.Sprintf("%s/n=%d", r.proto.Info().Name, n), func(b *testing.B) {
+				runProtocol(b, r.proto, Scenario{}, n)
 			})
 		}
 	}
@@ -222,20 +222,24 @@ func BenchmarkModeDetermination(b *testing.B) {
 func BenchmarkTheorem31(b *testing.B) {
 	classes := []struct {
 		name string
-		init harness.InitClass
+		init InitClass
 	}{
-		{"random", harness.InitRandom},
-		{"noleader", harness.InitNoLeader},
-		{"allleaders", harness.InitAllLeaders},
-		{"corrupted", harness.InitCorrupted},
+		{"random", InitRandom},
+		{"noleader", InitNoLeader},
+		{"allleaders", InitAllLeaders},
+		{"corrupted", InitCorrupted},
 	}
 	for _, cl := range classes {
 		for _, n := range []int{32, 64, 128} {
 			b.Run(fmt.Sprintf("%s/n=%d", cl.name, n), func(b *testing.B) {
-				spec := harness.PPLSpec(0, core.DefaultC1, cl.init)
-				maxSteps := spec.MaxSteps(n)
-				results := benchTrials(b, func(i int) harness.Result {
-					return spec.Run(n, uint64(i)+1, maxSteps)
+				p := PPL(0, 0)
+				sc := Scenario{Init: cl.init}
+				results := benchTrials(b, func(i int) TrialResult {
+					res, err := p.Trial(sc, n, uint64(i)+1)
+					if err != nil {
+						panic(err)
+					}
+					return res
 				})
 				var total uint64
 				for _, res := range results {
@@ -273,8 +277,7 @@ func BenchmarkAblationKappa(b *testing.B) {
 	const n = 64
 	for _, c1 := range []int{2, 4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("c1=%d", c1), func(b *testing.B) {
-			spec := harness.PPLSpec(0, c1, harness.InitRandom)
-			runSpec(b, spec, n)
+			runProtocol(b, PPL(0, c1), Scenario{}, n)
 		})
 	}
 }
@@ -284,8 +287,7 @@ func BenchmarkAblationPsi(b *testing.B) {
 	const n = 64
 	for _, slack := range []int{0, 1, 2, 4} {
 		b.Run(fmt.Sprintf("slack=%d", slack), func(b *testing.B) {
-			spec := harness.PPLSpec(slack, core.DefaultC1, harness.InitRandom)
-			runSpec(b, spec, n)
+			runProtocol(b, PPL(slack, 0), Scenario{}, n)
 			b.ReportMetric(core.NewParamsSlack(n, slack, core.DefaultC1).BitsPerAgent(), "bits/agent")
 		})
 	}

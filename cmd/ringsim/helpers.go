@@ -4,32 +4,29 @@ import (
 	"fmt"
 
 	"repro"
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/xrand"
 )
 
 func newOrientation(n int, seed uint64) *repro.RingOrientation {
 	return repro.NewRingOrientation(n, repro.WithSeed(seed))
 }
 
-// printFinalPPL re-runs the ppl trial through the public API (same seeds)
-// and prints the converged configuration as a segment diagram.
-func printFinalPPL(n, slack, c1 int, init string, seed uint64) {
-	e := repro.NewRingElection(n, repro.WithSeed(seed), repro.WithSlack(slack), repro.WithC1(c1))
-	switch init {
-	case "noleader":
-		e.InitNoLeader()
-	case "allleaders":
-		// The harness uses the armed all-leaders configuration; fault
-		// injection over a perfect start is the closest public-API analog.
-		e.InitPerfect(0)
-		e.InjectFaults(n)
-	case "corrupted":
-		e.InitPerfect(0)
-		e.InjectFaults(n / 4)
-	default:
-		e.InitRandom(seed ^ 0xabcdef)
+// printFinalPPL replays the exact ppl trial (same init class, same seed
+// derivation via core.InitConfig) and prints the converged configuration
+// as a segment diagram.
+func printFinalPPL(n, slack, c1 int, init repro.InitClass, seed uint64) {
+	p := core.NewParamsSlack(n, slack, c1)
+	pr := core.New(p)
+	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
+	eng.SetStates(p.InitConfig(init.String(), seed))
+	_, ok := eng.RunUntil(func(cfg []core.State) bool { return p.IsSafe(cfg) },
+		n/2+1, 800*uint64(n)*uint64(n)*uint64(p.Psi))
+	if !ok {
+		return
 	}
-	if _, ok := e.RunToSafe(0); ok {
-		fmt.Println()
-		fmt.Print(e.Describe())
-	}
+	fmt.Println()
+	fmt.Printf("ring n=%d ψ=%d κ_max=%d |Q|=%d\n%s",
+		p.N, p.Psi, p.KappaMax, p.StateCount(), p.FormatRing(eng.Config()))
 }

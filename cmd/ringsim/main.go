@@ -1,19 +1,21 @@
 // Command ringsim runs one protocol instance on a ring and reports its
-// convergence behavior.
+// convergence behavior, through the public repro.Protocol registry.
 //
 // Usage:
 //
 //	ringsim -proto ppl -n 64 -seed 1 -init random [-v]
 //	ringsim -proto ppl -n 64 -trials 32            # parallel repetitions
+//	ringsim -proto ppl -n 64 -faults 200@1000,100@5000
 //
-// Protocols: ppl (the paper's P_PL), yokota [28], angluin [5], fj [15],
-// chenchen [11], orient (Section 5 ring orientation).
-// Initial configurations (ppl only): random, noleader, allleaders,
-// corrupted.
+// Protocols: any registered name — ppl (the paper's P_PL), yokota [28],
+// angluin [5], fj [15], chenchen [11], orient (Section 5 ring
+// orientation). Initial configurations (ppl only): random, noleader,
+// allleaders, corrupted, noleadercold. -faults injects mid-run bursts of
+// the form agents@step.
 //
 // With -trials k > 1, the k repetitions use seeds seed, seed+1, ...,
-// seed+k-1 and fan out across all cores through internal/runner; the summary
-// is identical to running them one at a time.
+// seed+k-1 and fan out across all cores through internal/runner; the
+// summary is identical to running them one at a time.
 package main
 
 import (
@@ -22,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro"
 	"repro/internal/core"
-	"repro/internal/harness"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -38,12 +42,13 @@ func main() {
 
 func run() error {
 	var (
-		proto   = flag.String("proto", "ppl", "protocol: ppl, yokota, angluin, fj, chenchen, orient")
+		proto   = flag.String("proto", "ppl", "protocol: "+strings.Join(repro.Protocols(), ", "))
 		n       = flag.Int("n", 64, "ring size")
 		seed    = flag.Uint64("seed", 1, "scheduler seed")
-		init    = flag.String("init", "random", "ppl initial configuration: random, noleader, allleaders, corrupted")
+		init    = flag.String("init", "random", "ppl initial configuration: random, noleader, allleaders, corrupted, noleadercold")
 		c1      = flag.Int("c1", core.DefaultC1, "κ_max multiplier (ppl)")
 		slack   = flag.Int("slack", 0, "ψ slack (ppl)")
+		faults  = flag.String("faults", "", "fault schedule, comma-separated agents@step bursts")
 		verbose = flag.Bool("v", false, "print the final configuration (ppl)")
 		stat    = flag.Bool("stats", false, "print event counters and a final snapshot (ppl)")
 		trials  = flag.Int("trials", 1, "number of repetitions (seeds seed..seed+trials-1, run in parallel)")
@@ -51,69 +56,91 @@ func run() error {
 	)
 	flag.Parse()
 
-	if *proto == "orient" {
-		return runOrient(*n, *seed)
-	}
-
-	spec, err := specFor(*proto, *slack, *c1, *init)
+	sc, err := scenarioFor(*init, *faults)
 	if err != nil {
 		return err
 	}
-	size := *n
-	if spec.FixSize != nil {
-		size = spec.FixSize(size)
-		if size != *n {
-			fmt.Printf("note: ring size adjusted to %d for %s\n", size, spec.Name)
-		}
+	// The direction-printing single-run path only covers the default
+	// scenario; with -faults or a non-random -init, orient goes through the
+	// generic Protocol path so the scenario actually applies.
+	if *proto == "orient" && *trials <= 1 && len(sc.Faults) == 0 && sc.Init == repro.InitRandom {
+		return runOrient(*n, *seed)
+	}
+
+	p, err := protocolFor(*proto, *slack, *c1)
+	if err != nil {
+		return err
+	}
+	info := p.Info()
+	size := p.FixSize(*n)
+	if size != *n {
+		fmt.Printf("note: ring size adjusted to %d for %s\n", size, info.Name)
 	}
 	if *trials > 1 {
 		if *verbose || *stat {
 			fmt.Println("note: -v and -stats apply to single trials only; ignored with -trials > 1")
 		}
-		return runRepeated(spec, size, *seed, *trials, *workers)
+		return runRepeated(p, sc, size, *seed, *trials, *workers)
 	}
-	res := spec.Run(size, *seed, spec.MaxSteps(size))
-	fmt.Printf("protocol    : %s\n", spec.Name)
-	fmt.Printf("assumption  : %s\n", spec.Assumption)
+	res, err := p.Trial(sc, size, *seed)
+	if err != nil {
+		return err
+	}
+	maxSteps := sc.MaxSteps(p, size)
+	fmt.Printf("protocol    : %s\n", info.Name)
+	fmt.Printf("assumption  : %s\n", info.Assumption)
 	fmt.Printf("ring size   : %d\n", size)
-	fmt.Printf("|Q|         : %d states/agent\n", spec.States(size))
+	fmt.Printf("|Q|         : %d states/agent\n", p.States(size))
 	if !res.Converged {
-		return fmt.Errorf("did not converge within %d steps", spec.MaxSteps(size))
+		return fmt.Errorf("did not converge within %d steps", maxSteps)
 	}
 	fmt.Printf("safe after  : %d steps\n", res.Steps)
 	fmt.Printf("output fixed: step %d (last leader change)\n", res.Stabilized)
-	if *stat && *proto == "ppl" {
-		printStatsPPL(size, *slack, *c1, *init, *seed)
-	}
-	if *verbose && *proto == "ppl" {
-		printFinalPPL(size, *slack, *c1, *init, *seed)
+	if (*stat || *verbose) && len(sc.Faults) > 0 {
+		fmt.Println("note: -v and -stats replay the fault-free trajectory; ignored with -faults")
+	} else {
+		if *stat && *proto == "ppl" {
+			printStatsPPL(size, *slack, *c1, sc.Init, *seed)
+		}
+		if *verbose && *proto == "ppl" {
+			printFinalPPL(size, *slack, *c1, sc.Init, *seed)
+		}
 	}
 	return nil
 }
 
-// runRepeated fans trials repetitions of one spec out across the worker
-// pool and prints aggregate convergence statistics.
-func runRepeated(spec harness.Spec, n int, seed uint64, trials, workers int) error {
-	maxSteps := spec.MaxSteps(n)
-	results, err := runner.Map(context.Background(), trials, func(i int) harness.Result {
-		return spec.Run(n, seed+uint64(i), maxSteps)
+// runRepeated fans trials repetitions of one protocol out across the
+// worker pool and prints aggregate convergence statistics.
+func runRepeated(p repro.Protocol, sc repro.Scenario, n int, seed uint64, trials, workers int) error {
+	type trial struct {
+		res repro.TrialResult
+		err error
+	}
+	results, err := runner.Map(context.Background(), trials, func(i int) trial {
+		res, err := p.Trial(sc, n, seed+uint64(i))
+		return trial{res, err}
 	}, runner.Options{Workers: workers})
 	if err != nil {
 		return err
 	}
+	maxSteps := sc.MaxSteps(p, n)
 	var steps []float64
 	failures := 0
-	for _, res := range results {
-		if !res.Converged {
+	for _, tr := range results {
+		if tr.err != nil {
+			return tr.err
+		}
+		if !tr.res.Converged {
 			failures++
 			continue
 		}
-		steps = append(steps, float64(res.Steps))
+		steps = append(steps, float64(tr.res.Steps))
 	}
-	fmt.Printf("protocol    : %s\n", spec.Name)
-	fmt.Printf("assumption  : %s\n", spec.Assumption)
+	info := p.Info()
+	fmt.Printf("protocol    : %s\n", info.Name)
+	fmt.Printf("assumption  : %s\n", info.Assumption)
 	fmt.Printf("ring size   : %d\n", n)
-	fmt.Printf("|Q|         : %d states/agent\n", spec.States(n))
+	fmt.Printf("|Q|         : %d states/agent\n", p.States(n))
 	fmt.Printf("trials      : %d (seeds %d..%d)\n", trials, seed, seed+uint64(trials)-1)
 	if failures > 0 {
 		fmt.Printf("failures    : %d (budget %d steps)\n", failures, maxSteps)
@@ -127,40 +154,38 @@ func runRepeated(spec harness.Spec, n int, seed uint64, trials, workers int) err
 	return nil
 }
 
-func specFor(proto string, slack, c1 int, init string) (harness.Spec, error) {
-	initClass, err := initFor(init)
-	if err != nil {
-		return harness.Spec{}, err
+// protocolFor resolves a protocol name through the public registry; the
+// ppl parameters come from the -slack and -c1 flags.
+func protocolFor(proto string, slack, c1 int) (repro.Protocol, error) {
+	if proto == "ppl" {
+		return repro.PPL(slack, c1), nil
 	}
-	switch proto {
-	case "ppl":
-		return harness.PPLSpec(slack, c1, initClass), nil
-	case "yokota":
-		return harness.YokotaSpec(), nil
-	case "angluin":
-		return harness.AngluinSpec(), nil
-	case "fj":
-		return harness.FJSpec(), nil
-	case "chenchen":
-		return harness.ChenChenSpec(), nil
-	default:
-		return harness.Spec{}, fmt.Errorf("unknown protocol %q", proto)
-	}
+	return repro.NewProtocol(proto)
 }
 
-func initFor(init string) (harness.InitClass, error) {
-	switch init {
-	case "random":
-		return harness.InitRandom, nil
-	case "noleader":
-		return harness.InitNoLeader, nil
-	case "allleaders":
-		return harness.InitAllLeaders, nil
-	case "corrupted":
-		return harness.InitCorrupted, nil
-	default:
-		return 0, fmt.Errorf("unknown init class %q", init)
+// scenarioFor builds the trial scenario from the -init and -faults flags.
+func scenarioFor(init, faults string) (repro.Scenario, error) {
+	class, err := repro.ParseInitClass(init)
+	if err != nil {
+		return repro.Scenario{}, err
 	}
+	sc := repro.Scenario{Init: class}
+	if faults == "" {
+		return sc, nil
+	}
+	for _, part := range strings.Split(faults, ",") {
+		agents, step, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return repro.Scenario{}, fmt.Errorf("bad fault burst %q (want agents@step)", part)
+		}
+		k, err1 := strconv.Atoi(agents)
+		at, err2 := strconv.ParseUint(step, 10, 64)
+		if err1 != nil || err2 != nil || k < 1 {
+			return repro.Scenario{}, fmt.Errorf("bad fault burst %q (want agents@step)", part)
+		}
+		sc.Faults = append(sc.Faults, repro.Fault{AtStep: at, Agents: k})
+	}
+	return sc, nil
 }
 
 func runOrient(n int, seed uint64) error {

@@ -1,33 +1,66 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
 
-func TestSpecForKnownProtocols(t *testing.T) {
-	for _, proto := range []string{"ppl", "yokota", "angluin", "fj", "chenchen"} {
-		spec, err := specFor(proto, 0, 8, "random")
+	"repro"
+)
+
+func TestProtocolForKnownProtocols(t *testing.T) {
+	for _, proto := range []string{"ppl", "yokota", "angluin", "fj", "chenchen", "orient"} {
+		p, err := protocolFor(proto, 0, 8)
 		if err != nil {
 			t.Fatalf("%s: %v", proto, err)
 		}
-		if spec.Name == "" || spec.Run == nil || spec.MaxSteps == nil {
-			t.Fatalf("%s: incomplete spec %+v", proto, spec)
+		if p.Info().Name == "" || p.MaxSteps(16) == 0 || p.States(16) == 0 {
+			t.Fatalf("%s: incomplete protocol %+v", proto, p.Info())
 		}
 	}
 }
 
-func TestSpecForUnknownProtocol(t *testing.T) {
-	if _, err := specFor("paxos", 0, 8, "random"); err == nil {
+func TestProtocolForUnknownProtocol(t *testing.T) {
+	if _, err := protocolFor("paxos", 0, 8); err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
 }
 
-func TestInitForClasses(t *testing.T) {
-	for _, init := range []string{"random", "noleader", "allleaders", "corrupted"} {
-		if _, err := initFor(init); err != nil {
+func TestScenarioForClasses(t *testing.T) {
+	for _, init := range []string{"random", "noleader", "allleaders", "corrupted", "noleadercold"} {
+		sc, err := scenarioFor(init, "")
+		if err != nil {
 			t.Fatalf("%s: %v", init, err)
 		}
+		if sc.Init.String() != init {
+			t.Fatalf("round trip: %q -> %v", init, sc.Init)
+		}
 	}
-	if _, err := initFor("bogus"); err == nil {
+	if _, err := scenarioFor("bogus", ""); err == nil {
 		t.Fatal("unknown init class accepted")
+	}
+}
+
+func TestScenarioForFaults(t *testing.T) {
+	sc, err := scenarioFor("random", "8@100, 4@50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []repro.Fault{{AtStep: 100, Agents: 8}, {AtStep: 50, Agents: 4}}
+	if len(sc.Faults) != len(want) {
+		t.Fatalf("faults = %+v", sc.Faults)
+	}
+	for i := range want {
+		if sc.Faults[i] != want[i] {
+			t.Fatalf("faults = %+v, want %+v", sc.Faults, want)
+		}
+	}
+	for _, bad := range []string{"8", "x@100", "8@y", "0@100", "@"} {
+		if _, err := scenarioFor("random", bad); err == nil {
+			t.Fatalf("bad schedule %q accepted", bad)
+		}
+		if err != nil && !strings.Contains(err.Error(), "fault burst") {
+			t.Fatalf("unexpected error for %q: %v", bad, err)
+		}
 	}
 }
 

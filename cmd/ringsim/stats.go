@@ -3,24 +3,21 @@ package main
 import (
 	"fmt"
 
+	"repro"
 	"repro/internal/core"
-	"repro/internal/harness"
 	"repro/internal/population"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
-// printStatsPPL re-runs the ppl trial with an event collector attached and
+// printStatsPPL replays the exact ppl trial (same init class, same seed
+// derivation via core.InitConfig) with an event collector attached and
 // prints the per-phase accounting.
-func printStatsPPL(n, slack, c1 int, init string, seed uint64) {
+func printStatsPPL(n, slack, c1 int, init repro.InitClass, seed uint64) {
 	p := core.NewParamsSlack(n, slack, c1)
 	pr := core.New(p)
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
-	initClass, err := initFor(init)
-	if err != nil {
-		initClass = harness.InitRandom
-	}
-	eng.SetStates(harness.InitialConfig(p, initClass, seed))
+	eng.SetStates(p.InitConfig(init.String(), seed))
 	col := trace.NewCollector(p)
 	eng.SetObserver(col.Observe)
 	_, ok := eng.RunUntil(func(cfg []core.State) bool { return p.IsSafe(cfg) },

@@ -1,5 +1,6 @@
-// Command sweep runs the full experiment suite (E1–E13 of DESIGN.md) and
-// prints a markdown report; EXPERIMENTS.md records a run of this tool.
+// Command sweep runs the full experiment suite (E1–E13) and prints a
+// markdown report; protocol rows run through the public repro.Experiment
+// API.
 //
 // Every trial-driving section fans its independent trials out across the
 // internal/runner worker pool; per-trial seeds are derived deterministically
@@ -12,6 +13,8 @@
 //	sweep -quick          reduced sizes/trials (tens of seconds)
 //	sweep -only E8        run a single experiment section
 //	sweep -workers 4      cap the trial worker pool (default: all cores)
+//	sweep -json FILE      also write the E1 Table 1 report as JSON
+//	sweep -csv FILE       also write the E1 Table 1 report as CSV
 package main
 
 import (
@@ -26,7 +29,6 @@ import (
 
 	"repro"
 	"repro/internal/core"
-	"repro/internal/harness"
 	"repro/internal/lottery"
 	"repro/internal/orient"
 	"repro/internal/population"
@@ -49,10 +51,15 @@ type profile struct {
 // the -workers flag in main.
 var pool runner.Options
 
+// table1Report holds the E1 report for the -json/-csv artifact writers.
+var table1Report *repro.Report
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced sizes and trial counts")
 	only := flag.String("only", "", "run a single section (E1..E13)")
 	workers := flag.Int("workers", 0, "trial worker-pool size (0 = all cores)")
+	jsonPath := flag.String("json", "", "write the E1 Table 1 report as JSON to this file")
+	csvPath := flag.String("csv", "", "write the E1 Table 1 report as CSV to this file")
 	flag.Parse()
 	pool = runner.Options{Workers: *workers}
 
@@ -91,7 +98,29 @@ func main() {
 		}
 		s.run(prof)
 	}
+	writeReport(*jsonPath, *csvPath)
 	fmt.Printf("\n_sweep completed in %v_\n", time.Since(start).Round(time.Second))
+}
+
+// writeReport writes the E1 report artifacts requested by -json/-csv.
+func writeReport(jsonPath, csvPath string) {
+	if jsonPath == "" && csvPath == "" {
+		return
+	}
+	if table1Report == nil {
+		fmt.Fprintln(os.Stderr, "sweep: -json/-csv need the E1 section (remove -only or use -only E1)")
+		os.Exit(1)
+	}
+	if jsonPath != "" {
+		data, err := table1Report.JSON()
+		check(err)
+		check(os.WriteFile(jsonPath, data, 0o644))
+	}
+	if csvPath != "" {
+		data, err := table1Report.CSV()
+		check(err)
+		check(os.WriteFile(csvPath, data, 0o644))
+	}
 }
 
 func header(id, title string) {
@@ -107,11 +136,39 @@ func check(err error) {
 	}
 }
 
-// sweep fans a spec's trials out through the shared worker pool.
-func sweep(spec harness.Spec, sizes []int, trials int) []harness.Cell {
-	cells, err := harness.SweepContext(context.Background(), spec, sizes, trials, pool)
+// sweepRow runs one protocol through the public Experiment API and returns
+// its report row (cells in size order plus the fitted exponent).
+func sweepRow(p repro.Protocol, sc repro.Scenario, sizes []int, trials int) repro.ReportRow {
+	rep, err := repro.NewExperiment().
+		Protocols(p).
+		Sizes(sizes...).
+		Trials(trials).
+		Scenario(sc).
+		Workers(pool.Workers).
+		Run(context.Background())
 	check(err)
-	return cells
+	return rep.Rows[0]
+}
+
+// normalizedBy divides each cell's mean steps by f(n) — flatness against a
+// conjectured growth law.
+func normalizedBy(cells []repro.ReportCell, f func(n int) float64) []float64 {
+	var out []float64
+	for _, c := range cells {
+		if c.Steps.Count == 0 {
+			continue
+		}
+		out = append(out, c.Steps.Mean/f(c.N))
+	}
+	return out
+}
+
+// cellMean returns the mean convergence steps of a cell, or 0 without data.
+func cellMean(c repro.ReportCell) float64 {
+	if c.Steps.Count == 0 {
+		return 0
+	}
+	return c.Steps.Mean
 }
 
 // trialMeans runs trials of fn in parallel and returns the mean of the
@@ -135,12 +192,21 @@ func trialMeans(trials int, fn func(trial int) (float64, bool)) float64 {
 	return stats.Mean(xs)
 }
 
-// e1Table1 regenerates Table 1 (E1 time column, E2 states column).
+// e1Table1 regenerates Table 1 (E1 time column, E2 states column) through
+// the Experiment builder — the same protocols, sizes and seeds as
+// repro.Comparison — and keeps the structured report for -json/-csv.
 func e1Table1(p profile) {
 	header("E1/E2", "Table 1: convergence time and state count per protocol")
-	res, err := repro.ComparisonContext(context.Background(), p.table1Sizes, p.table1Trials, 16, pool)
+	rep, err := repro.NewExperiment().
+		ProtocolNames("angluin", "fj", "chenchen", "yokota", "ppl").
+		Sizes(p.table1Sizes...).
+		Trials(p.table1Trials).
+		MaxSizeFor("[11] Chen–Chen", 16).
+		Workers(pool.Workers).
+		Run(context.Background())
 	check(err)
-	fmt.Print(res.Markdown)
+	table1Report = rep
+	fmt.Print(rep.Markdown())
 	fmt.Println("\nBits per agent (E2, P_PL vs [28]):")
 	fmt.Println("\n| n | P_PL bits | [28] bits |")
 	fmt.Println("|---|---|---|")
@@ -289,22 +355,21 @@ func e8Theorem31(p profile) {
 	header("E8", "Theorem 3.1: P_PL reaches S_PL in O(n² log n) steps")
 	classes := []struct {
 		name string
-		init harness.InitClass
+		init repro.InitClass
 	}{
-		{"random", harness.InitRandom},
-		{"allleaders", harness.InitAllLeaders},
-		{"corrupted", harness.InitCorrupted},
+		{"random", repro.InitRandom},
+		{"allleaders", repro.InitAllLeaders},
+		{"corrupted", repro.InitCorrupted},
 	}
 	fmt.Println("| init class | " + sizesHeader(p.deepSizes) + " fitted exponent |")
 	fmt.Println("|---|" + strings.Repeat("---|", len(p.deepSizes)+1))
 	for _, cl := range classes {
-		spec := harness.PPLSpec(0, core.DefaultC1, cl.init)
-		cells := sweep(spec, p.deepSizes, p.deepTrials)
+		row := sweepRow(repro.PPL(0, 0), repro.Scenario{Init: cl.init}, p.deepSizes, p.deepTrials)
 		fmt.Printf("| %s |", cl.name)
-		for _, c := range cells {
+		for _, c := range row.Cells {
 			fmt.Printf(" %.3g |", c.Steps.Mean)
 		}
-		fmt.Printf(" n^%.2f |\n", harness.Exponent(cells))
+		fmt.Printf(" n^%.2f |\n", row.Exponent)
 	}
 	// The leaderless class behaves qualitatively differently depending on
 	// whether 2ψ divides n: with a seam, the first distance wrap is an
@@ -313,23 +378,21 @@ func e8Theorem31(p profile) {
 	fmt.Println("\nLeaderless starts (all-Detect, aligned distances), seam-free sizes (2ψ | n):")
 	fmt.Println("\n| n | mean steps | notes |")
 	fmt.Println("|---|---|---|")
-	spec := harness.PPLSpec(0, core.DefaultC1, harness.InitNoLeader)
 	for _, n := range []int{16, 48, 112, 256} {
-		cells := sweep(spec, []int{n}, p.deepTrials)
+		row := sweepRow(repro.PPL(0, 0), repro.Scenario{Init: repro.InitNoLeader}, []int{n}, p.deepTrials)
 		fmt.Printf("| %d | %.3g | token-comparison detection + full reconstruction |\n",
-			n, cells[0].Steps.Mean)
+			n, row.Cells[0].Steps.Mean)
 	}
 	// Normalized flatness for the random class.
-	spec = harness.PPLSpec(0, core.DefaultC1, harness.InitRandom)
-	cells := sweep(spec, p.deepSizes, p.deepTrials)
-	norm := harness.NormalizedBy(cells, func(n int) float64 {
+	row := sweepRow(repro.PPL(0, 0), repro.Scenario{}, p.deepSizes, p.deepTrials)
+	norm := normalizedBy(row.Cells, func(n int) float64 {
 		return float64(n) * float64(n) * math.Log2(float64(n))
 	})
 	fmt.Printf("\nsteps/(n² log n), random class: %s — flat ⇒ the bound is tight up to constants.\n",
 		floats(norm))
 	// Contrast: [28] at the same sizes for the ×log n separation.
-	yok := sweep(harness.YokotaSpec(), p.deepSizes, p.deepTrials)
-	normY := harness.NormalizedBy(yok, func(n int) float64 { return float64(n) * float64(n) })
+	yok := sweepRow(mustProtocol("yokota"), repro.Scenario{}, p.deepSizes, p.deepTrials)
+	normY := normalizedBy(yok.Cells, func(n int) float64 { return float64(n) * float64(n) })
 	fmt.Printf("steps/n², [28] baseline:        %s — flat ⇒ Θ(n²), the paper's separation.\n", floats(normY))
 }
 
@@ -366,16 +429,11 @@ func e10Kappa(p profile) {
 	fmt.Println("| c₁ | steps to S_PL (random start) | steps to S_PL (cold leaderless) | failures |")
 	fmt.Println("|---|---|---|---|")
 	for _, c1 := range []int{2, 4, 8, 16, 32} {
-		random := sweep(harness.PPLSpec(0, c1, harness.InitRandom), []int{n}, p.trials)
-		cold := sweep(harness.PPLSpec(0, c1, harness.InitNoLeaderCold), []int{n}, p.trials)
-		rm, cm := 0.0, 0.0
-		if random[0].Steps.Count > 0 {
-			rm = random[0].Steps.Mean
-		}
-		if cold[0].Steps.Count > 0 {
-			cm = cold[0].Steps.Mean
-		}
-		fmt.Printf("| %d | %.3g | %.3g | %d |\n", c1, rm, cm, random[0].Failures+cold[0].Failures)
+		random := sweepRow(repro.PPL(0, c1), repro.Scenario{}, []int{n}, p.trials)
+		cold := sweepRow(repro.PPL(0, c1), repro.Scenario{Init: repro.InitNoLeaderCold}, []int{n}, p.trials)
+		fmt.Printf("| %d | %.3g | %.3g | %d |\n", c1,
+			cellMean(random.Cells[0]), cellMean(cold.Cells[0]),
+			random.Cells[0].Failures+cold.Cells[0].Failures)
 	}
 	fmt.Println("\nRandom starts are κ_max-insensitive (identical trajectories: the clock")
 	fmt.Println("value only matters through detection mode, which dense starts never use);")
@@ -390,9 +448,8 @@ func e11Psi(p profile) {
 	fmt.Println("|---|---|---|---|")
 	for _, slack := range []int{0, 1, 2, 4} {
 		par := core.NewParamsSlack(n, slack, core.DefaultC1)
-		spec := harness.PPLSpec(slack, core.DefaultC1, harness.InitRandom)
-		cells := sweep(spec, []int{n}, p.trials)
-		fmt.Printf("| %d | %d | %.1f | %.3g |\n", slack, par.Psi, par.BitsPerAgent(), cells[0].Steps.Mean)
+		row := sweepRow(repro.PPL(slack, 0), repro.Scenario{}, []int{n}, p.trials)
+		fmt.Printf("| %d | %d | %.1f | %.3g |\n", slack, par.Psi, par.BitsPerAgent(), row.Cells[0].Steps.Mean)
 	}
 }
 
@@ -443,6 +500,13 @@ func e13Closure(p profile) {
 	for _, row := range rows {
 		fmt.Println(row)
 	}
+}
+
+// mustProtocol resolves a registered protocol or aborts the sweep.
+func mustProtocol(name string) repro.Protocol {
+	p, err := repro.NewProtocol(name)
+	check(err)
+	return p
 }
 
 func sizesHeader(sizes []int) string {

@@ -1,14 +1,15 @@
 // Command table1 regenerates the paper's Table 1 empirically: it sweeps
-// ring sizes for the paper's protocol and the four baselines, measures
-// convergence steps from random adversarial configurations, fits scaling
-// exponents, and prints the comparison as markdown.
+// ring sizes for the paper's protocol and the four baselines through the
+// public repro.Experiment API, measures convergence steps from random
+// adversarial configurations, fits scaling exponents, and prints the
+// comparison as markdown (or JSON/CSV for machine consumption).
 //
-// Trials fan out across all cores through internal/runner; the table is
+// Trials fan out across all cores through internal/runner; the output is
 // identical whatever the worker count.
 //
 // Usage:
 //
-//	table1 -sizes 16,32,64 -trials 5 -ccmax 8 [-workers 4]
+//	table1 -sizes 16,32,64 -trials 5 -ccmax 8 [-workers 4] [-json|-csv]
 package main
 
 import (
@@ -20,7 +21,6 @@ import (
 	"strings"
 
 	"repro"
-	"repro/internal/runner"
 )
 
 func main() {
@@ -29,21 +29,52 @@ func main() {
 		trials  = flag.Int("trials", 5, "trials per (protocol, size) cell")
 		ccmax   = flag.Int("ccmax", 8, "largest size for the [11]-style baseline")
 		workers = flag.Int("workers", 0, "trial worker-pool size (0 = all cores)")
+		asJSON  = flag.Bool("json", false, "emit the structured report as JSON instead of markdown")
+		asCSV   = flag.Bool("csv", false, "emit the per-cell summaries as CSV instead of markdown")
 	)
 	flag.Parse()
 
-	ns, err := parseSizes(*sizes)
-	if err != nil {
+	if err := run(*sizes, *trials, *ccmax, *workers, *asJSON, *asCSV); err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)
 	}
-	res, err := repro.ComparisonContext(context.Background(), ns, *trials, *ccmax,
-		runner.Options{Workers: *workers})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "table1:", err)
-		os.Exit(1)
+}
+
+func run(sizes string, trials, ccmax, workers int, asJSON, asCSV bool) error {
+	if asJSON && asCSV {
+		return fmt.Errorf("-json and -csv are mutually exclusive")
 	}
-	fmt.Print(res.Markdown)
+	ns, err := parseSizes(sizes)
+	if err != nil {
+		return err
+	}
+	rep, err := repro.NewExperiment().
+		ProtocolNames("angluin", "fj", "chenchen", "yokota", "ppl").
+		Sizes(ns...).
+		Trials(trials).
+		MaxSizeFor("[11] Chen–Chen", ccmax).
+		Workers(workers).
+		Run(context.Background())
+	if err != nil {
+		return err
+	}
+	switch {
+	case asJSON:
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", data)
+	case asCSV:
+		data, err := rep.CSV()
+		if err != nil {
+			return err
+		}
+		fmt.Print(string(data))
+	default:
+		fmt.Print(rep.Markdown())
+	}
+	return nil
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -2,16 +2,17 @@ package repro
 
 import (
 	"context"
-	"fmt"
-	"strings"
 
-	"repro/internal/harness"
 	"repro/internal/runner"
 )
 
 // ComparisonResult is the outcome of a Table 1 regeneration: the measured
 // convergence steps of every protocol across ring sizes plus the fitted
 // scaling exponents.
+//
+// Comparison is a thin compatibility shim over the Experiment builder;
+// new code should use NewExperiment directly and keep the structured
+// Report it returns.
 type ComparisonResult struct {
 	// Markdown holds the rendered steps-per-size table followed by the
 	// Table 1 summary (assumption, paper bound, fitted exponent, states).
@@ -25,7 +26,8 @@ type ComparisonResult struct {
 // paper's protocol and the four baselines from random adversarial
 // configurations across the given ring sizes (trials each) and fits the
 // scaling exponents. The [11]-style baseline is included only for sizes
-// up to maxChenChen (its original is super-exponential; see DESIGN.md).
+// up to maxChenChen (its original is super-exponential; see the package
+// comment of internal/chenchen).
 //
 // This is compute-heavy at larger sizes; sizes of {16, 32, 64} with a
 // handful of trials complete in seconds, {128, 256} in minutes. Trials run
@@ -40,42 +42,21 @@ func Comparison(sizes []int, trials, maxChenChen int) ComparisonResult {
 	return res
 }
 
-// ComparisonContext is Comparison with cancellation and worker-pool control:
-// each protocol's trials fan out through the internal/runner pool, so the
-// Θ(n³)-class baselines no longer serialize the whole regeneration. Results
-// are byte-identical to serial execution for the same seeds.
+// ComparisonContext is Comparison with cancellation and worker-pool
+// control: each protocol's trials fan out through the internal/runner
+// pool, so the Θ(n³)-class baselines no longer serialize the whole
+// regeneration. Results are byte-identical to serial execution for the
+// same seeds.
 func ComparisonContext(ctx context.Context, sizes []int, trials, maxChenChen int, opts runner.Options) (ComparisonResult, error) {
-	specs := []harness.Spec{
-		harness.AngluinSpec(),
-		harness.FJSpec(),
-		harness.ChenChenSpec(),
-		harness.YokotaSpec(),
-		harness.PPLSpec(0, 8, harness.InitRandom),
+	rep, err := NewExperiment().
+		ProtocolNames("angluin", "fj", "chenchen", "yokota", "ppl").
+		Sizes(sizes...).
+		Trials(trials).
+		MaxSizeFor("[11] Chen–Chen", maxChenChen).
+		Workers(opts.Workers).
+		Run(ctx)
+	if err != nil {
+		return ComparisonResult{}, err
 	}
-	all := make([][]harness.Cell, len(specs))
-	exps := make(map[string]float64, len(specs))
-	for i, spec := range specs {
-		sz := sizes
-		if spec.Name == "[11] Chen–Chen" {
-			sz = nil
-			for _, n := range sizes {
-				if n <= maxChenChen {
-					sz = append(sz, n)
-				}
-			}
-		}
-		cells, err := harness.SweepContext(ctx, spec, sz, trials, opts)
-		if err != nil {
-			return ComparisonResult{}, err
-		}
-		all[i] = cells
-		exps[spec.Name] = harness.Exponent(all[i])
-	}
-	var b strings.Builder
-	b.WriteString("### Mean convergence steps (random adversarial starts)\n\n")
-	b.WriteString(harness.Table(specs, all, sizes))
-	b.WriteString("\n### Table 1 reproduction\n\n")
-	b.WriteString(harness.SummaryTable(specs, all, sizes[len(sizes)-1]))
-	fmt.Fprintf(&b, "\nTrials per cell: %d.\n", trials)
-	return ComparisonResult{Markdown: b.String(), Exponents: exps}, nil
+	return ComparisonResult{Markdown: rep.Markdown(), Exponents: rep.Exponents()}, nil
 }

@@ -4,30 +4,59 @@
 //	Protocol for Self-stabilizing Leader Election on Rings with a
 //	Poly-logarithmic Number of States." PODC 2023 (arXiv:2305.08375).
 //
-// The root package is the public façade: RingElection runs the paper's
-// protocol P_PL on a simulated directed ring, RingOrientation runs the
-// Section 5 orientation protocol P_OR on an undirected ring, and
-// Comparison regenerates the paper's Table 1 against the four baseline
-// protocols. The building blocks live under internal/: the population
-// protocol engine (internal/population), the protocol itself
-// (internal/core), the shared elimination war (internal/war), the
-// baselines (internal/yokota, internal/angluin, internal/fj,
-// internal/chenchen), the substrates (internal/thuemorse,
-// internal/twohop, internal/lottery), the experiment harness
-// (internal/harness, internal/stats) and the parallel trial-execution
-// engine (internal/runner), through which every trial-driving layer fans
-// independent trials out across all cores with deterministic per-trial
-// seeds — results are byte-identical to serial execution, just faster.
+// The root package is the public experiment API, built from three
+// composable concepts:
+//
+//   - Protocol — the one contract every protocol under test satisfies:
+//     parameter construction per ring size, the initial configuration of a
+//     scenario and seed, the step function and convergence predicate
+//     (exercised through Trial), and the exact state count. A named
+//     registry (Register, Protocols, NewProtocol) ships the paper's P_PL
+//     ("ppl") and P_OR ("orient") plus the four Table 1 baselines
+//     ("yokota", "angluin", "fj", "chenchen"); external protocols plug in
+//     through Register.
+//
+//   - Scenario — everything about a trial except the protocol and ring
+//     size: the interaction topology, the adversarial init class
+//     (including the cold-start and corrupted families), an optional
+//     mid-run fault-injection schedule, and the step-budget policy. The
+//     zero Scenario is the standard random-adversary experiment.
+//
+//   - Experiment — a builder that runs a protocol × size trial matrix and
+//     returns a structured Report (per-trial results, per-cell summaries,
+//     fitted scaling exponents) with Markdown, JSON and CSV renderers.
 //
 // Quickstart:
 //
-//	e := repro.NewRingElection(64, repro.WithSeed(1))
-//	e.InitRandom(2) // adversarial start
-//	steps, ok := e.RunToSafe(0)
-//	leader, _ := e.Leader()
-//	fmt.Println(steps, ok, leader)
+//	rep, err := repro.NewExperiment().
+//	        ProtocolNames("ppl", "yokota").
+//	        Sizes(16, 32, 64).
+//	        Trials(5).
+//	        Run(context.Background())
+//	if err != nil {
+//	        log.Fatal(err)
+//	}
+//	fmt.Print(rep.Markdown())
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and documented reconstruction choices, and EXPERIMENTS.md for
-// the paper-versus-measured record of every table and figure.
+// Trials fan out across all cores through the internal trial-execution
+// engine with deterministic per-trial seeds (TrialSeed), so a Report is
+// byte-identical whatever the worker count — parallelism changes
+// wall-clock time, never a number in an artifact.
+//
+// For driving a single simulation interactively, RingElection runs P_PL
+// on a directed ring and RingOrientation runs the Section 5 orientation
+// protocol on an undirected ring. Comparison regenerates the paper's
+// Table 1 and is kept as a thin compatibility shim over Experiment.
+//
+// The building blocks live under internal/: the population-protocol
+// engine (internal/population), the protocol itself (internal/core), the
+// baselines (internal/yokota, internal/angluin, internal/fj,
+// internal/chenchen), the substrates (internal/thuemorse, internal/twohop,
+// internal/lottery), the experiment harness (internal/harness,
+// internal/stats) and the parallel trial-execution engine
+// (internal/runner).
+//
+// See README.md for the architecture overview and the examples/ directory
+// for runnable walkthroughs of the election, orientation, fault-injection
+// and experiment APIs.
 package repro

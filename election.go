@@ -44,7 +44,7 @@ func (o c1Option) apply(opts *options) { opts.c1 = int(o) }
 
 // WithC1 sets the κ_max multiplier (κ_max = c1·ψ). The paper's analysis
 // uses c1 ≥ 32; smaller values remain self-stabilizing but weaken the
-// w.h.p. constants (see DESIGN.md E10).
+// w.h.p. constants (see the E10 section of cmd/sweep).
 func WithC1(c1 int) Option { return c1Option(c1) }
 
 // RingElection simulates the paper's protocol P_PL on a directed ring of n

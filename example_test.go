@@ -1,7 +1,9 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"repro"
 )
@@ -27,6 +29,28 @@ func ExampleRingElection_faultRecovery() {
 	_, recovered := e.RunToSafe(0)
 	fmt.Println(recovered, e.LeaderCount())
 	// Output: true 1
+}
+
+// Run a small experiment through the public builder API: the paper's
+// protocol against the [28] baseline, three sizes, deterministic seeds,
+// rendered as the markdown Table 1 layout. The same Report also renders
+// as JSON and CSV.
+func ExampleExperiment() {
+	rep, err := repro.NewExperiment().
+		ProtocolNames("yokota", "ppl").
+		Sizes(8, 16, 32).
+		Trials(2).
+		Run(context.Background())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	md := rep.Markdown()
+	fmt.Println(len(rep.Rows),
+		strings.Contains(md, "### Table 1 reproduction"),
+		strings.Contains(md, "P_PL (this work)"),
+		rep.Rows[0].ExponentOK)
+	// Output: 2 true true true
 }
 
 // Agree on a common direction on an undirected ring (Section 5), the

@@ -1,14 +1,15 @@
 // Comparison: regenerate a small instance of the paper's Table 1 — the
-// paper's protocol against the four prior ring SS-LE protocols — and print
-// the measured convergence steps, fitted scaling exponents and exact state
-// counts as markdown.
+// paper's protocol against the four prior ring SS-LE protocols — through
+// the public Experiment API, and print the measured convergence steps,
+// fitted scaling exponents and exact state counts as markdown.
 //
-// For the full-size regeneration used in EXPERIMENTS.md, run cmd/table1 or
-// cmd/sweep.
+// For the full-size regeneration, run cmd/table1 or cmd/sweep.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"repro"
 )
@@ -16,10 +17,21 @@ import (
 func main() {
 	fmt.Println("regenerating Table 1 at small scale (n ∈ {16, 32, 64}, 3 trials)...")
 	fmt.Println()
-	res := repro.Comparison([]int{16, 32, 64}, 3, 16)
-	fmt.Print(res.Markdown)
+	rep, err := repro.NewExperiment().
+		ProtocolNames("angluin", "fj", "chenchen", "yokota", "ppl").
+		Sizes(16, 32, 64).
+		Trials(3).
+		MaxSizeFor("[11] Chen–Chen", 16).
+		Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Markdown())
 	fmt.Println("\nfitted exponents (steps ≈ a·n^b):")
-	for name, exp := range res.Exponents {
-		fmt.Printf("  %-24s b = %.2f\n", name, exp)
+	for _, row := range rep.Rows {
+		if !row.ExponentOK {
+			continue
+		}
+		fmt.Printf("  %-24s b = %.2f\n", row.Protocol.Name, row.Exponent)
 	}
 }

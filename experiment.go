@@ -1,0 +1,253 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// Progress is one Experiment progress event: Done of Trials trials of the
+// (Protocol, N) cell have completed.
+type Progress struct {
+	Protocol string
+	N        int
+	Done     int
+	Trials   int
+}
+
+// Experiment is a builder for a multi-protocol, multi-size trial matrix —
+// the generalization of the paper's Table 1 regeneration to any registered
+// protocol and any Scenario. Configure it with the chained setters and
+// execute with Run:
+//
+//	rep, err := repro.NewExperiment().
+//	        ProtocolNames("ppl", "yokota").
+//	        Sizes(16, 32, 64).
+//	        Trials(5).
+//	        Run(ctx)
+//
+// Trials fan out across a worker pool; seeds derive from TrialSeed, so the
+// resulting Report is byte-identical whatever the worker count.
+type Experiment struct {
+	protocols []Protocol
+	sizes     []int
+	trials    int
+	scenario  Scenario
+	workers   int
+	observer  func(Progress)
+	caps      map[string]int
+	err       error
+}
+
+// NewExperiment returns an experiment with no protocols or sizes, one
+// trial per cell, the zero Scenario and one worker per core.
+func NewExperiment() *Experiment {
+	return &Experiment{trials: 1, caps: make(map[string]int)}
+}
+
+// Protocols appends protocol instances to the experiment, in row order.
+func (e *Experiment) Protocols(ps ...Protocol) *Experiment {
+	for _, p := range ps {
+		if p == nil {
+			e.fail(fmt.Errorf("repro: nil Protocol"))
+			return e
+		}
+		e.protocols = append(e.protocols, p)
+	}
+	return e
+}
+
+// ProtocolNames appends registered protocols by name, in row order.
+func (e *Experiment) ProtocolNames(names ...string) *Experiment {
+	for _, name := range names {
+		p, err := NewProtocol(name)
+		if err != nil {
+			e.fail(err)
+			return e
+		}
+		e.protocols = append(e.protocols, p)
+	}
+	return e
+}
+
+// Sizes sets the requested ring sizes (protocols adjust them through
+// FixSize).
+func (e *Experiment) Sizes(ns ...int) *Experiment {
+	e.sizes = append(e.sizes, ns...)
+	return e
+}
+
+// Trials sets the number of trials per (protocol, size) cell.
+func (e *Experiment) Trials(k int) *Experiment {
+	e.trials = k
+	return e
+}
+
+// Scenario sets the trial scenario (init class, fault schedule, budget,
+// topology) shared by every cell.
+func (e *Experiment) Scenario(sc Scenario) *Experiment {
+	e.scenario = sc
+	return e
+}
+
+// Workers caps the trial worker pool; 0 selects one worker per core.
+func (e *Experiment) Workers(k int) *Experiment {
+	e.workers = k
+	return e
+}
+
+// Observer installs a progress callback, invoked after every completed
+// trial. Calls are serialized but may come from any worker goroutine.
+func (e *Experiment) Observer(fn func(Progress)) *Experiment {
+	e.observer = fn
+	return e
+}
+
+// MaxSizeFor caps the ring sizes run for the named protocol (matched
+// against ProtocolInfo.Name): requested sizes above the cap are skipped
+// and render as missing cells. Used to keep the exponential-time [11]
+// baseline out of large-n sweeps.
+func (e *Experiment) MaxSizeFor(name string, max int) *Experiment {
+	e.caps[name] = max
+	return e
+}
+
+// fail records the first builder error; Run reports it.
+func (e *Experiment) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Run executes the experiment: every (protocol, size) cell runs Trials
+// independent trials with seeds TrialSeed(n, 0..Trials-1), fanned out
+// across the worker pool. The returned Report aggregates per-trial
+// results, per-cell summaries and fitted scaling exponents. Run returns an
+// error — never panics — on builder misuse, unsupported scenarios,
+// cancellation, or a panicking trial (surfaced as a *runner.PanicError).
+func (e *Experiment) Run(ctx context.Context) (*Report, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if len(e.protocols) == 0 {
+		return nil, fmt.Errorf("repro: experiment has no protocols")
+	}
+	if len(e.sizes) == 0 {
+		return nil, fmt.Errorf("repro: experiment has no sizes")
+	}
+	if e.trials < 1 {
+		return nil, fmt.Errorf("repro: experiment needs at least one trial per cell, got %d", e.trials)
+	}
+	sc := e.scenario
+	for _, p := range e.protocols {
+		if err := p.Validate(sc); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{
+		Sizes:    append([]int(nil), e.sizes...),
+		Trials:   e.trials,
+		Scenario: sc,
+	}
+	refSize := e.sizes[len(e.sizes)-1]
+	for _, p := range e.protocols {
+		info := p.Info()
+		row := ReportRow{
+			Protocol: info,
+			States:   p.States(p.FixSize(refSize)),
+		}
+		for _, rawN := range e.sizes {
+			n := p.FixSize(rawN)
+			if cap, capped := e.caps[info.Name]; capped && rawN > cap {
+				// An empty placeholder keeps cells positionally aligned
+				// with Sizes, so renderers never attribute a cell to the
+				// wrong size row.
+				row.Cells = append(row.Cells, ReportCell{N: n})
+				continue
+			}
+			cell, err := e.runCell(ctx, p, info, sc, n)
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		row.Exponent, row.ExponentOK = fitExponent(row.Cells)
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// runCell fans the trials of one (protocol, size) cell out through the
+// worker pool and aggregates them in trial order.
+func (e *Experiment) runCell(ctx context.Context, p Protocol, info ProtocolInfo, sc Scenario, n int) (ReportCell, error) {
+	type trial struct {
+		res TrialResult
+		err error
+	}
+	opts := runner.Options{Workers: e.workers}
+	if e.observer != nil {
+		obs := e.observer
+		opts.Progress = func(done, total int) {
+			obs(Progress{Protocol: info.Name, N: n, Done: done, Trials: total})
+		}
+	}
+	results, err := runner.Map(ctx, e.trials, func(t int) trial {
+		res, err := p.Trial(sc, n, TrialSeed(n, t))
+		return trial{res, err}
+	}, opts)
+	if err != nil {
+		return ReportCell{}, err
+	}
+	cell := ReportCell{N: n}
+	var steps, stab []float64
+	for _, tr := range results {
+		if tr.err != nil {
+			return ReportCell{}, tr.err
+		}
+		cell.Trials = append(cell.Trials, tr.res)
+		if !tr.res.Converged {
+			cell.Failures++
+			continue
+		}
+		steps = append(steps, float64(tr.res.Steps))
+		stab = append(stab, float64(tr.res.Stabilized))
+	}
+	if len(steps) > 0 {
+		cell.Steps = summaryFrom(stats.Summarize(steps))
+		cell.Stabilized = summaryFrom(stats.Summarize(stab))
+	}
+	return cell, nil
+}
+
+// fitExponent fits mean convergence steps against n as a power law over
+// the cells with data; ok is false when fewer than two cells have any.
+func fitExponent(cells []ReportCell) (float64, bool) {
+	return harness.Exponent(harnessCells(cells))
+}
+
+// summaryFrom converts the internal summary to the public mirror.
+func summaryFrom(s stats.Summary) Summary {
+	return Summary{
+		Count: s.Count, Mean: s.Mean, Std: s.Std,
+		Min: s.Min, Median: s.Median, P90: s.P90, Max: s.Max,
+	}
+}
+
+// harnessCells converts a row's cells to the internal form the markdown
+// renderers consume.
+func harnessCells(cells []ReportCell) []harness.Cell {
+	out := make([]harness.Cell, len(cells))
+	for i, c := range cells {
+		out[i] = harness.Cell{
+			N:          c.N,
+			Steps:      stats.Summary{Count: c.Steps.Count, Mean: c.Steps.Mean, Std: c.Steps.Std, Min: c.Steps.Min, Median: c.Steps.Median, P90: c.Steps.P90, Max: c.Steps.Max},
+			Stabilized: stats.Summary{Count: c.Stabilized.Count, Mean: c.Stabilized.Mean, Std: c.Stabilized.Std, Min: c.Stabilized.Min, Median: c.Stabilized.Median, P90: c.Stabilized.P90, Max: c.Stabilized.Max},
+			Failures:   c.Failures,
+		}
+	}
+	return out
+}

@@ -3,7 +3,7 @@
 // the first row of its Table 1: rings whose size n is not a multiple of a
 // known k, O(1) states, Θ(n³)-class expected convergence, no oracle.
 //
-// Mechanism (reconstruction, DESIGN.md §4): every agent holds a label
+// Mechanism (reconstruction): every agent holds a label
 // c ∈ Z_k. Around the ring, the total defect weight
 // Σ_i (c(u_{i+1}) − c(u_i) − 1) ≡ −n (mod k) is an identity, and −n ≢ 0
 // because k ∤ n — so at least one arc is always "defective"

@@ -10,7 +10,7 @@
 // states and no oracle is the core of [11] and the source of its
 // super-exponential running time.
 //
-// Reconstruction (documented substitution, DESIGN.md §4): we keep the
+// Reconstruction (documented substitution): we keep the
 // protocol's interface — no knowledge of n, O(1) states per agent — but
 // replace the cube-free-string machinery with a circumnavigation walker
 // serialized by a flag-census oracle (an Ω?-style eventual detector over
@@ -22,7 +22,7 @@
 // Algorithm 5 war. The serialization oracle stands in for exactly the part
 // of [11] whose oracle-free construction costs super-exponential time; the
 // row's time class is therefore quoted from the original, not measured
-// from this reconstruction (EXPERIMENTS.md, E1).
+// from this reconstruction (see the E1 section of cmd/sweep).
 package chenchen
 
 import (

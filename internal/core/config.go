@@ -170,3 +170,34 @@ func leaderTag(s State) string {
 	}
 	return ""
 }
+
+// InitSeedSalt decorrelates the initial-configuration RNG from the
+// scheduler RNG of the same trial (the historical constant every recorded
+// experiment used).
+const InitSeedSalt = 0xabcdef
+
+// InitConfig builds the adversarial initial configuration of the named
+// class for a trial with the given scheduler seed. The names are the
+// public repro.InitClass String() values — "random", "noleader",
+// "allleaders", "corrupted", "noleadercold" — and this is the single
+// source of truth shared by the public P_PL protocol and the cmd/ringsim
+// trace replays; unknown names fall back to "random".
+func (p Params) InitConfig(class string, seed uint64) []State {
+	rng := xrand.New(seed ^ InitSeedSalt)
+	switch class {
+	case "noleader":
+		return p.NoLeaderAligned()
+	case "noleadercold":
+		cfg := p.NoLeaderAligned()
+		for i := range cfg {
+			cfg[i].Clock = 0
+		}
+		return cfg
+	case "allleaders":
+		return p.AllLeaders()
+	case "corrupted":
+		return p.CorruptedPerfect(rng, p.N/4)
+	default:
+		return p.RandomConfig(rng)
+	}
+}

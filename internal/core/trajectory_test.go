@@ -76,7 +76,7 @@ func TestTrajectoryConstructsNextSegmentID(t *testing.T) {
 
 // TestTrajectoryTokensStayValid verifies that along the whole deterministic
 // trajectory no token is ever judged invalid by the (corrected) Definition
-// 3.3 — the erratum direction check of DESIGN.md.
+// 3.3 — the reconstruction erratum direction check.
 func TestTrajectoryTokensStayValid(t *testing.T) {
 	psi := 4
 	positions, _, _ := TrajectoryTrace(psi, 3)

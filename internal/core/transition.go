@@ -154,7 +154,7 @@ func (pr *Protocol) moveToken(l, r *State, lt, rt *Token, d uint16) {
 }
 
 // invalidToken is the InvalidToken macro of Algorithm 3 / Definition 3.3
-// with the interval direction corrected (see DESIGN.md erratum 1): a token
+// with the interval direction corrected (reconstruction erratum 1): a token
 // is on its trajectory iff the distance value of its target,
 // (dist + token[1] + d) mod 2ψ, lies in [ψ, 2ψ−1] when moving right and in
 // [1, ψ−1] when moving left.

@@ -188,7 +188,7 @@ func TestLastPropagation(t *testing.T) {
 }
 
 // TestModeIsDerivedFromClock pins the mode/clock equivalence our
-// representation relies on (DESIGN.md, Section 3): after any interaction,
+// representation relies on (reconstruction notes, Section 3): after any interaction,
 // Detect ⇔ clock = κ_max for both agents by construction, so storing mode
 // separately would be redundant.
 func TestModeIsDerivedFromClock(t *testing.T) {
@@ -369,7 +369,7 @@ func TestTokenPlainMoves(t *testing.T) {
 		t.Fatalf("right move: l=%v r=%v", l2.TokB, r2.TokB)
 	}
 	// Leftward move increments Pos and carries r's payload (line 30, see
-	// DESIGN.md on the payload typo).
+	// the reconstruction notes on the payload typo).
 	l = State{Dist: 5}
 	r = State{Dist: 6, TokB: Token{Pos: -3, Bit: 1, Carry: 0}}
 	l2, r2 = pr.Step(l, r)

@@ -2,7 +2,7 @@
 // Jiang (2006) — reference [15] of the paper and the second row of its
 // Table 1: the oracle Ω?, O(1) states, Θ(n³)-class expected convergence.
 //
-// Reconstruction (DESIGN.md §4): the original introduced the
+// Reconstruction (documented substitution): the original introduced the
 // bullets-and-shields war on rings, paired with the eventual leader
 // detector Ω?. We model the oracle exactly as the paper does when it
 // attributes the Θ(n³) bound: it reports the absence of a leader

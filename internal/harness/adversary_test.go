@@ -3,8 +3,7 @@ package harness
 import "testing"
 
 func TestWorstCaseHuntsSlowTrials(t *testing.T) {
-	spec := PPLSpec(0, 8, InitRandom)
-	res := WorstCase(spec, 16, 8)
+	res := WorstCase(syntheticSpec(), 16, 8)
 	if res.Failures != 0 {
 		t.Fatalf("%d failures", res.Failures)
 	}
@@ -20,7 +19,14 @@ func TestWorstCaseHuntsSlowTrials(t *testing.T) {
 }
 
 func TestWorstCaseFixesSize(t *testing.T) {
-	res := WorstCase(AngluinSpec(), 8, 2)
+	spec := syntheticSpec()
+	spec.FixSize = func(n int) int {
+		if n%2 == 0 {
+			return n + 1
+		}
+		return n
+	}
+	res := WorstCase(spec, 8, 2)
 	if res.N != 9 {
 		t.Fatalf("size not fixed: %d", res.N)
 	}

@@ -1,7 +1,9 @@
-// Package harness drives the paper's experiments: it sweeps ring sizes,
-// runs protocol trials from adversarial initial configurations, aggregates
-// convergence statistics, fits scaling exponents, and renders the markdown
-// tables recorded in EXPERIMENTS.md.
+// Package harness is the internal experiment engine under the public
+// repro.Experiment API: it sweeps ring sizes, runs protocol trials from
+// adversarial initial configurations, aggregates convergence statistics,
+// fits scaling exponents, and renders the markdown tables of the paper's
+// Table 1. Protocol wiring lives in the root package's Protocol registry;
+// this package only sees opaque trial functions.
 package harness
 
 import (
@@ -26,17 +28,12 @@ type Result struct {
 // given scheduler seed, giving up after maxSteps.
 type RunFunc func(n int, seed uint64, maxSteps uint64) Result
 
-// Spec describes one protocol under test — one row of Table 1.
+// Spec is an opaque trial bundle — the minimal contract the sweep and
+// worst-case machinery need. The root package's repro.Protocol registry is
+// the public way to obtain one; tests may build synthetic specs directly.
 type Spec struct {
 	// Name identifies the protocol ("P_PL", "[28]", ...).
 	Name string
-	// Assumption is the knowledge column of Table 1.
-	Assumption string
-	// PaperTime and PaperStates quote the cited asymptotic bounds.
-	PaperTime   string
-	PaperStates string
-	// States returns the exact state count |Q| at ring size n.
-	States func(n int) uint64
 	// MaxSteps returns the per-trial step budget at ring size n.
 	MaxSteps func(n int) uint64
 	// Run executes one trial.
@@ -45,6 +42,20 @@ type Spec struct {
 	// assumption admits (e.g. odd sizes for the mod-k baseline). Nil means
 	// identity.
 	FixSize func(n int) int
+}
+
+// Row is the protocol metadata of one rendered table row: the Table 1
+// columns plus the exact state count at the table's reference size.
+type Row struct {
+	// Name identifies the protocol ("P_PL", "[28]", ...).
+	Name string
+	// Assumption is the knowledge column of Table 1.
+	Assumption string
+	// PaperTime and PaperStates quote the cited asymptotic bounds.
+	PaperTime   string
+	PaperStates string
+	// States is the exact state count |Q| at the reference ring size.
+	States uint64
 }
 
 // Cell aggregates the trials of one (protocol, size) pair.
@@ -132,9 +143,10 @@ func Aggregate(n int, results []Result) Cell {
 }
 
 // Exponent fits mean convergence steps against n as a power law and
-// returns the exponent. Cells without data are skipped; fewer than two
-// usable cells yield NaN-free zero.
-func Exponent(cells []Cell) float64 {
+// returns the exponent. Cells without data are skipped; the boolean is
+// false when fewer than two usable cells remain, distinguishing "no data"
+// from a genuine zero fit.
+func Exponent(cells []Cell) (float64, bool) {
 	var x, y []float64
 	for _, c := range cells {
 		if c.Steps.Count == 0 {
@@ -144,9 +156,9 @@ func Exponent(cells []Cell) float64 {
 		y = append(y, c.Steps.Mean)
 	}
 	if len(x) < 2 {
-		return 0
+		return 0, false
 	}
-	return stats.PowerLawExponent(x, y)
+	return stats.PowerLawExponent(x, y), true
 }
 
 // NormalizedBy divides each cell's mean steps by f(n) — used to check
@@ -162,22 +174,22 @@ func NormalizedBy(cells []Cell, f func(n int) float64) []float64 {
 	return out
 }
 
-// Table renders cells for several specs side by side as a markdown table:
-// one row per requested size, mean convergence steps per protocol.
-func Table(specs []Spec, allCells [][]Cell, sizes []int) string {
+// Table renders cells for several protocols side by side as a markdown
+// table: one row per requested size, mean convergence steps per protocol.
+func Table(names []string, allCells [][]Cell, sizes []int) string {
 	var b strings.Builder
 	b.WriteString("| n |")
-	for _, s := range specs {
-		fmt.Fprintf(&b, " %s |", s.Name)
+	for _, name := range names {
+		fmt.Fprintf(&b, " %s |", name)
 	}
 	b.WriteString("\n|---|")
-	for range specs {
+	for range names {
 		b.WriteString("---|")
 	}
 	b.WriteByte('\n')
 	for row := range sizes {
 		fmt.Fprintf(&b, "| %d |", sizes[row])
-		for col := range specs {
+		for col := range names {
 			cells := allCells[col]
 			if row >= len(cells) || cells[row].Steps.Count == 0 {
 				b.WriteString(" — |")
@@ -191,24 +203,20 @@ func Table(specs []Spec, allCells [][]Cell, sizes []int) string {
 }
 
 // SummaryTable renders the Table 1 reproduction: assumption, paper-cited
-// bounds, measured exponent and state counts.
-func SummaryTable(specs []Spec, allCells [][]Cell, statesAt int) string {
+// bounds, measured exponent and state counts. The |Q| header is escaped as
+// \|Q\| so markdown renderers do not read its pipes as column separators.
+func SummaryTable(rows []Row, allCells [][]Cell, statesAt int) string {
 	var b strings.Builder
-	b.WriteString("| protocol | assumption | paper time | measured exponent | paper states | |Q|(n=" +
+	b.WriteString("| protocol | assumption | paper time | measured exponent | paper states | \\|Q\\|(n=" +
 		fmt.Sprint(statesAt) + ") |\n")
 	b.WriteString("|---|---|---|---|---|---|\n")
-	for i, s := range specs {
-		exp := Exponent(allCells[i])
+	for i, r := range rows {
 		expStr := "—"
-		if exp != 0 {
+		if exp, ok := Exponent(allCells[i]); ok {
 			expStr = fmt.Sprintf("n^%.2f", exp)
 		}
-		n := statesAt
-		if s.FixSize != nil {
-			n = s.FixSize(n)
-		}
 		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %d |\n",
-			s.Name, s.Assumption, s.PaperTime, expStr, s.PaperStates, s.States(n))
+			r.Name, r.Assumption, r.PaperTime, expStr, r.PaperStates, r.States)
 	}
 	return b.String()
 }

@@ -10,7 +10,7 @@
 // head, so a winning segment keeps winning w.h.p. until its opponent
 // disappears. Non-head strong bits decay (lines 70–73).
 //
-// Interpretation note (DESIGN.md erratum 4): Algorithm 6 changes dir only
+// Interpretation note (reconstruction erratum): Algorithm 6 changes dir only
 // in the facing-heads case, so a dir value that names neither neighbor
 // (possible in an adversarial initial configuration, since dir ranges
 // over all colors) would never be corrected. We add the minimal

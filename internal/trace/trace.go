@@ -3,7 +3,7 @@
 // sampling for in-flight quantities (tokens, signals, bullets, modes).
 // The collectors quantify which phase of the protocol an execution spends
 // its steps in — detection, elimination, or construction — and back the
-// per-phase accounting reported by cmd/ringsim and EXPERIMENTS.md.
+// per-phase accounting reported by cmd/ringsim -stats.
 package trace
 
 import (

@@ -3,7 +3,7 @@
 // fourth row of its Table 1: Θ(n²) expected convergence using O(n) states,
 // given an upper bound N = n + O(n) on the population size.
 //
-// Reconstruction (see DESIGN.md §4): leader absence is detected by exact
+// Reconstruction (documented substitution): leader absence is detected by exact
 // distance counting — each agent computes its distance from the nearest
 // left leader, and an agent that would sit at distance N or larger becomes
 // a leader; elimination is exactly the Algorithm 5 war (internal/war),

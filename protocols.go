@@ -1,0 +1,397 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/angluin"
+	"repro/internal/chenchen"
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/orient"
+	"repro/internal/population"
+	"repro/internal/twohop"
+	"repro/internal/xrand"
+	"repro/internal/yokota"
+)
+
+// The built-in protocol catalogue: the paper's two protocols and the four
+// Table 1 baselines, each behind the one Protocol contract.
+func init() {
+	mustRegister("ppl", func() Protocol { return PPL(0, 0) })
+	mustRegister("orient", func() Protocol { return orientProtocol{} })
+	mustRegister("yokota", func() Protocol { return yokotaProtocol{} })
+	mustRegister("angluin", func() Protocol { return angluinProtocol{} })
+	mustRegister("fj", func() Protocol { return fjProtocol{} })
+	mustRegister("chenchen", func() Protocol { return chenchenProtocol{} })
+}
+
+// initSeedSalt decorrelates the initial-configuration RNG from the
+// scheduler RNG of the same trial.
+const initSeedSalt = core.InitSeedSalt
+
+// faultSeedSalt decorrelates the fault-injection RNG from both.
+const faultSeedSalt = 0xfa_17_5eed
+
+// trialEngine bundles the protocol-specific pieces the generic scenario
+// runner needs: the engine, an installer that routes configuration changes
+// through the protocol's oracle runner (nil for plain engines), a state
+// sampler for fault injection, and the convergence predicate with its
+// check cadence.
+type trialEngine[S any] struct {
+	eng     *population.Engine[S]
+	install func([]S)
+	corrupt func(rng *xrand.RNG, cur S) S
+	pred    func([]S) bool
+	check   int
+}
+
+// run executes one trial under the scenario's fault schedule and budget:
+// each burst fires at its scheduled step (bursts past the budget never
+// fire), and convergence is judged on the run after the last burst — the
+// self-stabilization question "does the protocol recover from this fault
+// history within the budget".
+func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64) TrialResult {
+	var frng *xrand.RNG
+	for _, f := range sc.sortedFaults() {
+		if f.AtStep >= maxSteps {
+			break // bursts past the budget never fire
+		}
+		if f.AtStep > te.eng.Steps() {
+			te.eng.Run(f.AtStep - te.eng.Steps())
+		}
+		if frng == nil {
+			frng = xrand.New(seed ^ faultSeedSalt)
+		}
+		cfg := te.eng.Snapshot()
+		for i := 0; i < f.Agents; i++ {
+			j := frng.Intn(n)
+			cfg[j] = te.corrupt(frng, cfg[j])
+		}
+		if te.install != nil {
+			te.install(cfg)
+		} else {
+			te.eng.SetStates(cfg)
+		}
+	}
+	steps, ok := te.eng.RunUntil(te.pred, te.check, maxSteps)
+	return TrialResult{
+		N: n, Seed: seed, Steps: steps,
+		Stabilized: te.eng.LastLeaderChange(), Converged: ok,
+	}
+}
+
+// validateElection is the scenario check shared by the four baselines:
+// directed ring only, random starts only (their hand-crafted hard
+// instances are not defined), any fault schedule and budget.
+func validateElection(info ProtocolInfo, sc Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if sc.Topology != TopologyDefault && sc.Topology != TopologyDirectedRing {
+		return fmt.Errorf("repro: %s runs on a directed ring, not %v", info.Name, sc.Topology)
+	}
+	if sc.Init != InitRandom {
+		return fmt.Errorf("repro: %s supports the random init class only, not %v", info.Name, sc.Init)
+	}
+	return nil
+}
+
+// pplProtocol is the paper's P_PL with a configurable ψ slack and κ_max
+// multiplier.
+type pplProtocol struct {
+	slack, c1 int
+}
+
+// PPL returns the paper's protocol P_PL with the given ψ slack and κ_max
+// multiplier c1 (κ_max = c1·ψ). Zero c1 selects the default multiplier;
+// the paper allows any O(1) slack. PPL(0, 0) is the registered "ppl"
+// protocol.
+func PPL(slack, c1 int) Protocol {
+	if c1 <= 0 {
+		c1 = core.DefaultC1
+	}
+	return pplProtocol{slack: slack, c1: c1}
+}
+
+func (pplProtocol) Info() ProtocolInfo {
+	return ProtocolInfo{
+		Name:        "P_PL (this work)",
+		Assumption:  "knowledge ψ = ⌈log n⌉+O(1)",
+		PaperTime:   "O(n² log n)",
+		PaperStates: "polylog(n)",
+	}
+}
+
+func (p pplProtocol) params(n int) core.Params {
+	return core.NewParamsSlack(n, p.slack, p.c1)
+}
+
+func (p pplProtocol) States(n int) uint64 { return p.params(n).StateCount() }
+
+func (pplProtocol) FixSize(n int) int { return n }
+
+func (p pplProtocol) MaxSteps(n int) uint64 {
+	return 800 * uint64(n) * uint64(n) * uint64(p.params(n).Psi)
+}
+
+func (p pplProtocol) Validate(sc Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if sc.Topology != TopologyDefault && sc.Topology != TopologyDirectedRing {
+		return fmt.Errorf("repro: P_PL runs on a directed ring, not %v", sc.Topology)
+	}
+	return nil
+}
+
+func (p pplProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	par := p.params(n)
+	pr := core.New(par)
+	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
+	eng.SetStates(par.InitConfig(sc.Init.String(), seed))
+	eng.TrackLeaders(core.IsLeader)
+	te := trialEngine[core.State]{
+		eng:     eng,
+		corrupt: func(rng *xrand.RNG, _ core.State) core.State { return par.RandomState(rng) },
+		pred:    func(cfg []core.State) bool { return par.IsSafe(cfg) },
+		check:   n/2 + 1,
+	}
+	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+// orientProtocol is the paper's Section 5 orientation protocol P_OR.
+type orientProtocol struct{}
+
+func (orientProtocol) Info() ProtocolInfo {
+	return ProtocolInfo{
+		Name:        "P_OR (Section 5)",
+		Assumption:  "two-hop coloring",
+		PaperTime:   "O(n² log n)",
+		PaperStates: "O(1)",
+	}
+}
+
+func (orientProtocol) States(n int) uint64 {
+	return orient.StateCount(twohop.MinColors(n))
+}
+
+func (orientProtocol) FixSize(n int) int {
+	if n < 3 {
+		return 3
+	}
+	return n
+}
+
+func (orientProtocol) MaxSteps(n int) uint64 {
+	return 4000 * uint64(n) * uint64(n)
+}
+
+func (orientProtocol) Validate(sc Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if sc.Topology != TopologyDefault && sc.Topology != TopologyUndirectedRing {
+		return fmt.Errorf("repro: P_OR runs on an undirected ring, not %v", sc.Topology)
+	}
+	if sc.Init != InitRandom {
+		return fmt.Errorf("repro: P_OR supports the random init class only, not %v", sc.Init)
+	}
+	return nil
+}
+
+func (p orientProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	colors := twohop.Coloring(n)
+	maxColor := 0
+	for _, c := range colors {
+		if int(c) > maxColor {
+			maxColor = int(c)
+		}
+	}
+	pr := orient.New()
+	eng := population.NewEngine(population.UndirectedRing(n), pr.Step, xrand.New(seed))
+	eng.SetStates(orient.InitialConfig(colors, xrand.New(seed^initSeedSalt)))
+	te := trialEngine[orient.State]{
+		eng: eng,
+		// Corruption scrambles the evolving registers but preserves the
+		// coloring, which is protocol input, not state.
+		corrupt: func(rng *xrand.RNG, cur orient.State) orient.State {
+			return orient.State{
+				Color:  cur.Color,
+				Dir:    uint8(rng.Intn(maxColor + 2)),
+				M1:     uint8(rng.Intn(maxColor + 2)),
+				M2:     uint8(rng.Intn(maxColor + 2)),
+				Strong: rng.Bool(),
+			}
+		},
+		pred:  orient.Oriented,
+		check: n,
+	}
+	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+// yokotaProtocol is the [28] baseline with knowledge N = 2n.
+type yokotaProtocol struct{}
+
+func (yokotaProtocol) Info() ProtocolInfo {
+	return ProtocolInfo{
+		Name:        "[28] Yokota et al.",
+		Assumption:  "knowledge N = n+O(n)",
+		PaperTime:   "Θ(n²)",
+		PaperStates: "O(n)",
+	}
+}
+
+func (yokotaProtocol) States(n int) uint64 { return yokota.New(2 * n).StateCount() }
+
+func (yokotaProtocol) FixSize(n int) int { return n }
+
+func (yokotaProtocol) MaxSteps(n int) uint64 { return 800 * uint64(n) * uint64(n) }
+
+func (p yokotaProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
+
+func (p yokotaProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	pr := yokota.New(2 * n)
+	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
+	eng.SetStates(pr.RandomConfig(xrand.New(seed^initSeedSalt), n))
+	eng.TrackLeaders(yokota.IsLeader)
+	te := trialEngine[yokota.State]{
+		eng:     eng,
+		corrupt: func(rng *xrand.RNG, _ yokota.State) yokota.State { return pr.RandomState(rng) },
+		pred:    pr.Stable,
+		check:   n/2 + 1,
+	}
+	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+// angluinProtocol is the [5]-style mod-k baseline with k = 2; requested
+// even sizes are bumped to the next odd size.
+type angluinProtocol struct{}
+
+func (angluinProtocol) Info() ProtocolInfo {
+	return ProtocolInfo{
+		Name:        "[5] Angluin et al.",
+		Assumption:  "n not multiple of k=2",
+		PaperTime:   "Θ(n³)",
+		PaperStates: "O(1)",
+	}
+}
+
+func (angluinProtocol) States(n int) uint64 { return angluin.New(2).StateCount() }
+
+func (angluinProtocol) FixSize(n int) int {
+	if n%2 == 0 {
+		return n + 1
+	}
+	return n
+}
+
+func (angluinProtocol) MaxSteps(n int) uint64 {
+	return 400 * uint64(n) * uint64(n) * uint64(n)
+}
+
+func (p angluinProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
+
+func (p angluinProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	pr := angluin.New(2)
+	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
+	eng.SetStates(pr.RandomConfig(xrand.New(seed^initSeedSalt), n))
+	eng.TrackLeaders(angluin.IsLeader)
+	te := trialEngine[angluin.State]{
+		eng:     eng,
+		corrupt: func(rng *xrand.RNG, _ angluin.State) angluin.State { return pr.RandomState(rng) },
+		pred:    pr.Stable,
+		check:   n/2 + 1,
+	}
+	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+// fjProtocol is the [15]-style oracle baseline.
+type fjProtocol struct{}
+
+func (fjProtocol) Info() ProtocolInfo {
+	return ProtocolInfo{
+		Name:        "[15] Fischer–Jiang",
+		Assumption:  "oracle Ω?",
+		PaperTime:   "Θ(n³)",
+		PaperStates: "O(1)",
+	}
+}
+
+func (fjProtocol) States(n int) uint64 { return fj.New().StateCount() }
+
+func (fjProtocol) FixSize(n int) int { return n }
+
+func (fjProtocol) MaxSteps(n int) uint64 {
+	return 400 * uint64(n) * uint64(n) * uint64(n)
+}
+
+func (p fjProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
+
+func (p fjProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	ru := fj.NewRunner(n, xrand.New(seed))
+	ru.SetStates(fj.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
+	te := trialEngine[fj.State]{
+		eng:     ru.Engine(),
+		install: ru.SetStates, // keep the oracle census in sync
+		corrupt: func(rng *xrand.RNG, _ fj.State) fj.State { return fj.New().RandomState(rng) },
+		pred:    fj.Stable,
+		check:   n/2 + 1,
+	}
+	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+// chenchenProtocol is the [11]-style baseline. The reconstruction
+// serializes detection attempts with a flag-census oracle (see
+// internal/chenchen), so its measured time class is not the original's
+// super-exponential bound; run it at small n only.
+type chenchenProtocol struct{}
+
+func (chenchenProtocol) Info() ProtocolInfo {
+	return ProtocolInfo{
+		Name:        "[11] Chen–Chen",
+		Assumption:  "none (reconstruction: census oracle)",
+		PaperTime:   "exponential",
+		PaperStates: "O(1)",
+	}
+}
+
+func (chenchenProtocol) States(n int) uint64 { return chenchen.New().StateCount() }
+
+func (chenchenProtocol) FixSize(n int) int { return n }
+
+func (chenchenProtocol) MaxSteps(n int) uint64 {
+	return 2000 * uint64(n) * uint64(n) * uint64(n)
+}
+
+func (p chenchenProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
+
+func (p chenchenProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	ru := chenchen.NewRunner(n, xrand.New(seed))
+	ru.SetStates(chenchen.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
+	te := trialEngine[chenchen.State]{
+		eng:     ru.Engine(),
+		install: ru.SetStates, // keep the flag census in sync
+		corrupt: func(rng *xrand.RNG, _ chenchen.State) chenchen.State { return chenchen.New().RandomState(rng) },
+		pred:    chenchen.Stable,
+		check:   n/2 + 1,
+	}
+	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}

@@ -1,0 +1,162 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// Summary holds the descriptive statistics of one cell's converged trials.
+type Summary struct {
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
+	Max    float64 `json:"max"`
+}
+
+// ReportCell aggregates the trials of one (protocol, size) pair: every
+// per-trial result plus summaries of convergence and stabilization steps
+// over the converged trials.
+type ReportCell struct {
+	N          int           `json:"n"`
+	Trials     []TrialResult `json:"trials"`
+	Steps      Summary       `json:"steps"`
+	Stabilized Summary       `json:"stabilized"`
+	Failures   int           `json:"failures"`
+}
+
+// ReportRow is one protocol's line of the experiment: its Table 1
+// metadata, the exact state count at the experiment's reference size (the
+// last requested size), one cell per requested size (empty cells — no
+// trials — stand in for sizes skipped by MaxSizeFor, keeping Cells
+// positionally aligned with Report.Sizes), and the fitted power-law
+// exponent of mean convergence steps against n. ExponentOK is false when
+// fewer than two cells had data — distinguishing "no data" from a genuine
+// zero fit.
+type ReportRow struct {
+	Protocol   ProtocolInfo `json:"protocol"`
+	States     uint64       `json:"states"`
+	Cells      []ReportCell `json:"cells"`
+	Exponent   float64      `json:"exponent"`
+	ExponentOK bool         `json:"exponent_ok"`
+}
+
+// Report is the structured outcome of an Experiment run. It is fully
+// deterministic for fixed seeds: the same experiment yields the same
+// Report — and the same rendered bytes — whatever the worker count.
+type Report struct {
+	Sizes    []int       `json:"sizes"`
+	Trials   int         `json:"trials"`
+	Scenario Scenario    `json:"scenario"`
+	Rows     []ReportRow `json:"rows"`
+}
+
+// Exponents maps each protocol name to its fitted scaling exponent (0 when
+// the row had too little data to fit; check ReportRow.ExponentOK to
+// distinguish).
+func (r *Report) Exponents() map[string]float64 {
+	out := make(map[string]float64, len(r.Rows))
+	for _, row := range r.Rows {
+		out[row.Protocol.Name] = row.Exponent
+	}
+	return out
+}
+
+// Markdown renders the report in the repository's Table 1 layout: the
+// steps-per-size table, the summary table (assumption, paper bounds,
+// fitted exponent, exact state counts), and the trial count.
+func (r *Report) Markdown() string {
+	names := make([]string, len(r.Rows))
+	rows := make([]harness.Row, len(r.Rows))
+	cells := make([][]harness.Cell, len(r.Rows))
+	for i, row := range r.Rows {
+		names[i] = row.Protocol.Name
+		rows[i] = harness.Row{
+			Name:        row.Protocol.Name,
+			Assumption:  row.Protocol.Assumption,
+			PaperTime:   row.Protocol.PaperTime,
+			PaperStates: row.Protocol.PaperStates,
+			States:      row.States,
+		}
+		cells[i] = harnessCells(row.Cells)
+	}
+	statesAt := 0
+	if len(r.Sizes) > 0 {
+		statesAt = r.Sizes[len(r.Sizes)-1]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Mean convergence steps (%s)\n\n", r.Scenario.Init.describe())
+	b.WriteString(harness.Table(names, cells, r.Sizes))
+	b.WriteString("\n### Table 1 reproduction\n\n")
+	b.WriteString(harness.SummaryTable(rows, cells, statesAt))
+	fmt.Fprintf(&b, "\nTrials per cell: %d.\n", r.Trials)
+	return b.String()
+}
+
+// JSON renders the report as indented JSON — the machine-readable CI
+// artifact form.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// CSV renders the per-cell summaries as CSV, one record per (protocol,
+// size) cell — the form BENCH trajectories and spreadsheets consume. The
+// exponent column repeats the row's fit and is empty when the row had too
+// little data.
+func (r *Report) CSV() ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	header := []string{
+		"protocol", "n", "trials", "failures",
+		"steps_mean", "steps_median", "steps_p90", "steps_min", "steps_max", "steps_std",
+		"stabilized_mean", "exponent",
+	}
+	if err := w.Write(header); err != nil {
+		return nil, err
+	}
+	for _, row := range r.Rows {
+		exp := ""
+		if row.ExponentOK {
+			exp = formatFloat(row.Exponent)
+		}
+		for _, c := range row.Cells {
+			if len(c.Trials) == 0 {
+				continue // a size skipped by MaxSizeFor — nothing was run
+			}
+			record := []string{
+				row.Protocol.Name,
+				strconv.Itoa(c.N),
+				strconv.Itoa(len(c.Trials)),
+				strconv.Itoa(c.Failures),
+				formatFloat(c.Steps.Mean),
+				formatFloat(c.Steps.Median),
+				formatFloat(c.Steps.P90),
+				formatFloat(c.Steps.Min),
+				formatFloat(c.Steps.Max),
+				formatFloat(c.Steps.Std),
+				formatFloat(c.Stabilized.Mean),
+				exp,
+			}
+			if err := w.Write(record); err != nil {
+				return nil, err
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

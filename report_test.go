@@ -1,0 +1,110 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the testdata golden files")
+
+// goldenReport is the fixed experiment behind the golden files: small
+// enough to run in milliseconds, rich enough to cover missing cells (the
+// capped [28] row), exponent fits and the scenario block.
+func goldenReport(t *testing.T) *repro.Report {
+	t.Helper()
+	rep, err := repro.NewExperiment().
+		ProtocolNames("yokota", "ppl").
+		Sizes(8, 16).
+		Trials(2).
+		MaxSizeFor("[28] Yokota et al.", 8).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestReportGolden -update .` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestReportGoldenJSON pins the exact JSON artifact bytes — CI consumers
+// and BENCH trajectories parse these.
+func TestReportGoldenJSON(t *testing.T) {
+	data, err := goldenReport(t).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json", data)
+
+	// The artifact must round-trip through the public types.
+	var back repro.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 2 || back.Trials != 2 {
+		t.Fatalf("round-tripped report %+v", back)
+	}
+}
+
+// TestReportGoldenCSV pins the exact CSV artifact bytes.
+func TestReportGoldenCSV(t *testing.T) {
+	data, err := goldenReport(t).CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.csv", data)
+
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Header + one record per executed cell: yokota capped to n=8, ppl at
+	// both sizes.
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "protocol,n,trials,failures,steps_mean") {
+		t.Fatalf("CSV header: %s", lines[0])
+	}
+}
+
+// TestReportMarkdownShape covers the rendered layout: heading per
+// scenario, the escaped |Q| column, missing cells for the capped row, and
+// the em-dash for an unfittable exponent.
+func TestReportMarkdownShape(t *testing.T) {
+	md := goldenReport(t).Markdown()
+	for _, want := range []string{
+		"### Mean convergence steps (random adversarial starts)",
+		"### Table 1 reproduction",
+		`\|Q\|(n=16)`,
+		"| — |",
+		"Trials per cell: 2.",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, " |Q|(") {
+		t.Fatalf("unescaped |Q| header:\n%s", md)
+	}
+}

@@ -1,0 +1,184 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestScenarioInitClassCoverage runs one P_PL trial per init class —
+// including the E10 cold start — and requires convergence within the
+// default budget. Self-stabilization means every class must elect.
+func TestScenarioInitClassCoverage(t *testing.T) {
+	classes := []repro.InitClass{
+		repro.InitRandom,
+		repro.InitNoLeader,
+		repro.InitAllLeaders,
+		repro.InitCorrupted,
+		repro.InitNoLeaderCold,
+	}
+	p := repro.PPL(0, 0)
+	for _, class := range classes {
+		t.Run(class.String(), func(t *testing.T) {
+			res, err := p.Trial(repro.Scenario{Init: class}, 16, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("class %v did not converge: %+v", class, res)
+			}
+			if class == repro.InitNoLeaderCold && res.Steps == 0 {
+				t.Fatal("cold start converged instantly — clocks not zeroed?")
+			}
+		})
+	}
+}
+
+// TestScenarioFaultSchedule checks that mid-run bursts fire, perturb the
+// run, and that the protocol recovers: the fault is scheduled after the
+// fault-free convergence point, so the faulted trial must converge later.
+func TestScenarioFaultSchedule(t *testing.T) {
+	p := repro.PPL(0, 0)
+	const n, seed = 16, 1
+	clean, err := p.Trial(repro.Scenario{}, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Converged {
+		t.Fatalf("fault-free trial did not converge: %+v", clean)
+	}
+	sc := repro.Scenario{Faults: []repro.Fault{{AtStep: clean.Steps + 1000, Agents: n}}}
+	faulted, err := p.Trial(sc, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulted.Converged {
+		t.Fatalf("did not recover from fault burst: %+v", faulted)
+	}
+	if faulted.Steps <= clean.Steps {
+		t.Fatalf("burst at step %d left convergence at %d (clean: %d) — did it fire?",
+			clean.Steps+1000, faulted.Steps, clean.Steps)
+	}
+	// Determinism: the same seed replays the same faulted trajectory.
+	again, err := p.Trial(sc, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != faulted {
+		t.Fatalf("faulted trial not deterministic: %+v vs %+v", again, faulted)
+	}
+}
+
+// TestScenarioFaultPastBudgetNeverFires pins the documented contract:
+// a burst scheduled at or beyond the step budget does not fire, so the
+// trial is exactly the fault-free one — not a guaranteed failure that
+// burns the whole budget.
+func TestScenarioFaultPastBudgetNeverFires(t *testing.T) {
+	p := repro.PPL(0, 0)
+	const n, seed = 16, 1
+	clean, err := p.Trial(repro.Scenario{}, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := repro.Scenario{Faults: []repro.Fault{{AtStep: p.MaxSteps(n) + 1, Agents: n}}}
+	late, err := p.Trial(sc, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late != clean {
+		t.Fatalf("past-budget burst changed the trial: %+v vs %+v", late, clean)
+	}
+}
+
+// TestScenarioFaultsOnBaselines exercises fault injection through the
+// oracle runners ([15], [11]) whose census must be recomputed after a
+// corruption, and on the orientation protocol, whose coloring is protocol
+// input and must survive corruption.
+func TestScenarioFaultsOnBaselines(t *testing.T) {
+	for _, name := range []string{"yokota", "angluin", "fj", "chenchen", "orient"} {
+		t.Run(name, func(t *testing.T) {
+			p, err := repro.NewProtocol(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := p.FixSize(8)
+			sc := repro.Scenario{Faults: []repro.Fault{{AtStep: 50, Agents: n / 2}}}
+			res, err := p.Trial(sc, n, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("%s did not recover from a fault burst: %+v", name, res)
+			}
+		})
+	}
+}
+
+func TestScenarioBudgetPolicy(t *testing.T) {
+	p := repro.PPL(0, 0)
+	if got := (repro.Scenario{}).MaxSteps(p, 16); got != p.MaxSteps(16) {
+		t.Fatalf("default budget %d != %d", got, p.MaxSteps(16))
+	}
+	sc := repro.Scenario{Budget: repro.Budget{MaxSteps: 10}}
+	if got := sc.MaxSteps(p, 16); got != 10 {
+		t.Fatalf("fixed budget %d != 10", got)
+	}
+	res, err := p.Trial(sc, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("a 10-step budget cannot elect on n=16")
+	}
+	half := repro.Scenario{Budget: repro.Budget{Scale: 0.5}}
+	if got, want := half.MaxSteps(p, 16), p.MaxSteps(16)/2; got != want {
+		t.Fatalf("scaled budget %d != %d", got, want)
+	}
+}
+
+func TestInitClassStrings(t *testing.T) {
+	for _, class := range []repro.InitClass{
+		repro.InitRandom, repro.InitNoLeader, repro.InitAllLeaders,
+		repro.InitCorrupted, repro.InitNoLeaderCold,
+	} {
+		parsed, err := repro.ParseInitClass(class.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed != class {
+			t.Fatalf("round trip %v -> %q -> %v", class, class.String(), parsed)
+		}
+	}
+	if _, err := repro.ParseInitClass("bogus"); err == nil {
+		t.Fatal("unknown class parsed")
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := repro.Scenario{
+		Topology: repro.TopologyDirectedRing,
+		Init:     repro.InitNoLeaderCold,
+		Faults:   []repro.Fault{{AtStep: 100, Agents: 4}},
+		Budget:   repro.Budget{Scale: 2},
+	}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enum fields marshal by name, keeping artifacts self-describing.
+	for _, want := range []string{`"noleadercold"`, `"directed-ring"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("marshalled scenario %s missing %s", data, want)
+		}
+	}
+	var back repro.Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Init != sc.Init || back.Topology != sc.Topology ||
+		len(back.Faults) != 1 || back.Faults[0] != sc.Faults[0] || back.Budget != sc.Budget {
+		t.Fatalf("round trip %+v -> %s -> %+v", sc, data, back)
+	}
+}
