@@ -1,0 +1,112 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+)
+
+// BenchMode selects what RunBenchmark measures on one protocol engine.
+type BenchMode string
+
+const (
+	// BenchRaw measures the raw transition loop: a fixed number of
+	// RunBatch scheduler steps with no convergence judgement at all — the
+	// ceiling any convergence-detection scheme is compared against.
+	BenchRaw BenchMode = "runbatch"
+	// BenchTracked measures a run to convergence through the incremental
+	// tracker (the production path): exact hitting times, O(1) per-step
+	// convergence checks.
+	BenchTracked BenchMode = "tracked"
+	// BenchScan measures a run to convergence through the scan-era
+	// periodic full-configuration predicate (checkEvery ≈ n/2): the
+	// pre-tracker baseline, kept as the comparison point.
+	BenchScan BenchMode = "scan"
+)
+
+// BenchResult is one measurement of the performance-baseline pipeline
+// (cmd/bench): steps per second of one protocol × ring size × scenario ×
+// mode cell. Steps counts scheduler steps actually executed — the hitting
+// step for the convergence modes, the requested budget for BenchRaw.
+type BenchResult struct {
+	Protocol    string    `json:"protocol"`
+	N           int       `json:"n"`
+	Scenario    string    `json:"scenario"`
+	Mode        BenchMode `json:"mode"`
+	Seed        uint64    `json:"seed"`
+	Steps       uint64    `json:"steps"`
+	Seconds     float64   `json:"seconds"`
+	StepsPerSec float64   `json:"steps_per_sec"`
+	// Converged reports whether the convergence modes hit their predicate
+	// within the budget; always true for BenchRaw.
+	Converged bool `json:"converged"`
+}
+
+// benchRunner is the mode-dispatch surface a built-in protocol's trial
+// engine exposes to RunBenchmark; trialEngine[S] implements it for every
+// state type.
+type benchRunner interface {
+	benchRaw(steps uint64)
+	benchTracked(maxSteps uint64) (uint64, bool)
+	benchScan(maxSteps uint64) (uint64, bool)
+	stepCount() uint64
+}
+
+// benchable is implemented by the built-in protocols: it builds a fresh,
+// fully wired trial engine without running it, so RunBenchmark can time
+// the run phase alone. The per-protocol newBench methods live next to
+// their Trial wiring in protocols.go.
+type benchable interface {
+	newBench(sc Scenario, n int, seed uint64) (benchRunner, error)
+}
+
+// RunBenchmark executes one perf-baseline measurement: protocol name (a
+// registered built-in), requested ring size (FixSize-adjusted
+// internally), scheduler seed, scenario, and mode. rawSteps is the step
+// budget of BenchRaw and ignored by the convergence modes, which run to
+// the scenario's budget. Fault-schedule scenarios are rejected: the modes
+// time a single uninterrupted run phase, so a burst schedule would be
+// silently skipped and the artifact would mislabel a fault-free
+// measurement. Custom registered protocols are not supported — the raw
+// and scan modes need engine-level access that the public Protocol
+// contract deliberately does not expose.
+func RunBenchmark(name string, n int, seed uint64, sc Scenario, mode BenchMode, rawSteps uint64) (BenchResult, error) {
+	if len(sc.Faults) > 0 {
+		return BenchResult{}, fmt.Errorf("repro: RunBenchmark does not support fault schedules")
+	}
+	p, err := NewProtocol(name)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	b, ok := p.(benchable)
+	if !ok {
+		return BenchResult{}, fmt.Errorf("repro: protocol %q does not support engine benchmarks", name)
+	}
+	n = p.FixSize(n)
+	ru, err := b.newBench(sc, n, seed)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	res := BenchResult{
+		Protocol: name, N: n, Scenario: sc.Init.String(), Mode: mode, Seed: seed,
+	}
+	maxSteps := sc.MaxSteps(p, n)
+	start := time.Now()
+	switch mode {
+	case BenchRaw:
+		ru.benchRaw(rawSteps)
+		res.Steps, res.Converged = rawSteps, true
+	case BenchTracked:
+		_, res.Converged = ru.benchTracked(maxSteps)
+		res.Steps = ru.stepCount()
+	case BenchScan:
+		_, res.Converged = ru.benchScan(maxSteps)
+		res.Steps = ru.stepCount()
+	default:
+		return BenchResult{}, fmt.Errorf("repro: unknown bench mode %q", mode)
+	}
+	res.Seconds = time.Since(start).Seconds()
+	if res.Seconds > 0 {
+		res.StepsPerSec = float64(res.Steps) / res.Seconds
+	}
+	return res, nil
+}

@@ -1,0 +1,168 @@
+// Command bench emits the repository's performance baseline,
+// BENCH_ringsim.json: steps per second for every requested protocol ×
+// ring size × scenario cell, in three modes — the raw RunBatch transition
+// loop (no convergence judgement), the incremental-tracker run to
+// convergence (the production path with exact hitting times), and the
+// scan-era periodic-predicate run (the pre-tracker baseline). CI uploads
+// the file as an artifact on every push, so the perf trajectory of the
+// engine is recorded from this change on.
+//
+// Usage:
+//
+//	bench [-protocols ppl,yokota,...] [-sizes 16,32,64] [-scenarios random]
+//	      [-modes runbatch,tracked,scan] [-trials 3] [-seed 1]
+//	      [-rawsteps 2000000] [-ccmax 8] [-quick] [-o BENCH_ringsim.json]
+//
+// The schema of the emitted file is stable ("repro.bench/v1"): an
+// envelope with the Go/OS/arch/CPU provenance and a flat results array,
+// one record per (protocol, n, scenario, mode, seed) measurement.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// Schema identifies the BENCH_ringsim.json layout; bump it only with the
+// consumers (CI trend tooling) in hand.
+const Schema = "repro.bench/v1"
+
+// File is the envelope of BENCH_ringsim.json.
+type File struct {
+	Schema  string              `json:"schema"`
+	Created string              `json:"created"`
+	Go      string              `json:"go"`
+	OS      string              `json:"os"`
+	Arch    string              `json:"arch"`
+	CPUs    int                 `json:"cpus"`
+	Results []repro.BenchResult `json:"results"`
+}
+
+func main() {
+	var (
+		protocols = flag.String("protocols", "ppl,yokota,angluin,fj,orient,chenchen", "comma-separated registered protocol names")
+		sizes     = flag.String("sizes", "16,32,64", "comma-separated ring sizes")
+		scenarios = flag.String("scenarios", "random", "comma-separated init classes (non-ppl protocols skip all but random)")
+		modes     = flag.String("modes", "runbatch,tracked,scan", "comma-separated modes: runbatch, tracked, scan")
+		trials    = flag.Int("trials", 3, "measurements per cell (seeds seed..seed+trials-1)")
+		seed      = flag.Uint64("seed", 1, "first scheduler seed")
+		rawSteps  = flag.Uint64("rawsteps", 2_000_000, "step budget of the runbatch mode")
+		ccmax     = flag.Int("ccmax", 8, "largest size for the [11]-style baseline (exponential class)")
+		quick     = flag.Bool("quick", false, "CI smoke preset: sizes 8,16, one trial, 200k raw steps")
+		out       = flag.String("o", "", "output path (default: stdout)")
+	)
+	flag.Parse()
+
+	if *quick {
+		*sizes = "8,16"
+		*trials = 1
+		*rawSteps = 200_000
+	}
+	if err := run(os.Stdout, *protocols, *sizes, *scenarios, *modes, *trials, *seed, *rawSteps, *ccmax, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, protocols, sizes, scenarios, modes string, trials int, seed, rawSteps uint64, ccmax int, out string) error {
+	ns, err := parseSizes(sizes)
+	if err != nil {
+		return err
+	}
+	if trials < 1 {
+		return fmt.Errorf("need at least one trial, got %d", trials)
+	}
+	file := File{
+		Schema:  Schema,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		OS:      runtime.GOOS,
+		Arch:    runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+	}
+	for _, name := range split(protocols) {
+		p, err := repro.NewProtocol(name)
+		if err != nil {
+			return err
+		}
+		for _, class := range split(scenarios) {
+			init, err := repro.ParseInitClass(class)
+			if err != nil {
+				return err
+			}
+			sc := repro.Scenario{Init: init}
+			if err := p.Validate(sc); err != nil {
+				// Scenario unsupported by this protocol (e.g. noleader on
+				// a baseline): skip the cell, not the run.
+				fmt.Fprintf(stdout, "## skipping %s × %s: %v\n", name, class, err)
+				continue
+			}
+			for _, n := range ns {
+				if name == "chenchen" && n > ccmax {
+					fmt.Fprintf(stdout, "## skipping chenchen n=%d (> -ccmax %d, exponential class)\n", n, ccmax)
+					continue
+				}
+				for _, mode := range split(modes) {
+					for t := 0; t < trials; t++ {
+						res, err := repro.RunBenchmark(name, n, seed+uint64(t), sc, repro.BenchMode(mode), rawSteps)
+						if err != nil {
+							return err
+						}
+						file.Results = append(file.Results, res)
+						fmt.Fprintf(stdout, "%-9s n=%-4d %-12s %-9s steps=%-9d %10.0f steps/sec\n",
+							name, res.N, class, mode, res.Steps, res.StepsPerSec)
+					}
+				}
+			}
+		}
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d results)\n", out, len(file.Results))
+	return nil
+}
+
+func split(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range split(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchEmitsStableSchema runs a tiny full pipeline and pins the
+// BENCH_ringsim.json schema CI consumes: envelope fields, schema tag, and
+// per-result fields present and sane.
+func TestBenchEmitsStableSchema(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_ringsim.json")
+	var stdout bytes.Buffer
+	err := run(&stdout, "ppl,yokota", "8", "random", "runbatch,tracked,scan", 1, 1, 5000, 8, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("artifact does not parse: %v\n%s", err, data)
+	}
+	if f.Schema != Schema {
+		t.Fatalf("schema tag %q, want %q", f.Schema, Schema)
+	}
+	if f.Go == "" || f.OS == "" || f.Arch == "" || f.CPUs < 1 || f.Created == "" {
+		t.Fatalf("incomplete provenance: %+v", f)
+	}
+	// 2 protocols × 1 size × 3 modes × 1 trial.
+	if len(f.Results) != 6 {
+		t.Fatalf("got %d results, want 6:\n%s", len(f.Results), data)
+	}
+	for _, r := range f.Results {
+		if r.Protocol == "" || r.N != 8 || r.Steps == 0 || r.Seconds < 0 || !r.Converged {
+			t.Fatalf("degenerate result %+v", r)
+		}
+		switch r.Mode {
+		case "runbatch", "tracked", "scan":
+		default:
+			t.Fatalf("unknown mode in artifact: %+v", r)
+		}
+	}
+}
+
+// TestBenchSkipsUnsupportedScenario pins the skip-not-fail contract for
+// scenario × protocol combinations the protocol rejects.
+func TestBenchSkipsUnsupportedScenario(t *testing.T) {
+	var stdout bytes.Buffer
+	out := filepath.Join(t.TempDir(), "b.json")
+	if err := run(&stdout, "yokota", "8", "noleader", "tracked", 1, 1, 1000, 8, out); err != nil {
+		t.Fatalf("unsupported scenario must skip, not fail: %v", err)
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("skipping")) {
+		t.Fatalf("no skip notice:\n%s", stdout.String())
+	}
+}
+
+func TestBenchRejectsBadInput(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run(&stdout, "ppl", "1", "random", "tracked", 1, 1, 10, 8, ""); err == nil {
+		t.Fatal("size 1 accepted")
+	}
+	if err := run(&stdout, "paxos", "8", "random", "tracked", 1, 1, 10, 8, ""); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := run(&stdout, "ppl", "8", "random", "warp", 1, 1, 10, 8, ""); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run(&stdout, "ppl", "8", "bogus", "tracked", 1, 1, 10, 8, ""); err == nil {
+		t.Fatal("unknown init class accepted")
+	}
+}

@@ -15,14 +15,17 @@ func newOrientation(n int, seed uint64) *repro.RingOrientation {
 
 // printFinalPPL replays the exact ppl trial (same init class, same seed
 // derivation via core.InitConfig) and prints the converged configuration
-// as a segment diagram.
+// as a segment diagram. The replay judges convergence through the same
+// incremental tracker as the trial, so the diagram depicts the
+// configuration at precisely the reported hitting step — not one the
+// scan-era polling loop would have run past it.
 func printFinalPPL(n, slack, c1 int, init repro.InitClass, seed uint64) {
 	p := core.NewParamsSlack(n, slack, c1)
 	pr := core.New(p)
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(p.InitConfig(init.String(), seed))
-	_, ok := eng.RunUntil(func(cfg []core.State) bool { return p.IsSafe(cfg) },
-		n/2+1, 800*uint64(n)*uint64(n)*uint64(p.Psi))
+	eng.SetTracker(population.NewRingTracker(p.SafetySpec()))
+	_, ok := eng.RunUntilConverged(800 * uint64(n) * uint64(n) * uint64(p.Psi))
 	if !ok {
 		return
 	}

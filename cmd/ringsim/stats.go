@@ -20,8 +20,8 @@ func printStatsPPL(n, slack, c1 int, init repro.InitClass, seed uint64) {
 	eng.SetStates(p.InitConfig(init.String(), seed))
 	col := trace.NewCollector(p)
 	eng.SetObserver(col.Observe)
-	_, ok := eng.RunUntil(func(cfg []core.State) bool { return p.IsSafe(cfg) },
-		n/2+1, 800*uint64(n)*uint64(n)*uint64(p.Psi))
+	eng.SetTracker(population.NewRingTracker(p.SafetySpec()))
+	_, ok := eng.RunUntilConverged(800 * uint64(n) * uint64(n) * uint64(p.Psi))
 	if !ok {
 		fmt.Println("stats: run did not converge")
 		return

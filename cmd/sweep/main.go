@@ -408,7 +408,8 @@ func e9Orientation(p profile) {
 		mean := trialMeans(p.deepTrials, func(t int) (float64, bool) {
 			eng := population.NewEngine(population.UndirectedRing(n), pr.Step, xrand.New(uint64(t)))
 			eng.SetStates(orient.InitialConfig(colors, xrand.New(uint64(t)+500)))
-			steps, ok := eng.RunUntil(orient.Oriented, n, 6000*uint64(n)*uint64(n))
+			eng.SetTracker(population.NewRingTracker(orient.OrientedSpec()))
+			steps, ok := eng.RunUntilConverged(6000 * uint64(n) * uint64(n))
 			return float64(steps), ok
 		})
 		xs = append(xs, float64(n))
@@ -466,9 +467,20 @@ func e12Elimination(p profile) {
 			eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(uint64(t)))
 			eng.SetStates(par.AllLeaders())
 			eng.TrackLeaders(core.IsLeader)
-			steps, ok := eng.RunUntil(func(c []core.State) bool {
-				return core.LeaderCount(c) == 1
-			}, n, 4000*uint64(n)*uint64(n))
+			// Exact hitting time of "one leader left": a one-channel
+			// incremental count instead of a periodic O(n) re-scan.
+			eng.SetTracker(population.NewRingTracker(population.RingSpec[core.State]{
+				AgentMask: func(s core.State) uint8 {
+					if s.Leader {
+						return 1
+					}
+					return 0
+				},
+				Converged: func(c population.LocalCounts, _ []core.State) bool {
+					return c.Agent[0] == 1
+				},
+			}))
+			steps, ok := eng.RunUntilConverged(4000 * uint64(n) * uint64(n))
 			return float64(steps), ok
 		})
 		xs = append(xs, float64(n))

@@ -43,6 +43,43 @@
 // byte-identical whatever the worker count — parallelism changes
 // wall-clock time, never a number in an artifact.
 //
+// # Convergence measurement semantics
+//
+// TrialResult.Steps is the exact hitting time of the protocol's
+// convergence predicate: the first scheduler step at which the
+// configuration enters the closed set (S_PL for P_PL, full orientation
+// for P_OR, the absorbing shape for each baseline). Convergence is judged
+// by an incremental tracker — the predicate is decomposed into per-agent
+// and per-adjacent-pair conditions whose violation counters are updated
+// in O(1) per interaction, with any non-local remainder (the war's C_PB
+// peacefulness, P_PL's segment-ID chain and token soundness) scanned only
+// at the rare steps where every local counter already passes. The tracker
+// is pinned to the brute-force scan predicate by per-step regression
+// tests, so the two never disagree.
+//
+// Earlier versions polled the predicate over the whole configuration only
+// every n/2+1 steps (n for P_OR), so published Steps were quantized to
+// that grid and overestimated the true hitting time by up to checkEvery-1
+// steps. Mean convergence steps, fitted exponents, and every artifact
+// recording Steps therefore shift down slightly against pre-tracker
+// numbers; Stabilized (the last leader-set change) is unaffected, because
+// the closed sets admit no further output changes. Fault-injection trials
+// additionally record a leader-set change at the burst-install step when
+// the corruption itself rewrites the leader set, so Stabilized can no
+// longer report a pre-fault step.
+//
+// # Performance baseline (BENCH_ringsim.json)
+//
+// RunBenchmark (and the cmd/bench command wrapping it) measures steps per
+// second of every built-in protocol × ring size × scenario in three
+// modes: "runbatch" (the raw batched transition loop, no convergence
+// judgement — the ceiling), "tracked" (the production run-to-convergence
+// path with exact hitting times) and "scan" (the pre-tracker periodic
+// polling loop, kept as the comparison baseline). CI uploads the
+// resulting BENCH_ringsim.json — schema "repro.bench/v1", an envelope of
+// Go/OS/arch/CPU provenance plus a flat results array — as an artifact on
+// every push, so engine performance has a recorded trajectory.
+//
 // For driving a single simulation interactively, RingElection runs P_PL
 // on a directed ring and RingOrientation runs the Section 5 orientation
 // protocol on an undirected ring. Comparison regenerates the paper's

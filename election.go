@@ -54,6 +54,9 @@ type RingElection struct {
 	proto  *core.Protocol
 	eng    *population.Engine[core.State]
 	rng    *xrand.RNG
+	// tracker is the incremental S_PL tracker, installed only for the
+	// duration of RunToSafe so plain Run/Step stay on the raw hot path.
+	tracker *population.RingTracker[core.State]
 }
 
 // NewRingElection builds a simulation for a ring of n ≥ 2 agents, starting
@@ -69,7 +72,10 @@ func NewRingElection(n int, opts ...Option) *RingElection {
 	rng := xrand.New(o.seed)
 	eng := population.NewEngine(population.DirectedRing(n), proto.Step, rng)
 	eng.TrackLeaders(core.IsLeader)
-	return &RingElection{params: params, proto: proto, eng: eng, rng: rng}
+	return &RingElection{
+		params: params, proto: proto, eng: eng, rng: rng,
+		tracker: population.NewRingTracker(params.SafetySpec()),
+	}
 }
 
 // N returns the ring size.
@@ -120,16 +126,19 @@ func (e *RingElection) Run(steps uint64) { e.eng.Run(steps) }
 
 // RunToSafe runs until the configuration enters the closed safe set S_PL
 // of the paper (Definition 4.6) and returns the total step count and
-// whether it was reached. maxSteps of 0 applies the paper's w.h.p. bound
-// with a generous constant.
+// whether it was reached. Safety is detected through an incremental
+// tracker updated in O(1) per interaction, so the returned step is the
+// exact hitting time of S_PL — not an overestimate quantized to a
+// periodic scan. maxSteps of 0 applies the paper's w.h.p. bound with a
+// generous constant.
 func (e *RingElection) RunToSafe(maxSteps uint64) (uint64, bool) {
 	if maxSteps == 0 {
 		n := uint64(e.params.N)
 		maxSteps = e.eng.Steps() + 800*n*n*uint64(e.params.Psi)
 	}
-	return e.eng.RunUntil(func(cfg []core.State) bool {
-		return e.params.IsSafe(cfg)
-	}, e.params.N/2+1, maxSteps)
+	e.eng.SetTracker(e.tracker)
+	defer e.eng.SetTracker(nil)
+	return e.eng.RunUntilConverged(maxSteps)
 }
 
 // Steps returns the number of scheduler steps executed so far.

@@ -18,6 +18,7 @@ package angluin
 import (
 	"fmt"
 
+	"repro/internal/population"
 	"repro/internal/war"
 	"repro/internal/xrand"
 )
@@ -164,4 +165,60 @@ func (p *Protocol) Stable(cfg []State) bool {
 		states[i] = s.War
 	}
 	return war.AllLiveBulletsPeaceful(leaders, states)
+}
+
+// StableSpec is the delta-decomposed form of Stable for incremental
+// convergence tracking (population.RingTracker). Defectiveness is a pure
+// arc property — c(r) ≠ c(l)+1 mod k — so "exactly one defective arc whose
+// head is the unique leader" splits into two O(1) arc counters: defects
+// with a leader head (must be exactly one) and defects with a follower
+// head (must be zero). Repairs, leaders and live bullets are agent
+// counters; the non-local C_PB residual (war.PeacefulWithLeader) runs only
+// once every counter already passes, and never while the ring is
+// bullet-free. The verdict equals Stable at every configuration.
+func (p *Protocol) StableSpec() population.RingSpec[State] {
+	const (
+		arcDefectLeaderHead = 1 << iota
+		arcDefectOtherHead
+	)
+	const (
+		agentLeader = 1 << iota
+		agentRepair
+		agentLiveBullet
+	)
+	k := p.K
+	return population.RingSpec[State]{
+		ArcMask: func(l, r State) uint8 {
+			if int(r.C) == (int(l.C)+1)%k {
+				return 0
+			}
+			if r.Leader {
+				return arcDefectLeaderHead
+			}
+			return arcDefectOtherHead
+		},
+		AgentMask: func(s State) uint8 {
+			var m uint8
+			if s.Leader {
+				m |= agentLeader
+			}
+			if s.Repair {
+				m |= agentRepair
+			}
+			if s.War.Bullet == war.Live {
+				m |= agentLiveBullet
+			}
+			return m
+		},
+		Converged: func(c population.LocalCounts, cfg []State) bool {
+			if c.Agent[0] != 1 || c.Agent[1] != 0 || c.Arc[0] != 1 || c.Arc[1] != 0 {
+				return false
+			}
+			if c.Agent[2] == 0 {
+				return true // no live bullets: C_PB holds trivially
+			}
+			// c.AgentPos[0] names the unique leader in O(1).
+			return war.PeacefulWithLeader(cfg, c.AgentPos[0], func(s State) war.State { return s.War })
+		},
+	}
 }

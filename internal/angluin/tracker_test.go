@@ -1,0 +1,33 @@
+package angluin
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/population/tracktest"
+	"repro/internal/xrand"
+)
+
+// TestStableSpecExact pins the incremental tracker to the brute-force
+// Stable scan: per-step agreement and identical hitting times, on rings up
+// to the n=64 acceptance size (bumped to 65: k=2 needs odd sizes).
+func TestStableSpecExact(t *testing.T) {
+	for _, n := range []int{5, 17, 33, 65} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			if n == 65 && seed > 1 {
+				continue // Θ(n³)-class: one seed at the top size
+			}
+			n, seed := n, seed
+			t.Run(fmt.Sprintf("n=%d/seed=%d", n, seed), func(t *testing.T) {
+				p := New(2)
+				mk := func() *population.Engine[State] {
+					eng := population.NewEngine(population.DirectedRing(n), p.Step, xrand.New(seed))
+					eng.SetStates(p.RandomConfig(xrand.New(seed^0x5eed), n))
+					return eng
+				}
+				tracktest.Exact(t, mk, p.StableSpec(), p.Stable, 400*uint64(n)*uint64(n)*uint64(n))
+			})
+		}
+	}
+}

@@ -280,3 +280,67 @@ func btoi(b bool) int {
 	}
 	return 0
 }
+
+// StableSpec is the delta-decomposed form of Stable for incremental
+// convergence tracking (population.RingTracker). The phase structure of
+// the steady attempt cycle is pure counting — leaders, anchors, walkers,
+// retractors, live bullets are all O(1) agent counters — and the phase-A
+// ordering "the anchor must not lie ahead of the walker" reads the
+// tracker's per-channel index sums, which name the unique leader, anchor
+// and walker in O(1). The only remaining non-local residual is C_PB war
+// peacefulness, scanned solely when live bullets exist and every counter
+// already passes — rare before convergence and transient after it. The
+// verdict equals Stable at every configuration.
+func (p *Protocol) StableSpec() population.RingSpec[State] {
+	const (
+		agentLeader = 1 << iota
+		agentAnchor
+		agentWalker
+		agentRetract
+		agentLiveBullet
+	)
+	return population.RingSpec[State]{
+		AgentMask: func(s State) uint8 {
+			var m uint8
+			if s.Leader {
+				m |= agentLeader
+			}
+			if s.Anchor {
+				m |= agentAnchor
+			}
+			if s.Walker {
+				m |= agentWalker
+			}
+			if s.Retract {
+				m |= agentRetract
+			}
+			if s.War.Bullet == war.Live {
+				m |= agentLiveBullet
+			}
+			return m
+		},
+		Converged: func(c population.LocalCounts, cfg []State) bool {
+			if c.Agent[0] != 1 || c.Agent[1] > 1 {
+				return false
+			}
+			walkers, retractors := c.Agent[2], c.Agent[3]
+			phaseA := walkers == 1 && retractors == 0
+			if !phaseA && !(walkers == 0 && retractors <= 1) {
+				return false
+			}
+			n := len(cfg)
+			k := c.AgentPos[0] // the unique leader's index
+			if phaseA && c.Agent[1] == 1 {
+				pa := ((c.AgentPos[1]-k)%n + n) % n // the unique anchor
+				pw := ((c.AgentPos[2]-k)%n + n) % n // the unique walker
+				if pa > pw {
+					return false
+				}
+			}
+			if c.Agent[4] == 0 {
+				return true
+			}
+			return war.PeacefulWithLeader(cfg, k, func(s State) war.State { return s.War })
+		},
+	}
+}

@@ -176,12 +176,15 @@ func TestNoFalseElectionWithLeader(t *testing.T) {
 	cfg := make([]State, n)
 	cfg[3] = State{Leader: true, War: war.State{Shield: true}}
 	ru.SetStates(cfg)
+	// The install itself is recorded as a leader-set change (the zero
+	// config is leaderless); only interaction-driven changes count here.
+	base := ru.Engine().LeaderChanges()
 	ru.Engine().Run(500000)
 	if got := ru.Engine().LeaderCount(); got != 1 {
 		t.Fatalf("leader count drifted to %d", got)
 	}
-	if ru.Engine().LeaderChanges() != 0 {
-		t.Fatalf("leader set changed %d times", ru.Engine().LeaderChanges())
+	if got := ru.Engine().LeaderChanges(); got != base {
+		t.Fatalf("leader set changed %d times", got-base)
 	}
 }
 

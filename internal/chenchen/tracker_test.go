@@ -1,0 +1,45 @@
+package chenchen
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/population/tracktest"
+	"repro/internal/xrand"
+)
+
+// TestStableSpecExact pins the incremental tracker to the brute-force
+// Stable scan. Small sizes run to convergence; the exponential-class
+// reconstruction makes full convergence at the larger acceptance sizes
+// impractical, so n=16 and n=64 verify per-step agreement over a bounded
+// prefix instead — exactness is a per-step property, not a convergence
+// property. The engines come from NewRunner so the flag census keeps
+// firing through the tracked path.
+func TestStableSpecExact(t *testing.T) {
+	cases := []struct {
+		n        int
+		maxSteps uint64
+	}{
+		{4, 2000 * 4 * 4 * 4},
+		{8, 2000 * 8 * 8 * 8},
+		{16, 200_000},
+		{64, 20_000},
+	}
+	for _, c := range cases {
+		for seed := uint64(1); seed <= 2; seed++ {
+			if c.n >= 16 && seed > 1 {
+				continue
+			}
+			c, seed := c, seed
+			t.Run(fmt.Sprintf("n=%d/seed=%d", c.n, seed), func(t *testing.T) {
+				mk := func() *population.Engine[State] {
+					ru := NewRunner(c.n, xrand.New(seed))
+					ru.SetStates(New().RandomConfig(xrand.New(seed^0x5eed), c.n))
+					return ru.Engine()
+				}
+				tracktest.Exact(t, mk, New().StableSpec(), Stable, c.maxSteps)
+			})
+		}
+	}
+}

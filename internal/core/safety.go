@@ -1,7 +1,27 @@
 package core
 
 import (
+	"repro/internal/population"
 	"repro/internal/war"
+)
+
+// Condition channels of SafetySpec (see LocalCounts): arc channels count
+// violations, agent channels count feature occurrences.
+const (
+	// safeArcDist marks an arc violating condition (1) of Section 3.1 in
+	// its leader-anchored form: a leader responder must have dist 0, a
+	// follower responder its initiator's dist plus one mod 2ψ.
+	safeArcDist = 1 << iota
+	// safeArcLastDrop marks an arc where the last-segment flag drops
+	// without reaching a leader: l.last ∧ ¬r.last ∧ ¬r.leader. In C_DL the
+	// last-flag block must end exactly at the leader.
+	safeArcLastDrop
+)
+
+const (
+	safeAgentLeader = 1 << iota
+	safeAgentLast
+	safeAgentLiveBullet
 )
 
 // LeaderCount returns the number of agents outputting L.
@@ -154,7 +174,14 @@ func (p Params) IsSafe(cfg []State) bool {
 	if !p.InCDL(cfg) {
 		return false
 	}
-	k := LeaderIndex(cfg)
+	return p.safeTail(cfg, LeaderIndex(cfg))
+}
+
+// safeTail checks the non-local remainder of S_PL beyond C_DL — the
+// segment-ID chain and token soundness — given a configuration whose
+// unique leader sits at k. It is shared by the scan predicate IsSafe and
+// the incremental tracker's residual (SafetySpec).
+func (p Params) safeTail(cfg []State, k int) bool {
 	n := len(cfg)
 	zeta := p.Zeta()
 	mask := (uint64(1) << uint(p.Psi)) - 1
@@ -233,4 +260,71 @@ func (p Params) tokenSound(cfg []State, k, i int, t Token, d int) bool {
 	expBit := bx ^ carryIn
 	expCarry := carryIn & bx
 	return t.Bit == expBit && t.Carry == expCarry
+}
+
+// SafetySpec is the delta-decomposed form of IsSafe for incremental
+// convergence tracking (population.RingTracker): the locally checkable
+// part of S_PL — exactly one leader, the distance chain of condition (1),
+// and the last-segment flag forming one block of the right size ending at
+// the leader — is maintained as O(1) per-interaction counters, and only
+// when every one of those conditions already holds does the verdict run
+// the non-local residual (C_PB war peacefulness, the segment-ID chain and
+// token soundness, via safeTail). The verdict equals IsSafe at every
+// configuration, so hitting times are exact; before convergence the local
+// counters are almost always non-zero, so the hot path never scans.
+func (p Params) SafetySpec() population.RingSpec[State] {
+	two := uint16(p.TwoPsi())
+	expectLast := p.N - p.Psi*(p.Zeta()-1) // size of the last-flag block in C_DL
+	if expectLast < 0 {
+		expectLast = 0
+	}
+	return population.RingSpec[State]{
+		ArcMask: func(l, r State) uint8 {
+			var m uint8
+			if r.Leader {
+				if r.Dist != 0 {
+					m |= safeArcDist
+				}
+			} else {
+				want := l.Dist + 1
+				if want == two {
+					want = 0
+				}
+				if r.Dist != want {
+					m |= safeArcDist
+				}
+				if l.Last && !r.Last {
+					m |= safeArcLastDrop
+				}
+			}
+			return m
+		},
+		AgentMask: func(s State) uint8 {
+			var m uint8
+			if s.Leader {
+				m |= safeAgentLeader
+			}
+			if s.Last {
+				m |= safeAgentLast
+			}
+			if s.War.Bullet == war.Live {
+				m |= safeAgentLiveBullet
+			}
+			return m
+		},
+		Converged: func(c population.LocalCounts, cfg []State) bool {
+			if c.Agent[0] != 1 || c.Arc[0] != 0 || c.Arc[1] != 0 || c.Agent[1] != expectLast {
+				return false
+			}
+			// Local gate open: with exactly one leader, an intact distance
+			// chain and a single correctly sized last-flag block ending at
+			// the leader, the configuration is in C_DL up to peacefulness.
+			// c.AgentPos[0] names the unique leader in O(1).
+			k := c.AgentPos[0]
+			if c.Agent[2] > 0 && !war.PeacefulWithLeader(cfg, k, func(s State) war.State { return s.War }) {
+				return false
+			}
+			return p.safeTail(cfg, k)
+		},
+	}
 }

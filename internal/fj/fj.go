@@ -212,3 +212,54 @@ func (ru *Runner) SetStates(cfg []State) {
 
 // Engine exposes the underlying engine for stepping and inspection.
 func (ru *Runner) Engine() *population.Engine[State] { return ru.eng }
+
+// StableSpec is the delta-decomposed form of Stable for incremental
+// convergence tracking (population.RingTracker). Stable only constrains
+// global counts — one leader, at most one bullet — and the unique leader's
+// own flags, which become counts too: with exactly one leader,
+// "the leader is waiting" is the same as "exactly one agent is a waiting
+// leader". Every condition is an O(1) agent counter, so the verdict never
+// scans the configuration. It equals Stable at every configuration.
+func (p *Protocol) StableSpec() population.RingSpec[State] {
+	const (
+		agentLeader = 1 << iota
+		agentWaitingLeader
+		agentShieldedLeader
+		agentBullet
+		agentLiveBullet
+	)
+	return population.RingSpec[State]{
+		AgentMask: func(s State) uint8 {
+			var m uint8
+			if s.Leader {
+				m |= agentLeader
+				if s.Waiting {
+					m |= agentWaitingLeader
+				}
+				if s.Shield {
+					m |= agentShieldedLeader
+				}
+			}
+			if s.Bullet != war.None {
+				m |= agentBullet
+				if s.Bullet == war.Live {
+					m |= agentLiveBullet
+				}
+			}
+			return m
+		},
+		Converged: func(c population.LocalCounts, _ []State) bool {
+			if c.Agent[0] != 1 {
+				return false
+			}
+			switch c.Agent[3] { // bullets in flight
+			case 0:
+				return c.Agent[1] == 0 // leader ready to fire
+			case 1:
+				return c.Agent[1] == 1 && (c.Agent[4] == 0 || c.Agent[2] == 1)
+			default:
+				return false
+			}
+		},
+	}
+}

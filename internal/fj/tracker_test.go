@@ -1,0 +1,33 @@
+package fj
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/population/tracktest"
+	"repro/internal/xrand"
+)
+
+// TestStableSpecExact pins the incremental tracker to the brute-force
+// Stable scan: per-step agreement and identical hitting times, on rings up
+// to the n=64 acceptance size. The engines come from NewRunner so the Ω?
+// census keeps firing through the tracked path.
+func TestStableSpecExact(t *testing.T) {
+	for _, n := range []int{4, 16, 33, 64} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			if n == 64 && seed > 1 {
+				continue // Θ(n³)-class: one seed at the top size
+			}
+			n, seed := n, seed
+			t.Run(fmt.Sprintf("n=%d/seed=%d", n, seed), func(t *testing.T) {
+				mk := func() *population.Engine[State] {
+					ru := NewRunner(n, xrand.New(seed))
+					ru.SetStates(New().RandomConfig(xrand.New(seed^0x5eed), n))
+					return ru.Engine()
+				}
+				tracktest.Exact(t, mk, New().StableSpec(), Stable, 400*uint64(n)*uint64(n)*uint64(n))
+			})
+		}
+	}
+}

@@ -9,6 +9,8 @@ package harness
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/runner"
@@ -188,7 +190,7 @@ func Table(names []string, allCells [][]Cell, sizes []int) string {
 	}
 	b.WriteByte('\n')
 	for row := range sizes {
-		fmt.Fprintf(&b, "| %d |", sizes[row])
+		b.WriteString("| " + sizeLabel(allCells, row, sizes[row]) + " |")
 		for col := range names {
 			cells := allCells[col]
 			if row >= len(cells) || cells[row].Steps.Count == 0 {
@@ -200,6 +202,42 @@ func Table(names []string, allCells [][]Cell, sizes []int) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// sizeLabel renders the n column of one table row from the actual trial
+// sizes of the row's populated cells, not the requested size: FixSize may
+// adjust a request (orient bumps n=2 to 3, the mod-k baseline bumps even
+// sizes), and labeling those rows with the requested size attributes the
+// measurements to a ring that was never run. Cells without data fall back
+// to the requested size; distinct actual sizes in one row (protocols
+// adjusting differently) are slash-joined so none is misattributed.
+func sizeLabel(allCells [][]Cell, row, requested int) string {
+	var distinct []int
+	for _, cells := range allCells {
+		if row >= len(cells) || cells[row].Steps.Count == 0 {
+			continue
+		}
+		n := cells[row].N
+		seen := false
+		for _, d := range distinct {
+			if d == n {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			distinct = append(distinct, n)
+		}
+	}
+	if len(distinct) == 0 {
+		return strconv.Itoa(requested)
+	}
+	sort.Ints(distinct)
+	parts := make([]string, len(distinct))
+	for i, n := range distinct {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, "/")
 }
 
 // SummaryTable renders the Table 1 reproduction: assumption, paper-cited

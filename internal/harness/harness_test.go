@@ -211,6 +211,32 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableActualSizes is the golden test of the n-column fix: a
+// size-adjusting protocol (orient bumps n=2→3, the mod-k baseline bumps
+// even sizes) must be labeled with the size its trials actually ran at,
+// not the requested one; rows where protocols adjusted differently list
+// every actual size, and rows with no data fall back to the request.
+func TestTableActualSizes(t *testing.T) {
+	adjusting := []Cell{{N: 9, Steps: summaryOf(100)}, {N: 17, Steps: summaryOf(200)}, {}}
+	identity := []Cell{{N: 8, Steps: summaryOf(50)}, {N: 16, Steps: summaryOf(150)}, {}}
+	got := Table([]string{"[5]", "P_PL"}, [][]Cell{adjusting, identity}, []int{8, 16, 32})
+	want := "" +
+		"| n | [5] | P_PL |\n" +
+		"|---|---|---|\n" +
+		"| 8/9 | 100 | 50 |\n" +
+		"| 16/17 | 200 | 150 |\n" +
+		"| 32 | — | — |\n"
+	if got != want {
+		t.Fatalf("table drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// A single size-adjusting protocol: the row label is the actual size.
+	got = Table([]string{"[5]"}, [][]Cell{{{N: 9, Steps: summaryOf(100)}}}, []int{8})
+	if !strings.Contains(got, "| 9 | 100 |") || strings.Contains(got, "| 8 |") {
+		t.Fatalf("requested size leaked into a size-adjusted row:\n%s", got)
+	}
+}
+
 func TestSummaryTableRendering(t *testing.T) {
 	rows := []Row{{
 		Name:        "[28] Yokota et al.",

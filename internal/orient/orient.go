@@ -20,6 +20,7 @@
 package orient
 
 import (
+	"repro/internal/population"
 	"repro/internal/xrand"
 )
 
@@ -180,4 +181,34 @@ func Colors(cfg []State) []uint8 {
 		out[i] = s.Color
 	}
 	return out
+}
+
+// OrientedSpec is the delta-decomposed form of Oriented for incremental
+// convergence tracking (population.RingTracker). Definition 5.1 (ii) is a
+// disjunction of two fully local conjunctions, one per direction, so two
+// per-edge violation counters suffice: edge i is clockwise-violating when
+// agent i does not point at agent i+1's color, counter-clockwise-violating
+// when agent i+1 does not point at agent i's color; the ring is oriented
+// exactly when either counter is zero. The verdict never scans the
+// configuration and equals Oriented at every configuration.
+func OrientedSpec() population.RingSpec[State] {
+	const (
+		edgeCWBad = 1 << iota
+		edgeCCWBad
+	)
+	return population.RingSpec[State]{
+		ArcMask: func(l, r State) uint8 {
+			var m uint8
+			if l.Dir != r.Color {
+				m |= edgeCWBad
+			}
+			if r.Dir != l.Color {
+				m |= edgeCCWBad
+			}
+			return m
+		},
+		Converged: func(c population.LocalCounts, _ []State) bool {
+			return c.Arc[0] == 0 || c.Arc[1] == 0
+		},
+	}
 }

@@ -1,0 +1,32 @@
+package orient
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/population/tracktest"
+	"repro/internal/twohop"
+	"repro/internal/xrand"
+)
+
+// TestOrientedSpecExact pins the incremental per-edge tracker to the
+// brute-force Oriented scan on undirected rings up to the n=64 acceptance
+// size: per-step agreement and identical hitting times.
+func TestOrientedSpecExact(t *testing.T) {
+	for _, n := range []int{3, 4, 16, 33, 64} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			n, seed := n, seed
+			t.Run(fmt.Sprintf("n=%d/seed=%d", n, seed), func(t *testing.T) {
+				colors := twohop.Coloring(n)
+				p := New()
+				mk := func() *population.Engine[State] {
+					eng := population.NewEngine(population.UndirectedRing(n), p.Step, xrand.New(seed))
+					eng.SetStates(InitialConfig(colors, xrand.New(seed^0x5eed)))
+					return eng
+				}
+				tracktest.Exact(t, mk, OrientedSpec(), Oriented, 4000*uint64(n)*uint64(n))
+			})
+		}
+	}
+}

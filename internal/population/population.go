@@ -77,6 +77,17 @@ type Engine[S any] struct {
 	lastLeaderChange uint64
 	leaderChanges    uint64
 
+	tracker      ConvergenceTracker[S]
+	trackerDirty bool
+
+	// pending holds arc draws made by RunUntilConverged's batched RNG
+	// calls but not yet executed (a run converges mid-batch). Every
+	// drawing path consumes them before touching the RNG again, so the
+	// arc sequence an engine executes is always the serial Intn stream of
+	// its seed — convergence detection never perturbs later draws.
+	pendBuf            [arcBatch]int32
+	pendStart, pendEnd int
+
 	observer Observer[S]
 }
 
@@ -115,26 +126,65 @@ func (e *Engine[S]) Snapshot() []S {
 // this to avoid per-check copies.
 func (e *Engine[S]) Config() []S { return e.states }
 
-// SetStates installs a full initial configuration (copied).
+// SetStates installs a full initial configuration (copied). When leader
+// tracking is enabled and the installed configuration changes the leader
+// set — a mid-run fault burst flipping leader bits, say — the change is
+// recorded at the current step, exactly as an interaction-driven change
+// would be; without this, a trial whose faults rewrite the leader set could
+// report a pre-fault stabilization step.
 func (e *Engine[S]) SetStates(states []S) {
 	if len(states) != e.topo.N {
 		panic(fmt.Sprintf("population: SetStates got %d states for %d agents", len(states), e.topo.N))
 	}
+	if e.isLeader != nil {
+		for i := range states {
+			if e.isLeader(states[i]) != e.isLeader(e.states[i]) {
+				e.recordLeaderChange()
+				break
+			}
+		}
+	}
 	copy(e.states, states)
 	e.leaderDirty = true
+	e.trackerDirty = e.tracker != nil
 }
 
 // SetState installs agent i's state. The leader count is not recomputed
 // eagerly — installing an n-agent configuration state-by-state is O(n), not
-// O(n²) — but lazily on the next read or interaction.
+// O(n²) — but lazily on the next read or interaction. As with SetStates, an
+// install that changes agent i's leader output is recorded as a leader-set
+// change at the current step.
 func (e *Engine[S]) SetState(i int, s S) {
+	if e.isLeader != nil && e.isLeader(s) != e.isLeader(e.states[i]) {
+		e.recordLeaderChange()
+	}
 	e.states[i] = s
 	e.leaderDirty = true
+	e.trackerDirty = e.tracker != nil
+}
+
+func (e *Engine[S]) recordLeaderChange() {
+	e.lastLeaderChange = e.step
+	e.leaderChanges++
 }
 
 // SetObserver installs an observer notified of every touched agent. Pass nil
 // to remove it.
 func (e *Engine[S]) SetObserver(obs Observer[S]) { e.observer = obs }
+
+// SetTracker installs an incremental convergence tracker, immediately reset
+// against the current configuration; pass nil to remove it. While installed
+// the tracker is kept in sync by every execution path — Step, Run, RunBatch
+// and deterministic schedules alike — at O(1) cost per interaction, and
+// RunUntilConverged uses it to report exact hitting times. State installs
+// through SetStates/SetState reset it lazily before the next interaction.
+func (e *Engine[S]) SetTracker(t ConvergenceTracker[S]) {
+	e.tracker = t
+	e.trackerDirty = false
+	if t != nil {
+		t.Reset(e.states)
+	}
+}
 
 // TrackLeaders enables leader-set change accounting using the given output
 // predicate. It must be called after the initial configuration is installed.
@@ -176,7 +226,18 @@ func (e *Engine[S]) LeaderChanges() uint64 { return e.leaderChanges }
 
 // Step executes one scheduler step: a uniformly random arc interacts.
 func (e *Engine[S]) Step() {
-	e.applyArc(e.rng.Intn(len(e.topo.Arcs)))
+	e.applyArc(e.drawArc())
+}
+
+// drawArc returns the next scheduler arc index: a buffered draw left over
+// from a convergence run if one exists, else a fresh RNG draw.
+func (e *Engine[S]) drawArc() int {
+	if e.pendStart < e.pendEnd {
+		k := int(e.pendBuf[e.pendStart])
+		e.pendStart++
+		return k
+	}
+	return e.rng.Intn(len(e.topo.Arcs))
 }
 
 // ApplyArc forces the interaction on arc k of the topology. It is used by
@@ -207,6 +268,9 @@ func (e *Engine[S]) applyPair(li, ri int32, lb, rb S) {
 	la, ra := e.trans(lb, rb)
 	e.states[li], e.states[ri] = la, ra
 	e.step++
+	if e.tracker != nil {
+		e.syncTracker(li, ri)
+	}
 	if e.isLeader == nil {
 		return
 	}
@@ -231,6 +295,19 @@ func (e *Engine[S]) applyPair(li, ri int32, lb, rb S) {
 		e.lastLeaderChange = e.step
 		e.leaderChanges++
 	}
+}
+
+// syncTracker brings the tracker up to date after the interaction on
+// (li, ri): a pending bulk install triggers a full reset, otherwise the
+// O(1) incremental update runs. Called from applyPair only when a tracker
+// is installed.
+func (e *Engine[S]) syncTracker(li, ri int32) {
+	if e.trackerDirty {
+		e.tracker.Reset(e.states)
+		e.trackerDirty = false
+		return
+	}
+	e.tracker.Update(li, ri)
 }
 
 // Run executes exactly steps scheduler steps. When no observer is installed
@@ -260,6 +337,15 @@ const arcBatch = 256
 func (e *Engine[S]) RunBatch(steps uint64) {
 	if e.leaderDirty {
 		e.recountLeaders()
+	}
+	for steps > 0 && e.pendStart < e.pendEnd {
+		// Buffered draws from an earlier convergence run come first, so
+		// the executed arc sequence stays the serial stream of the seed.
+		arc := e.topo.Arcs[e.pendBuf[e.pendStart]]
+		e.pendStart++
+		li, ri := arc[0], arc[1]
+		e.applyPair(li, ri, e.states[li], e.states[ri])
+		steps--
 	}
 	var buf [arcBatch]int32
 	nArcs := len(e.topo.Arcs)
@@ -301,6 +387,65 @@ func (e *Engine[S]) RunUntil(pred func([]S) bool, checkEvery int, maxSteps uint6
 		}
 		e.Run(batch)
 		if pred(e.states) {
+			return e.step, true
+		}
+	}
+	return e.step, false
+}
+
+// RunUntilConverged runs until the installed convergence tracker reports
+// convergence, or until maxSteps have executed in total (counting steps
+// from previous runs). It returns the engine step count at which the
+// tracker first held and whether it did. Unlike RunUntil, the predicate is
+// evaluated after every single step through the tracker's O(1) counters,
+// so for a closed predicate the returned step is the exact hitting time —
+// no checkEvery quantization. The arc sequence executed is identical to
+// Run/RunBatch for the same RNG state; on mid-batch convergence the
+// remaining pre-drawn arcs stay buffered and are executed first by any
+// later Step/Run/RunBatch call, so continued use of the engine (fault
+// loops re-running to convergence, say) still follows the serial stream
+// of the seed.
+//
+// It panics if no tracker is installed.
+func (e *Engine[S]) RunUntilConverged(maxSteps uint64) (uint64, bool) {
+	if e.tracker == nil {
+		panic("population: RunUntilConverged without a tracker (call SetTracker)")
+	}
+	if e.trackerDirty {
+		e.tracker.Reset(e.states)
+		e.trackerDirty = false
+	}
+	if e.tracker.Converged() {
+		return e.step, true
+	}
+	if e.observer != nil {
+		// Observer dispatch forces the step-at-a-time path, exactly as Run.
+		for e.step < maxSteps {
+			e.Step()
+			if e.tracker.Converged() {
+				return e.step, true
+			}
+		}
+		return e.step, false
+	}
+	if e.leaderDirty {
+		e.recountLeaders()
+	}
+	nArcs := len(e.topo.Arcs)
+	for e.step < maxSteps {
+		if e.pendStart == e.pendEnd {
+			batch := uint64(arcBatch)
+			if rem := maxSteps - e.step; rem < batch {
+				batch = rem
+			}
+			e.rng.FillIntn(nArcs, e.pendBuf[:batch])
+			e.pendStart, e.pendEnd = 0, int(batch)
+		}
+		arc := e.topo.Arcs[e.pendBuf[e.pendStart]]
+		e.pendStart++
+		li, ri := arc[0], arc[1]
+		e.applyPair(li, ri, e.states[li], e.states[ri])
+		if e.tracker.Converged() {
 			return e.step, true
 		}
 	}

@@ -1,0 +1,193 @@
+package population
+
+import "math/bits"
+
+// ConvergenceTracker maintains a convergence predicate incrementally while
+// the engine runs. The engine calls Update from applyPair after every
+// interaction (O(1) amortized), Reset after a bulk state install, and
+// Converged to ask whether the predicate holds at the current step — which
+// is what makes hitting times exact instead of quantized to a periodic
+// full-configuration scan.
+type ConvergenceTracker[S any] interface {
+	// Reset recomputes all tracker state from the configuration. The slice
+	// is the engine's live backing array: the tracker may retain it and
+	// read it on later calls, but must never write to it.
+	Reset(cfg []S)
+	// Update is called after the interaction on the arc (li, ri) has been
+	// applied to the configuration passed to Reset. Both agents' states
+	// may have changed; on a ring they are adjacent.
+	Update(li, ri int32)
+	// Converged reports whether the tracked predicate holds right now. It
+	// must be cheap when the answer is "no": RunUntilConverged calls it
+	// after every single step.
+	Converged() bool
+}
+
+// LocalCounts carries, per condition channel, the number of ring locations
+// currently matching the channel's condition: Arc[b] counts arcs (i, i+1)
+// whose ArcMask has bit b set, Agent[b] counts agents whose AgentMask has
+// bit b set. AgentPos[b] is the sum of the indices of the agents matching
+// channel b — when Agent[b] == 1 it IS the index of the unique matching
+// agent, which lets verdicts locate a unique leader (or walker, or
+// anchor) in O(1) instead of scanning the ring. A RingSpec's Converged
+// verdict reads these instead of scanning the configuration.
+type LocalCounts struct {
+	Arc      [8]int
+	Agent    [8]int
+	AgentPos [8]int
+}
+
+// RingSpec is the delta-decomposed form of a convergence predicate on a
+// ring: per-adjacent-pair and per-agent conditions whose match counts are
+// maintained in O(1) per interaction, plus a verdict that combines them.
+// Predicates with a non-local remainder (for example the war peacefulness
+// of C_PB, which orders signals against live bullets around the whole
+// ring) put the local conditions first as a gate and scan only when every
+// cheap condition already holds — which before convergence is rare, so the
+// hot path stays scan-free.
+type RingSpec[S any] struct {
+	// ArcMask returns the condition bits matched by the ordered adjacent
+	// pair (l, r) = (agent i, agent i+1 mod n). Nil means no arc
+	// conditions.
+	ArcMask func(l, r S) uint8
+	// AgentMask returns the condition bits matched by a single agent's
+	// state. Nil means no agent conditions.
+	AgentMask func(s S) uint8
+	// Converged decides the predicate from the channel counts. cfg is the
+	// live configuration, for verdicts that need a residual scan once the
+	// counts pass; implementations must treat it as read-only. Converged
+	// must be exact: it returns true at precisely the steps where the
+	// protocol's scan predicate would.
+	Converged func(c LocalCounts, cfg []S) bool
+}
+
+// RingTracker maintains a RingSpec incrementally: per-location condition
+// bits plus the per-channel match counts. An interaction touches two
+// adjacent agents, so at most two agent masks and four arc masks are
+// re-evaluated per Update — O(1) regardless of ring size.
+type RingTracker[S any] struct {
+	spec      RingSpec[S]
+	cfg       []S
+	arcBits   []uint8
+	agentBits []uint8
+	counts    LocalCounts
+}
+
+// NewRingTracker returns a tracker for the spec. It is inert until the
+// engine's SetTracker (or a direct Reset) hands it a configuration.
+func NewRingTracker[S any](spec RingSpec[S]) *RingTracker[S] {
+	if spec.Converged == nil {
+		panic("population: RingSpec needs a Converged verdict")
+	}
+	return &RingTracker[S]{spec: spec}
+}
+
+// Counts returns the current per-channel match counts (for tests and
+// diagnostics).
+func (t *RingTracker[S]) Counts() LocalCounts { return t.counts }
+
+// Reset implements ConvergenceTracker.
+func (t *RingTracker[S]) Reset(cfg []S) {
+	n := len(cfg)
+	t.cfg = cfg
+	if len(t.arcBits) != n {
+		t.arcBits = make([]uint8, n)
+		t.agentBits = make([]uint8, n)
+	}
+	t.counts = LocalCounts{}
+	for i := 0; i < n; i++ {
+		var ab, gb uint8
+		if t.spec.ArcMask != nil {
+			ab = t.spec.ArcMask(cfg[i], cfg[(i+1)%n])
+		}
+		if t.spec.AgentMask != nil {
+			gb = t.spec.AgentMask(cfg[i])
+		}
+		t.arcBits[i], t.agentBits[i] = ab, gb
+		bumpCounts(&t.counts.Arc, 0, ab)
+		bumpAgentCounts(&t.counts, 0, gb, i)
+	}
+}
+
+// Update implements ConvergenceTracker: it re-evaluates the conditions of
+// the two touched agents and of the (up to four) arcs incident to them.
+func (t *RingTracker[S]) Update(li, ri int32) {
+	n := len(t.cfg)
+	a, b := int(li), int(ri)
+	if t.spec.AgentMask != nil {
+		t.refreshAgent(a)
+		t.refreshAgent(b)
+	}
+	if t.spec.ArcMask == nil {
+		return
+	}
+	// Arcs whose pair includes agent a or b: (x-1, x) and (x, x+1).
+	idx := [4]int{prev(a, n), a, prev(b, n), b}
+	for k, arc := range idx {
+		dup := false
+		for j := 0; j < k; j++ {
+			if idx[j] == arc {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			t.refreshArc(arc)
+		}
+	}
+}
+
+// Converged implements ConvergenceTracker.
+func (t *RingTracker[S]) Converged() bool {
+	return t.spec.Converged(t.counts, t.cfg)
+}
+
+func (t *RingTracker[S]) refreshAgent(i int) {
+	nw := t.spec.AgentMask(t.cfg[i])
+	if old := t.agentBits[i]; old != nw {
+		t.agentBits[i] = nw
+		bumpAgentCounts(&t.counts, old, nw, i)
+	}
+}
+
+func (t *RingTracker[S]) refreshArc(i int) {
+	nw := t.spec.ArcMask(t.cfg[i], t.cfg[(i+1)%len(t.cfg)])
+	if old := t.arcBits[i]; old != nw {
+		t.arcBits[i] = nw
+		bumpCounts(&t.counts.Arc, old, nw)
+	}
+}
+
+// bumpCounts applies the old→new bit delta to the per-channel counts.
+func bumpCounts(counts *[8]int, old, nw uint8) {
+	for diff := old ^ nw; diff != 0; diff &= diff - 1 {
+		b := bits.TrailingZeros8(diff)
+		if nw&(1<<b) != 0 {
+			counts[b]++
+		} else {
+			counts[b]--
+		}
+	}
+}
+
+// bumpAgentCounts applies the old→new bit delta of agent idx to the agent
+// channel counts and index sums.
+func bumpAgentCounts(c *LocalCounts, old, nw uint8, idx int) {
+	for diff := old ^ nw; diff != 0; diff &= diff - 1 {
+		b := bits.TrailingZeros8(diff)
+		if nw&(1<<b) != 0 {
+			c.Agent[b]++
+			c.AgentPos[b] += idx
+		} else {
+			c.Agent[b]--
+			c.AgentPos[b] -= idx
+		}
+	}
+}
+
+func prev(i, n int) int {
+	if i == 0 {
+		return n - 1
+	}
+	return i - 1
+}

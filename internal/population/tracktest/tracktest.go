@@ -1,0 +1,66 @@
+// Package tracktest is the shared exactness harness of the per-protocol
+// convergence-tracker regression tests: it pins every RingSpec to the
+// protocol's brute-force scan predicate, step by step and through the
+// engine's run paths, so incremental hitting times are provably the exact
+// hitting times.
+package tracktest
+
+import (
+	"testing"
+
+	"repro/internal/population"
+)
+
+// Exact verifies that spec is an exact delta-decomposition of pred on the
+// engine produced by mk (mk must return identically seeded, identically
+// initialized engines on every call):
+//
+//  1. Stepping one engine interaction by interaction, the tracker's
+//     verdict equals the scan predicate after every single step, up to
+//     maxSteps or until shortly after the predicate first holds — so the
+//     tracker can neither fire early nor late, anywhere on the trajectory.
+//  2. RunUntilConverged (the batched production path) returns exactly the
+//     (step, converged) of RunUntil with checkEvery=1 — the per-step
+//     brute-force scan oracle — on a fresh engine with the same seed.
+//
+// tailSteps extra steps are verified after the first hit, guarding
+// against a tracker that drifts out of sync once inside the closed set.
+func Exact[S any](t *testing.T, mk func() *population.Engine[S], spec population.RingSpec[S], pred func([]S) bool, maxSteps uint64) {
+	t.Helper()
+	const tailSteps = 256
+
+	eng := mk()
+	tr := population.NewRingTracker(spec)
+	eng.SetTracker(tr)
+	if got, want := tr.Converged(), pred(eng.Config()); got != want {
+		t.Fatalf("step 0: tracker says %v, scan says %v", got, want)
+	}
+	tail := uint64(0)
+	hit := false
+	for eng.Steps() < maxSteps {
+		eng.Step()
+		got, want := tr.Converged(), pred(eng.Config())
+		if got != want {
+			t.Fatalf("step %d: tracker says %v, scan says %v", eng.Steps(), got, want)
+		}
+		if want {
+			hit = true
+			if tail++; tail > tailSteps {
+				break
+			}
+		}
+	}
+	if !hit {
+		t.Logf("note: no convergence within %d steps (agreement still verified per step)", maxSteps)
+	}
+
+	tracked := mk()
+	tracked.SetTracker(population.NewRingTracker(spec))
+	gotStep, gotOK := tracked.RunUntilConverged(maxSteps)
+	oracle := mk()
+	wantStep, wantOK := oracle.RunUntil(pred, 1, maxSteps)
+	if gotStep != wantStep || gotOK != wantOK {
+		t.Fatalf("RunUntilConverged = (%d, %v), per-step scan oracle = (%d, %v)",
+			gotStep, gotOK, wantStep, wantOK)
+	}
+}

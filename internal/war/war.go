@@ -125,6 +125,32 @@ func Peaceful(i int, leader []bool, st []State) bool {
 	return true
 }
 
+// PeacefulWithLeader reports whether every live bullet is peaceful on a
+// ring whose unique leader sits at index k — the C_PB residual of the
+// incremental convergence trackers, which only consult it once their local
+// counters certify exactly one leader. Unlike the general Peaceful (which
+// re-walks to the nearest left leader per bullet, O(n) each), a single
+// clockwise pass from the leader suffices: a live bullet at offset d is
+// peaceful iff the leader is shielded and no bullet-absence signal sits at
+// offsets 0..d, so it is enough to remember whether a signal has been seen
+// yet. cfg is generic over the protocol state; get projects out the war
+// variables.
+func PeacefulWithLeader[T any](cfg []T, k int, get func(T) State) bool {
+	n := len(cfg)
+	shield := get(cfg[k]).Shield
+	seenSignal := false
+	for off := 0; off < n; off++ {
+		s := get(cfg[(k+off)%n])
+		if s.Signal {
+			seenSignal = true
+		}
+		if s.Bullet == Live && (!shield || seenSignal) {
+			return false
+		}
+	}
+	return true
+}
+
 // AllLiveBulletsPeaceful reports whether the configuration is in C_PB: at
 // least one leader exists and every live bullet is peaceful.
 func AllLiveBulletsPeaceful(leader []bool, st []State) bool {

@@ -325,3 +325,29 @@ func BenchmarkWarStep(b *testing.B) {
 		warTransition(l, r)
 	}
 }
+
+// TestPeacefulWithLeaderMatchesGeneral pins the single-pass C_PB residual
+// of the convergence trackers to the general per-bullet definition on
+// random single-leader configurations: the two must agree everywhere.
+func TestPeacefulWithLeaderMatchesGeneral(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 5000; trial++ {
+		n := 2 + rng.Intn(12)
+		k := rng.Intn(n)
+		leader := make([]bool, n)
+		leader[k] = true
+		st := make([]State, n)
+		for i := range st {
+			st[i] = State{
+				Bullet: Bullet(rng.Intn(3)),
+				Shield: rng.Bool(),
+				Signal: rng.Bool(),
+			}
+		}
+		want := AllLiveBulletsPeaceful(leader, st)
+		got := PeacefulWithLeader(st, k, func(s State) State { return s })
+		if got != want {
+			t.Fatalf("n=%d k=%d: single-pass %v, general %v\nstates: %+v", n, k, got, want, st)
+		}
+	}
+}

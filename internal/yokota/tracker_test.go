@@ -1,0 +1,30 @@
+package yokota
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/population/tracktest"
+	"repro/internal/xrand"
+)
+
+// TestStableSpecExact pins the incremental tracker to the brute-force
+// Stable scan: per-step agreement and identical hitting times, on rings up
+// to the n=64 acceptance size.
+func TestStableSpecExact(t *testing.T) {
+	for _, n := range []int{4, 16, 33, 64} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			n, seed := n, seed
+			t.Run(fmt.Sprintf("n=%d/seed=%d", n, seed), func(t *testing.T) {
+				p := New(2 * n)
+				mk := func() *population.Engine[State] {
+					eng := population.NewEngine(population.DirectedRing(n), p.Step, xrand.New(seed))
+					eng.SetStates(p.RandomConfig(xrand.New(seed^0x5eed), n))
+					return eng
+				}
+				tracktest.Exact(t, mk, p.StableSpec(), p.Stable, 800*uint64(n)*uint64(n))
+			})
+		}
+	}
+}

@@ -13,6 +13,7 @@ package yokota
 import (
 	"fmt"
 
+	"repro/internal/population"
 	"repro/internal/war"
 	"repro/internal/xrand"
 )
@@ -125,4 +126,56 @@ func (p *Protocol) Stable(cfg []State) bool {
 		states[i] = s.War
 	}
 	return war.AllLiveBulletsPeaceful(leaders, states)
+}
+
+// StableSpec is the delta-decomposed form of Stable for incremental
+// convergence tracking (population.RingTracker). The distance structure is
+// fully local: with exactly one leader, per-arc consistency — a leader
+// responder at dist 0, a follower responder at its initiator's dist plus
+// one — forces dist(k+i) = i around the whole ring by induction from the
+// leader, which is precisely Stable's exact-hop-count demand. Leader count
+// and live bullets are O(1) agent counters; only when all of that already
+// holds does the verdict run the non-local C_PB residual
+// (war.PeacefulWithLeader), and not at all while the ring is bullet-free.
+// The verdict equals Stable at every configuration.
+func (p *Protocol) StableSpec() population.RingSpec[State] {
+	const (
+		arcDistBad = 1 << iota
+	)
+	const (
+		agentLeader = 1 << iota
+		agentLiveBullet
+	)
+	return population.RingSpec[State]{
+		ArcMask: func(l, r State) uint8 {
+			if r.Leader {
+				if r.Dist != 0 {
+					return arcDistBad
+				}
+			} else if r.Dist != l.Dist+1 {
+				return arcDistBad
+			}
+			return 0
+		},
+		AgentMask: func(s State) uint8 {
+			var m uint8
+			if s.Leader {
+				m |= agentLeader
+			}
+			if s.War.Bullet == war.Live {
+				m |= agentLiveBullet
+			}
+			return m
+		},
+		Converged: func(c population.LocalCounts, cfg []State) bool {
+			if c.Agent[0] != 1 || c.Arc[0] != 0 {
+				return false
+			}
+			if c.Agent[1] == 0 {
+				return true // no live bullets: C_PB holds trivially
+			}
+			// c.AgentPos[0] names the unique leader in O(1).
+			return war.PeacefulWithLeader(cfg, c.AgentPos[0], func(s State) war.State { return s.War })
+		},
+	}
 }

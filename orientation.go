@@ -15,6 +15,9 @@ type RingOrientation struct {
 	proto *orient.Protocol
 	eng   *population.Engine[orient.State]
 	rng   *xrand.RNG
+	// tracker is the incremental orientation tracker, installed only for
+	// the duration of RunToOriented so plain Step stays on the raw path.
+	tracker *population.RingTracker[orient.State]
 }
 
 // NewRingOrientation builds a simulation for an undirected ring of n ≥ 3
@@ -29,7 +32,10 @@ func NewRingOrientation(n int, opts ...Option) *RingOrientation {
 	proto := orient.New()
 	eng := population.NewEngine(population.UndirectedRing(n), proto.Step, rng)
 	eng.SetStates(orient.InitialConfig(twohop.Coloring(n), rng.Split()))
-	return &RingOrientation{proto: proto, eng: eng, rng: rng}
+	return &RingOrientation{
+		proto: proto, eng: eng, rng: rng,
+		tracker: population.NewRingTracker(orient.OrientedSpec()),
+	}
 }
 
 // N returns the ring size.
@@ -46,14 +52,18 @@ func (o *RingOrientation) Scramble() {
 func (o *RingOrientation) Step() { o.eng.Step() }
 
 // RunToOriented runs until the ring is fully oriented (Definition 5.1
-// condition (ii)) and returns the step count and success. maxSteps of 0
-// applies the paper's bound with a generous constant.
+// condition (ii)) and returns the step count and success. Orientation is
+// detected through an incremental per-edge tracker, so the returned step
+// is the exact hitting time. maxSteps of 0 applies the paper's bound with
+// a generous constant.
 func (o *RingOrientation) RunToOriented(maxSteps uint64) (uint64, bool) {
 	if maxSteps == 0 {
 		n := uint64(o.eng.N())
 		maxSteps = o.eng.Steps() + 4000*n*n
 	}
-	return o.eng.RunUntil(orient.Oriented, o.eng.N(), maxSteps)
+	o.eng.SetTracker(o.tracker)
+	defer o.eng.SetTracker(nil)
+	return o.eng.RunUntilConverged(maxSteps)
 }
 
 // Oriented reports whether all agents currently share a direction.

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/angluin"
 	"repro/internal/chenchen"
@@ -32,15 +33,25 @@ const initSeedSalt = core.InitSeedSalt
 // faultSeedSalt decorrelates the fault-injection RNG from both.
 const faultSeedSalt = 0xfa_17_5eed
 
+// convergenceScanEvery is a test hook: when set to a positive value,
+// trialEngine.run bypasses the incremental tracker and judges convergence
+// with the scan-era RunUntil at that check cadence. Exactness regression
+// tests set it to 1 to compare the tracked hitting times against the
+// per-step brute-force scan oracle; it is atomic because trials fan out
+// across worker goroutines.
+var convergenceScanEvery atomic.Int64
+
 // trialEngine bundles the protocol-specific pieces the generic scenario
 // runner needs: the engine, an installer that routes configuration changes
 // through the protocol's oracle runner (nil for plain engines), a state
-// sampler for fault injection, and the convergence predicate with its
-// check cadence.
+// sampler for fault injection, the incremental convergence tracker of the
+// hot path, and the equivalent scan predicate with its legacy check
+// cadence (the cross-check oracle, also used by Bench's "scan" mode).
 type trialEngine[S any] struct {
 	eng     *population.Engine[S]
 	install func([]S)
 	corrupt func(rng *xrand.RNG, cur S) S
+	tracker population.ConvergenceTracker[S]
 	pred    func([]S) bool
 	check   int
 }
@@ -49,7 +60,10 @@ type trialEngine[S any] struct {
 // each burst fires at its scheduled step (bursts past the budget never
 // fire), and convergence is judged on the run after the last burst — the
 // self-stabilization question "does the protocol recover from this fault
-// history within the budget".
+// history within the budget". Convergence is detected through the
+// incremental tracker, so Steps is the exact hitting time of the
+// protocol's convergence predicate, not a checkEvery-quantized
+// overestimate.
 func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64) TrialResult {
 	var frng *xrand.RNG
 	for _, f := range sc.sortedFaults() {
@@ -73,12 +87,41 @@ func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64) T
 			te.eng.SetStates(cfg)
 		}
 	}
-	steps, ok := te.eng.RunUntil(te.pred, te.check, maxSteps)
+	var steps uint64
+	var ok bool
+	if every := convergenceScanEvery.Load(); every > 0 || te.tracker == nil {
+		check := te.check
+		if every > 0 {
+			check = int(every)
+		}
+		steps, ok = te.eng.RunUntil(te.pred, check, maxSteps)
+	} else {
+		te.eng.SetTracker(te.tracker)
+		steps, ok = te.eng.RunUntilConverged(maxSteps)
+	}
 	return TrialResult{
 		N: n, Seed: seed, Steps: steps,
 		Stabilized: te.eng.LastLeaderChange(), Converged: ok,
 	}
 }
+
+// benchRaw runs exactly steps scheduler steps with no convergence
+// judgement at all — the raw transition-loop throughput.
+func (te trialEngine[S]) benchRaw(steps uint64) { te.eng.Run(steps) }
+
+// benchTracked runs to convergence through the incremental tracker.
+func (te trialEngine[S]) benchTracked(maxSteps uint64) (uint64, bool) {
+	te.eng.SetTracker(te.tracker)
+	return te.eng.RunUntilConverged(maxSteps)
+}
+
+// benchScan runs to convergence through the scan-era periodic predicate.
+func (te trialEngine[S]) benchScan(maxSteps uint64) (uint64, bool) {
+	return te.eng.RunUntil(te.pred, te.check, maxSteps)
+}
+
+// stepCount returns the scheduler steps executed so far.
+func (te trialEngine[S]) stepCount() uint64 { return te.eng.Steps() }
 
 // validateElection is the scenario check shared by the four baselines:
 // directed ring only, random starts only (their hand-crafted hard
@@ -144,22 +187,34 @@ func (p pplProtocol) Validate(sc Scenario) error {
 	return nil
 }
 
-func (p pplProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
-	if err := p.Validate(sc); err != nil {
-		return TrialResult{}, err
-	}
+func (p pplProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[core.State] {
 	par := p.params(n)
 	pr := core.New(par)
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(par.InitConfig(sc.Init.String(), seed))
 	eng.TrackLeaders(core.IsLeader)
-	te := trialEngine[core.State]{
+	return trialEngine[core.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ core.State) core.State { return par.RandomState(rng) },
+		tracker: population.NewRingTracker(par.SafetySpec()),
 		pred:    func(cfg []core.State) bool { return par.IsSafe(cfg) },
 		check:   n/2 + 1,
 	}
+}
+
+func (p pplProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	te := p.newTrial(sc, n, seed)
 	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+func (p pplProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
+	if err := p.Validate(sc); err != nil {
+		return nil, err
+	}
+	return p.newTrial(sc, n, seed), nil
 }
 
 // orientProtocol is the paper's Section 5 orientation protocol P_OR.
@@ -202,10 +257,7 @@ func (orientProtocol) Validate(sc Scenario) error {
 	return nil
 }
 
-func (p orientProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
-	if err := p.Validate(sc); err != nil {
-		return TrialResult{}, err
-	}
+func (p orientProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[orient.State] {
 	colors := twohop.Coloring(n)
 	maxColor := 0
 	for _, c := range colors {
@@ -216,7 +268,7 @@ func (p orientProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, err
 	pr := orient.New()
 	eng := population.NewEngine(population.UndirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(orient.InitialConfig(colors, xrand.New(seed^initSeedSalt)))
-	te := trialEngine[orient.State]{
+	return trialEngine[orient.State]{
 		eng: eng,
 		// Corruption scrambles the evolving registers but preserves the
 		// coloring, which is protocol input, not state.
@@ -229,10 +281,25 @@ func (p orientProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, err
 				Strong: rng.Bool(),
 			}
 		},
-		pred:  orient.Oriented,
-		check: n,
+		tracker: population.NewRingTracker(orient.OrientedSpec()),
+		pred:    orient.Oriented,
+		check:   n,
 	}
+}
+
+func (p orientProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	te := p.newTrial(sc, n, seed)
 	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+func (p orientProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
+	if err := p.Validate(sc); err != nil {
+		return nil, err
+	}
+	return p.newTrial(sc, n, seed), nil
 }
 
 // yokotaProtocol is the [28] baseline with knowledge N = 2n.
@@ -255,21 +322,33 @@ func (yokotaProtocol) MaxSteps(n int) uint64 { return 800 * uint64(n) * uint64(n
 
 func (p yokotaProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
 
-func (p yokotaProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
-	if err := p.Validate(sc); err != nil {
-		return TrialResult{}, err
-	}
+func (p yokotaProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[yokota.State] {
 	pr := yokota.New(2 * n)
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(pr.RandomConfig(xrand.New(seed^initSeedSalt), n))
 	eng.TrackLeaders(yokota.IsLeader)
-	te := trialEngine[yokota.State]{
+	return trialEngine[yokota.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ yokota.State) yokota.State { return pr.RandomState(rng) },
+		tracker: population.NewRingTracker(pr.StableSpec()),
 		pred:    pr.Stable,
 		check:   n/2 + 1,
 	}
+}
+
+func (p yokotaProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	te := p.newTrial(sc, n, seed)
 	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+func (p yokotaProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
+	if err := p.Validate(sc); err != nil {
+		return nil, err
+	}
+	return p.newTrial(sc, n, seed), nil
 }
 
 // angluinProtocol is the [5]-style mod-k baseline with k = 2; requested
@@ -300,21 +379,33 @@ func (angluinProtocol) MaxSteps(n int) uint64 {
 
 func (p angluinProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
 
-func (p angluinProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
-	if err := p.Validate(sc); err != nil {
-		return TrialResult{}, err
-	}
+func (p angluinProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[angluin.State] {
 	pr := angluin.New(2)
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(pr.RandomConfig(xrand.New(seed^initSeedSalt), n))
 	eng.TrackLeaders(angluin.IsLeader)
-	te := trialEngine[angluin.State]{
+	return trialEngine[angluin.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ angluin.State) angluin.State { return pr.RandomState(rng) },
+		tracker: population.NewRingTracker(pr.StableSpec()),
 		pred:    pr.Stable,
 		check:   n/2 + 1,
 	}
+}
+
+func (p angluinProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	te := p.newTrial(sc, n, seed)
 	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+func (p angluinProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
+	if err := p.Validate(sc); err != nil {
+		return nil, err
+	}
+	return p.newTrial(sc, n, seed), nil
 }
 
 // fjProtocol is the [15]-style oracle baseline.
@@ -339,20 +430,32 @@ func (fjProtocol) MaxSteps(n int) uint64 {
 
 func (p fjProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
 
+func (p fjProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[fj.State] {
+	ru := fj.NewRunner(n, xrand.New(seed))
+	ru.SetStates(fj.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
+	return trialEngine[fj.State]{
+		eng:     ru.Engine(),
+		install: ru.SetStates, // keep the oracle census in sync
+		corrupt: func(rng *xrand.RNG, _ fj.State) fj.State { return fj.New().RandomState(rng) },
+		tracker: population.NewRingTracker(fj.New().StableSpec()),
+		pred:    fj.Stable,
+		check:   n/2 + 1,
+	}
+}
+
 func (p fjProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
 	if err := p.Validate(sc); err != nil {
 		return TrialResult{}, err
 	}
-	ru := fj.NewRunner(n, xrand.New(seed))
-	ru.SetStates(fj.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
-	te := trialEngine[fj.State]{
-		eng:     ru.Engine(),
-		install: ru.SetStates, // keep the oracle census in sync
-		corrupt: func(rng *xrand.RNG, _ fj.State) fj.State { return fj.New().RandomState(rng) },
-		pred:    fj.Stable,
-		check:   n/2 + 1,
-	}
+	te := p.newTrial(sc, n, seed)
 	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+func (p fjProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
+	if err := p.Validate(sc); err != nil {
+		return nil, err
+	}
+	return p.newTrial(sc, n, seed), nil
 }
 
 // chenchenProtocol is the [11]-style baseline. The reconstruction
@@ -380,18 +483,30 @@ func (chenchenProtocol) MaxSteps(n int) uint64 {
 
 func (p chenchenProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
 
+func (p chenchenProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[chenchen.State] {
+	ru := chenchen.NewRunner(n, xrand.New(seed))
+	ru.SetStates(chenchen.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
+	return trialEngine[chenchen.State]{
+		eng:     ru.Engine(),
+		install: ru.SetStates, // keep the flag census in sync
+		corrupt: func(rng *xrand.RNG, _ chenchen.State) chenchen.State { return chenchen.New().RandomState(rng) },
+		tracker: population.NewRingTracker(chenchen.New().StableSpec()),
+		pred:    chenchen.Stable,
+		check:   n/2 + 1,
+	}
+}
+
 func (p chenchenProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
 	if err := p.Validate(sc); err != nil {
 		return TrialResult{}, err
 	}
-	ru := chenchen.NewRunner(n, xrand.New(seed))
-	ru.SetStates(chenchen.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
-	te := trialEngine[chenchen.State]{
-		eng:     ru.Engine(),
-		install: ru.SetStates, // keep the flag census in sync
-		corrupt: func(rng *xrand.RNG, _ chenchen.State) chenchen.State { return chenchen.New().RandomState(rng) },
-		pred:    chenchen.Stable,
-		check:   n/2 + 1,
-	}
+	te := p.newTrial(sc, n, seed)
 	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+}
+
+func (p chenchenProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
+	if err := p.Validate(sc); err != nil {
+		return nil, err
+	}
+	return p.newTrial(sc, n, seed), nil
 }

@@ -3,6 +3,7 @@ package repro
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -174,12 +175,28 @@ type Budget struct {
 }
 
 // steps resolves the policy against a protocol's default budget at size n.
+// A positive Scale small enough to truncate the product to zero resolves
+// to 1, never 0: a 0-step budget would make every trial silently report
+// non-convergence at step 0, which reads like an instant failure instead
+// of a too-tight budget.
 func (b Budget) steps(def uint64) uint64 {
 	switch {
 	case b.MaxSteps > 0:
 		return b.MaxSteps
 	case b.Scale > 0:
-		return uint64(b.Scale * float64(def))
+		product := b.Scale * float64(def)
+		if product >= float64(math.MaxUint64) {
+			// Saturate before converting: float-to-uint64 conversion of an
+			// out-of-range value is implementation-specific in Go, so an
+			// absurd scale would resolve to different budgets on different
+			// architectures.
+			return math.MaxUint64
+		}
+		scaled := uint64(product)
+		if scaled == 0 {
+			scaled = 1
+		}
+		return scaled
 	default:
 		return def
 	}
@@ -198,15 +215,19 @@ type Scenario struct {
 }
 
 // Validate reports whether the scenario is well-formed independent of any
-// protocol: non-negative fault sizes and budget scale.
+// protocol: non-negative fault sizes, and a budget scale that is a
+// non-negative finite number (NaN and ±Inf would slip past a simple sign
+// check and resolve to a meaningless budget). Scales that truncate the
+// resolved budget to zero are clamped to a 1-step budget at resolution
+// time (see Budget).
 func (sc Scenario) Validate() error {
 	for _, f := range sc.Faults {
 		if f.Agents < 0 {
 			return fmt.Errorf("repro: fault at step %d corrupts %d agents", f.AtStep, f.Agents)
 		}
 	}
-	if sc.Budget.Scale < 0 {
-		return fmt.Errorf("repro: negative budget scale %v", sc.Budget.Scale)
+	if sc.Budget.Scale < 0 || math.IsNaN(sc.Budget.Scale) || math.IsInf(sc.Budget.Scale, 0) {
+		return fmt.Errorf("repro: invalid budget scale %v", sc.Budget.Scale)
 	}
 	return nil
 }
