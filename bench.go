@@ -41,6 +41,25 @@ type BenchResult struct {
 	Converged bool `json:"converged"`
 }
 
+// Record converts the measurement to the streaming TrialRecord form, so
+// perf measurements flow through the same sinks and JSONL schema as
+// experiment trials: the throughput numbers become observables and the
+// mode/scenario become tags.
+func (r BenchResult) Record() TrialRecord {
+	return TrialRecord{
+		Protocol:  r.Protocol,
+		N:         r.N,
+		Seed:      r.Seed,
+		Steps:     r.Steps,
+		Converged: r.Converged,
+		Tags:      map[string]string{"mode": string(r.Mode), "scenario": r.Scenario},
+		Observables: map[string]float64{
+			"seconds":       r.Seconds,
+			"steps_per_sec": r.StepsPerSec,
+		},
+	}
+}
+
 // benchRunner is the mode-dispatch surface a built-in protocol's trial
 // engine exposes to RunBenchmark; trialEngine[S] implements it for every
 // state type.

@@ -12,6 +12,12 @@
 //	bench [-protocols ppl,yokota,...] [-sizes 16,32,64] [-scenarios random]
 //	      [-modes runbatch,tracked,scan] [-trials 3] [-seed 1]
 //	      [-rawsteps 2000000] [-ccmax 8] [-quick] [-o BENCH_ringsim.json]
+//	      [-records FILE]
+//
+// -records additionally streams every measurement as a TrialRecord JSONL
+// line — the same record schema sweep/ringsim emit — with the mode and
+// scenario as tags and seconds/steps_per_sec as observables, so perf and
+// convergence artifacts share one consumer pipeline.
 //
 // The schema of the emitted file is stable ("repro.bench/v1"): an
 // envelope with the Go/OS/arch/CPU provenance and a flat results array,
@@ -59,6 +65,7 @@ func main() {
 		ccmax     = flag.Int("ccmax", 8, "largest size for the [11]-style baseline (exponential class)")
 		quick     = flag.Bool("quick", false, "CI smoke preset: sizes 8,16, one trial, 200k raw steps")
 		out       = flag.String("o", "", "output path (default: stdout)")
+		records   = flag.String("records", "", "also stream each measurement as a TrialRecord JSONL line to this file")
 	)
 	flag.Parse()
 
@@ -67,19 +74,27 @@ func main() {
 		*trials = 1
 		*rawSteps = 200_000
 	}
-	if err := run(os.Stdout, *protocols, *sizes, *scenarios, *modes, *trials, *seed, *rawSteps, *ccmax, *out); err != nil {
+	if err := run(os.Stdout, *protocols, *sizes, *scenarios, *modes, *trials, *seed, *rawSteps, *ccmax, *out, *records); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stdout io.Writer, protocols, sizes, scenarios, modes string, trials int, seed, rawSteps uint64, ccmax int, out string) error {
+func run(stdout io.Writer, protocols, sizes, scenarios, modes string, trials int, seed, rawSteps uint64, ccmax int, out, records string) error {
 	ns, err := parseSizes(sizes)
 	if err != nil {
 		return err
 	}
 	if trials < 1 {
 		return fmt.Errorf("need at least one trial, got %d", trials)
+	}
+	var sink *repro.JSONLSink
+	if records != "" {
+		sink, err = repro.CreateJSONL(records)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
 	}
 	file := File{
 		Schema:  Schema,
@@ -118,12 +133,23 @@ func run(stdout io.Writer, protocols, sizes, scenarios, modes string, trials int
 							return err
 						}
 						file.Results = append(file.Results, res)
+						if sink != nil {
+							if err := sink.Record(res.Record()); err != nil {
+								return err
+							}
+						}
 						fmt.Fprintf(stdout, "%-9s n=%-4d %-12s %-9s steps=%-9d %10.0f steps/sec\n",
 							name, res.N, class, mode, res.Steps, res.StepsPerSec)
 					}
 				}
 			}
 		}
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d records)\n", records, sink.Count())
 	}
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {

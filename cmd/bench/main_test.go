@@ -14,7 +14,7 @@ import (
 func TestBenchEmitsStableSchema(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_ringsim.json")
 	var stdout bytes.Buffer
-	err := run(&stdout, "ppl,yokota", "8", "random", "runbatch,tracked,scan", 1, 1, 5000, 8, out)
+	err := run(&stdout, "ppl,yokota", "8", "random", "runbatch,tracked,scan", 1, 1, 5000, 8, out, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestBenchEmitsStableSchema(t *testing.T) {
 func TestBenchSkipsUnsupportedScenario(t *testing.T) {
 	var stdout bytes.Buffer
 	out := filepath.Join(t.TempDir(), "b.json")
-	if err := run(&stdout, "yokota", "8", "noleader", "tracked", 1, 1, 1000, 8, out); err != nil {
+	if err := run(&stdout, "yokota", "8", "noleader", "tracked", 1, 1, 1000, 8, out, ""); err != nil {
 		t.Fatalf("unsupported scenario must skip, not fail: %v", err)
 	}
 	if !bytes.Contains(stdout.Bytes(), []byte("skipping")) {
@@ -63,16 +63,16 @@ func TestBenchSkipsUnsupportedScenario(t *testing.T) {
 
 func TestBenchRejectsBadInput(t *testing.T) {
 	var stdout bytes.Buffer
-	if err := run(&stdout, "ppl", "1", "random", "tracked", 1, 1, 10, 8, ""); err == nil {
+	if err := run(&stdout, "ppl", "1", "random", "tracked", 1, 1, 10, 8, "", ""); err == nil {
 		t.Fatal("size 1 accepted")
 	}
-	if err := run(&stdout, "paxos", "8", "random", "tracked", 1, 1, 10, 8, ""); err == nil {
+	if err := run(&stdout, "paxos", "8", "random", "tracked", 1, 1, 10, 8, "", ""); err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
-	if err := run(&stdout, "ppl", "8", "random", "warp", 1, 1, 10, 8, ""); err == nil {
+	if err := run(&stdout, "ppl", "8", "random", "warp", 1, 1, 10, 8, "", ""); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
-	if err := run(&stdout, "ppl", "8", "bogus", "tracked", 1, 1, 10, 8, ""); err == nil {
+	if err := run(&stdout, "ppl", "8", "bogus", "tracked", 1, 1, 10, 8, "", ""); err == nil {
 		t.Fatal("unknown init class accepted")
 	}
 }

@@ -1,15 +1,22 @@
-// Command figures regenerates the paper's two figures as text diagrams:
+// Command figures regenerates the paper's two figures as text diagrams,
+// and renders streamed TrialRecord artifacts as trajectory plots:
 //
-//	figures -fig 1    segment-ID embedding on a ring (Figure 1)
-//	figures -fig 2    black-token trajectory (Figure 2)
-//	figures           both
+//	figures -fig 1          segment-ID embedding on a ring (Figure 1)
+//	figures -fig 2          black-token trajectory (Figure 2)
+//	figures                 both
+//	figures -records FILE   leader-count trajectories and recovery times
+//	                        from a JSONL record artifact (the -record
+//	                        output of sweep/ringsim, -records of bench)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"sort"
 	"strings"
 
+	"repro"
 	"repro/internal/core"
 )
 
@@ -17,14 +24,129 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to print (1 or 2; 0 = both)")
 	n := flag.Int("n", 15, "ring size for figure 1")
 	psi := flag.Int("psi", 4, "ψ for figure 2 (>= 4)")
+	records := flag.String("records", "", "render a JSONL TrialRecord artifact instead of the paper figures")
+	maxTraj := flag.Int("maxtraj", 4, "trajectories plotted per protocol with -records")
 	flag.Parse()
 
+	if *records != "" {
+		if err := printRecords(*records, *maxTraj); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == 0 || *fig == 1 {
 		printFigure1(*n)
 	}
 	if *fig == 0 || *fig == 2 {
 		printFigure2(*psi)
 	}
+}
+
+// printRecords renders a record artifact: one summary line per record
+// (steps, recovery, peak leaders) grouped by protocol, and an ASCII
+// leader-count trajectory for the first maxTraj records per protocol that
+// carry the "leaders" series.
+func printRecords(path string, maxTraj int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := repro.ReadTrialRecords(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s holds no records", path)
+	}
+	byProto := make(map[string][]repro.TrialRecord)
+	var order []string
+	for _, rec := range recs {
+		if _, seen := byProto[rec.Protocol]; !seen {
+			order = append(order, rec.Protocol)
+		}
+		byProto[rec.Protocol] = append(byProto[rec.Protocol], rec)
+	}
+	sort.Strings(order)
+	fmt.Printf("Record artifact %s — %d trial records\n", path, len(recs))
+	for _, proto := range order {
+		group := byProto[proto]
+		fmt.Printf("\n## %s (%d records)\n\n", proto, len(group))
+		fmt.Println("| n | trial | seed | converged | steps | recovery steps | peak leaders |")
+		fmt.Println("|---|---|---|---|---|---|---|")
+		for _, rec := range group {
+			fmt.Printf("| %d | %d | %d | %v | %d | %s | %s |\n",
+				rec.N, rec.Trial, rec.Seed, rec.Converged, rec.Steps,
+				obsField(rec, "recovery_steps"), obsField(rec, "leaders_peak"))
+		}
+		plotted := 0
+		for _, rec := range group {
+			if plotted >= maxTraj {
+				break
+			}
+			series := rec.Series["leaders"]
+			if len(series) == 0 {
+				continue
+			}
+			plotted++
+			fmt.Printf("\nleader-count trajectory (n=%d, trial %d, seed %d):\n\n", rec.N, rec.Trial, rec.Seed)
+			fmt.Print(plotSeries(series))
+		}
+	}
+	return nil
+}
+
+// obsField formats an observable, or the missing-cell dash.
+func obsField(rec repro.TrialRecord, name string) string {
+	if v, ok := rec.Observables[name]; ok {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return "—"
+}
+
+// plotSeries renders a step series as a fixed-width ASCII plot: the value
+// axis is vertical, each column is one sample (downsampled to the width).
+func plotSeries(series []repro.SeriesPoint) string {
+	const width, height = 64, 8
+	pts := series
+	if len(pts) > width {
+		sampled := make([]repro.SeriesPoint, 0, width)
+		for i := 0; i < width; i++ {
+			sampled = append(sampled, pts[i*len(pts)/width])
+		}
+		pts = sampled
+	}
+	maxV := 1.0
+	for _, p := range pts {
+		if p.Value > maxV {
+			maxV = p.Value
+		}
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(pts)))
+	}
+	for c, p := range pts {
+		// Row 0 is the top; scale the value into [0, height-1].
+		level := int(p.Value / maxV * float64(height-1))
+		grid[height-1-level][c] = '*'
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%6.0f |", maxV)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%6.0f |", 0.0)
+		} else {
+			label = "       |"
+		}
+		fmt.Fprintf(&b, "  %s%s\n", label, row)
+	}
+	fmt.Fprintf(&b, "         %s\n", strings.Repeat("-", len(pts)))
+	fmt.Fprintf(&b, "         step 0 .. %d (%d samples)\n", series[len(series)-1].Step, len(series))
+	return b.String()
 }
 
 // printFigure1 reproduces Figure 1: a perfect configuration whose segment

@@ -6,6 +6,7 @@
 //	ringsim -proto ppl -n 64 -seed 1 -init random [-v]
 //	ringsim -proto ppl -n 64 -trials 32            # parallel repetitions
 //	ringsim -proto ppl -n 64 -faults 200@1000,100@5000
+//	ringsim -proto ppl -n 64 -faults 200@1000 -record trial.jsonl
 //
 // Protocols: any registered name — ppl (the paper's P_PL), yokota [28],
 // angluin [5], fj [15], chenchen [11], orient (Section 5 ring
@@ -16,6 +17,10 @@
 // With -trials k > 1, the k repetitions use seeds seed, seed+1, ...,
 // seed+k-1 and fan out across all cores through internal/runner; the
 // summary is identical to running them one at a time.
+//
+// -record FILE streams each trial's TrialRecord — the legacy scalars plus
+// leader-trajectory, fault and recovery observables sampled by the probe
+// API — as JSONL, one object per trial in trial order.
 package main
 
 import (
@@ -53,6 +58,7 @@ func run() error {
 		stat    = flag.Bool("stats", false, "print event counters and a final snapshot (ppl)")
 		trials  = flag.Int("trials", 1, "number of repetitions (seeds seed..seed+trials-1, run in parallel)")
 		workers = flag.Int("workers", 0, "trial worker-pool size (0 = all cores)")
+		record  = flag.String("record", "", "stream per-trial records as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -61,9 +67,10 @@ func run() error {
 		return err
 	}
 	// The direction-printing single-run path only covers the default
-	// scenario; with -faults or a non-random -init, orient goes through the
-	// generic Protocol path so the scenario actually applies.
-	if *proto == "orient" && *trials <= 1 && len(sc.Faults) == 0 && sc.Init == repro.InitRandom {
+	// scenario; with -faults, a non-random -init or -record, orient goes
+	// through the generic Protocol path so the scenario (and the probe)
+	// actually applies.
+	if *proto == "orient" && *trials <= 1 && len(sc.Faults) == 0 && sc.Init == repro.InitRandom && *record == "" {
 		return runOrient(*n, *seed)
 	}
 
@@ -80,11 +87,20 @@ func run() error {
 		if *verbose || *stat {
 			fmt.Println("note: -v and -stats apply to single trials only; ignored with -trials > 1")
 		}
-		return runRepeated(p, sc, size, *seed, *trials, *workers)
+		return runRepeated(p, sc, size, *seed, *trials, *workers, *record)
 	}
-	res, err := p.Trial(sc, size, *seed)
+	// The single-trial path always runs probed: the record costs nothing
+	// measurable here and the recovery observable improves the output.
+	probe := &repro.RecordingProbe{}
+	res, err := repro.ProbeTrial(p, sc, size, *seed, probe)
 	if err != nil {
 		return err
+	}
+	rec := probe.Record()
+	if *record != "" {
+		if err := writeRecords(*record, []repro.TrialRecord{rec}); err != nil {
+			return err
+		}
 	}
 	maxSteps := sc.MaxSteps(p, size)
 	fmt.Printf("protocol    : %s\n", info.Name)
@@ -96,6 +112,14 @@ func run() error {
 	}
 	fmt.Printf("safe after  : %d steps\n", res.Steps)
 	fmt.Printf("output fixed: step %d (last leader change)\n", res.Stabilized)
+	// Gate on a burst having actually fired (fault_bursts), not on the
+	// schedule: a burst past the step budget never installs, and recovery
+	// would then just be the whole run.
+	if _, fired := rec.Observables["fault_bursts"]; fired {
+		if rc, ok := rec.Observables["recovery_steps"]; ok {
+			fmt.Printf("recovery    : %.0f steps after the last fault burst\n", rc)
+		}
+	}
 	if (*stat || *verbose) && len(sc.Faults) > 0 {
 		fmt.Println("note: -v and -stats replay the fault-free trajectory; ignored with -faults")
 	} else {
@@ -110,15 +134,25 @@ func run() error {
 }
 
 // runRepeated fans trials repetitions of one protocol out across the
-// worker pool and prints aggregate convergence statistics.
-func runRepeated(p repro.Protocol, sc repro.Scenario, n int, seed uint64, trials, workers int) error {
+// worker pool and prints aggregate convergence statistics. With a record
+// path the per-trial records are written as JSONL in trial order.
+func runRepeated(p repro.Protocol, sc repro.Scenario, n int, seed uint64, trials, workers int, record string) error {
 	type trial struct {
 		res repro.TrialResult
+		rec repro.TrialRecord
 		err error
 	}
+	probed := record != ""
 	results, err := runner.Map(context.Background(), trials, func(i int) trial {
-		res, err := p.Trial(sc, n, seed+uint64(i))
-		return trial{res, err}
+		if !probed {
+			res, err := p.Trial(sc, n, seed+uint64(i))
+			return trial{res: res, err: err}
+		}
+		probe := &repro.RecordingProbe{}
+		res, err := repro.ProbeTrial(p, sc, n, seed+uint64(i), probe)
+		rec := probe.Record()
+		rec.Trial = i
+		return trial{res: res, rec: rec, err: err}
 	}, runner.Options{Workers: workers})
 	if err != nil {
 		return err
@@ -126,15 +160,24 @@ func runRepeated(p repro.Protocol, sc repro.Scenario, n int, seed uint64, trials
 	maxSteps := sc.MaxSteps(p, n)
 	var steps []float64
 	failures := 0
+	var recs []repro.TrialRecord
 	for _, tr := range results {
 		if tr.err != nil {
 			return tr.err
+		}
+		if probed {
+			recs = append(recs, tr.rec)
 		}
 		if !tr.res.Converged {
 			failures++
 			continue
 		}
 		steps = append(steps, float64(tr.res.Steps))
+	}
+	if probed {
+		if err := writeRecords(record, recs); err != nil {
+			return err
+		}
 	}
 	info := p.Info()
 	fmt.Printf("protocol    : %s\n", info.Name)
@@ -151,6 +194,25 @@ func runRepeated(p repro.Protocol, sc repro.Scenario, n int, seed uint64, trials
 	s := stats.Summarize(steps)
 	fmt.Printf("safe after  : mean %.0f | median %.0f | min %.0f | max %.0f steps\n",
 		s.Mean, s.Median, s.Min, s.Max)
+	return nil
+}
+
+// writeRecords writes the records as a JSONL artifact, in slice order.
+func writeRecords(path string, recs []repro.TrialRecord) error {
+	sink, err := repro.CreateJSONL(path)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := sink.Record(rec); err != nil {
+			sink.Close()
+			return err
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("records     : %d written to %s\n", len(recs), path)
 	return nil
 }
 

@@ -15,6 +15,7 @@
 //	sweep -workers 4      cap the trial worker pool (default: all cores)
 //	sweep -json FILE      also write the E1 Table 1 report as JSON
 //	sweep -csv FILE       also write the E1 Table 1 report as CSV
+//	sweep -record FILE    also stream the E1 per-trial records as JSONL
 package main
 
 import (
@@ -54,14 +55,24 @@ var pool runner.Options
 // table1Report holds the E1 report for the -json/-csv artifact writers.
 var table1Report *repro.Report
 
+// recordPath is the -record destination; E1 streams its TrialRecords
+// there as trials finish.
+var recordPath string
+
+// recordCount is the number of records E1 streamed to -record, -1 until
+// the section runs.
+var recordCount int64 = -1
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced sizes and trial counts")
 	only := flag.String("only", "", "run a single section (E1..E13)")
 	workers := flag.Int("workers", 0, "trial worker-pool size (0 = all cores)")
 	jsonPath := flag.String("json", "", "write the E1 Table 1 report as JSON to this file")
 	csvPath := flag.String("csv", "", "write the E1 Table 1 report as CSV to this file")
+	record := flag.String("record", "", "stream the E1 per-trial records as JSONL to this file")
 	flag.Parse()
 	pool = runner.Options{Workers: *workers}
+	recordPath = *record
 
 	prof := profile{
 		table1Sizes:  []int{16, 32, 64, 128},
@@ -104,6 +115,10 @@ func main() {
 
 // writeReport writes the E1 report artifacts requested by -json/-csv.
 func writeReport(jsonPath, csvPath string) {
+	if recordPath != "" && recordCount < 0 {
+		fmt.Fprintln(os.Stderr, "sweep: -record needs the E1 section (remove -only or use -only E1)")
+		os.Exit(1)
+	}
 	if jsonPath == "" && csvPath == "" {
 		return
 	}
@@ -197,14 +212,25 @@ func trialMeans(trials int, fn func(trial int) (float64, bool)) float64 {
 // repro.Comparison — and keeps the structured report for -json/-csv.
 func e1Table1(p profile) {
 	header("E1/E2", "Table 1: convergence time and state count per protocol")
-	rep, err := repro.NewExperiment().
+	exp := repro.NewExperiment().
 		ProtocolNames("angluin", "fj", "chenchen", "yokota", "ppl").
 		Sizes(p.table1Sizes...).
 		Trials(p.table1Trials).
 		MaxSizeFor("[11] Chen–Chen", 16).
-		Workers(pool.Workers).
-		Run(context.Background())
+		Workers(pool.Workers)
+	var sink *repro.JSONLSink
+	if recordPath != "" {
+		var err error
+		sink, err = repro.CreateJSONL(recordPath)
+		check(err)
+		exp.Sinks(sink) // Run closes (and flushes) the sink
+	}
+	rep, err := exp.Run(context.Background())
 	check(err)
+	if sink != nil {
+		recordCount = sink.Count()
+		fmt.Fprintf(os.Stderr, "sweep: streamed %d trial records to %s\n", recordCount, recordPath)
+	}
 	table1Report = rep
 	fmt.Print(rep.Markdown())
 	fmt.Println("\nBits per agent (E2, P_PL vs [28]):")

@@ -24,7 +24,9 @@
 //
 //   - Experiment — a builder that runs a protocol × size trial matrix and
 //     returns a structured Report (per-trial results, per-cell summaries,
-//     fitted scaling exponents) with Markdown, JSON and CSV renderers.
+//     fitted scaling exponents) with Markdown, JSON and CSV renderers —
+//     and, through the streaming observation API below, feeds per-trial
+//     TrialRecords to pluggable Sinks as workers finish.
 //
 // Quickstart:
 //
@@ -42,6 +44,67 @@
 // engine with deterministic per-trial seeds (TrialSeed), so a Report is
 // byte-identical whatever the worker count — parallelism changes
 // wall-clock time, never a number in an artifact.
+//
+// # Streaming observation: probes, records, sinks
+//
+// The legacy TrialResult is three scalars; the quantities the literature
+// actually compares — leader-count trajectories, recovery time after
+// faults, state-space occupancy — flow through the streaming layer:
+//
+//   - Probe — receives one trial's typed event stream (TrialEvent):
+//     leader-set changes sampled O(1) off the engine's incremental
+//     trackers, fault bursts and the epochs they open, the exact
+//     convergence step, and the named tracker channel counts at the end
+//     of the run phase. Built-in protocols implement ProbedProtocol;
+//     ProbeTrial degrades gracefully to plain Trial for external
+//     registrants. A probe never perturbs the trial: RNG stream, hitting
+//     time and TrialResult are identical with or without one.
+//
+//   - TrialRecord — the distilled per-trial artifact a RecordingProbe
+//     produces: the legacy scalars plus named observables
+//     (recovery_steps, leaders_peak, chan_* channel counts, …) and the
+//     "leaders" series.
+//
+//   - Sink — consumes records as workers finish. Experiment.Sinks
+//     attaches any number (the in-memory Report is itself one such sink
+//     internally, so Run with sinks streams AND aggregates, byte-identical
+//     to before); Experiment.Stream drops the Report entirely, so a
+//     million-trial sweep runs in memory bounded by the worker count.
+//     JSONLSink writes the one-JSON-object-per-line artifact cmd/sweep
+//     (-record), cmd/ringsim (-record) and cmd/bench (-records) emit and
+//     cmd/figures (-records) renders; DecodeTrialRecords reads it back.
+//
+// A worked recovery-time measurement (see examples/recovery): inject
+// fault bursts, stream records, rank protocols on healing time:
+//
+//	sink, _ := repro.CreateJSONL("records.jsonl")
+//	rep, err := repro.NewExperiment().
+//	        ProtocolNames("ppl", "yokota").
+//	        Sizes(64, 128).
+//	        Trials(50).
+//	        Scenario(repro.Scenario{Faults: []repro.Fault{{AtStep: 5000, Agents: 32}}}).
+//	        Metrics(repro.MeanOf("recovery_steps"), repro.P90Of("recovery_steps")).
+//	        Sinks(sink). // closed and flushed by Run, even on cancellation
+//	        Run(ctx)
+//
+// # Composable metrics
+//
+// Summary statistics are no longer hard-wired to Steps: a Metric names any
+// record observable and an aggregation (mean, median, p90, min, max, std,
+// sum, count), and each report cell carries the metric over the trials
+// that have the observable — rendered as an extra Markdown table per
+// metric and a "metrics" object per cell in JSON. Cells with no samples
+// omit the value; likewise a Summary with zero converged trials renders
+// null statistics in JSON and empty CSV fields, never stale zeros.
+//
+// # Callback concurrency contract
+//
+// Observer callbacks, Sink.Record calls and runner progress callbacks are
+// serialized — never concurrent with themselves — but are issued from
+// worker goroutines. Callbacks touching only their own captured state need
+// no mutex; sharing state with the caller's other goroutines requires the
+// caller's own synchronization. Probes are per-trial values driven from a
+// single goroutine.
 //
 // # Convergence measurement semantics
 //

@@ -31,6 +31,13 @@ type Progress struct {
 //
 // Trials fan out across a worker pool; seeds derive from TrialSeed, so the
 // resulting Report is byte-identical whatever the worker count.
+//
+// Beyond the in-memory Report, trials can stream: Sinks attaches
+// TrialRecord consumers fed as workers finish (Run keeps the Report AND
+// streams; Stream drops the Report entirely, so memory stays bounded by
+// the worker count, not the trial count), Metrics adds composable
+// aggregations over any record observable to the Report, and ProbeWith
+// attaches a custom per-trial Probe to the event stream.
 type Experiment struct {
 	protocols []Protocol
 	sizes     []int
@@ -38,6 +45,9 @@ type Experiment struct {
 	scenario  Scenario
 	workers   int
 	observer  func(Progress)
+	sinks     []Sink
+	metrics   []Metric
+	probe     func() Probe
 	caps      map[string]int
 	err       error
 }
@@ -100,9 +110,52 @@ func (e *Experiment) Workers(k int) *Experiment {
 }
 
 // Observer installs a progress callback, invoked after every completed
-// trial. Calls are serialized but may come from any worker goroutine.
+// trial.
+//
+// Concurrency contract: calls are serialized by the runner — the callback
+// never runs concurrently with itself, and successive calls observe
+// strictly increasing Done values — but they are issued from arbitrary
+// worker goroutines, not the goroutine that called Run. A callback that
+// only touches its own captured state therefore needs no mutex; one that
+// shares state with code outside the callback must synchronize that
+// sharing itself (the serialization guarantees exclusion between
+// callbacks, not against the caller's other goroutines).
 func (e *Experiment) Observer(fn func(Progress)) *Experiment {
 	e.observer = fn
+	return e
+}
+
+// Sinks attaches TrialRecord consumers. Records stream to every sink as
+// workers finish — completion order, not trial order — and every sink is
+// closed exactly once before Run or Stream returns (see Sink for the full
+// contract). Attaching a sink switches trials to the probed path, which
+// leaves results bit-identical.
+func (e *Experiment) Sinks(sinks ...Sink) *Experiment {
+	for _, s := range sinks {
+		if s == nil {
+			e.fail(fmt.Errorf("repro: nil Sink"))
+			return e
+		}
+		e.sinks = append(e.sinks, s)
+	}
+	return e
+}
+
+// Metrics adds composable aggregations over per-trial record observables
+// to the Report: each cell gains the metric's value over the trials
+// carrying the observable, and Markdown/JSON render them (see Metric).
+func (e *Experiment) Metrics(ms ...Metric) *Experiment {
+	e.metrics = append(e.metrics, ms...)
+	return e
+}
+
+// ProbeWith installs a per-trial Probe factory: fn is called once per
+// trial and the returned probe receives that trial's full event stream
+// alongside the built-in recording probe. The factory may be called from
+// any worker goroutine; the probes it returns are used single-threaded
+// (see Probe).
+func (e *Experiment) ProbeWith(fn func() Probe) *Experiment {
+	e.probe = fn
 	return e
 }
 
@@ -122,71 +175,121 @@ func (e *Experiment) fail(err error) {
 	}
 }
 
+// validate surfaces builder misuse before any trial runs.
+func (e *Experiment) validate() error {
+	if e.err != nil {
+		return e.err
+	}
+	if len(e.protocols) == 0 {
+		return fmt.Errorf("repro: experiment has no protocols")
+	}
+	if len(e.sizes) == 0 {
+		return fmt.Errorf("repro: experiment has no sizes")
+	}
+	if e.trials < 1 {
+		return fmt.Errorf("repro: experiment needs at least one trial per cell, got %d", e.trials)
+	}
+	for _, m := range e.metrics {
+		if err := m.validate(); err != nil {
+			return err
+		}
+	}
+	for _, p := range e.protocols {
+		if err := p.Validate(e.scenario); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Run executes the experiment: every (protocol, size) cell runs Trials
 // independent trials with seeds TrialSeed(n, 0..Trials-1), fanned out
 // across the worker pool. The returned Report aggregates per-trial
-// results, per-cell summaries and fitted scaling exponents. Run returns an
-// error — never panics — on builder misuse, unsupported scenarios,
-// cancellation, or a panicking trial (surfaced as a *runner.PanicError).
+// results, per-cell summaries, metric values and fitted scaling
+// exponents; attached Sinks additionally receive every TrialRecord as it
+// completes. Run returns an error — never panics — on builder misuse,
+// unsupported scenarios, cancellation, a failing sink, or a panicking
+// trial (surfaced as a *runner.PanicError).
 func (e *Experiment) Run(ctx context.Context) (*Report, error) {
-	if e.err != nil {
-		return nil, e.err
+	rs := newReportSink(e)
+	if err := e.execute(ctx, rs); err != nil {
+		return nil, err
 	}
-	if len(e.protocols) == 0 {
-		return nil, fmt.Errorf("repro: experiment has no protocols")
-	}
-	if len(e.sizes) == 0 {
-		return nil, fmt.Errorf("repro: experiment has no sizes")
-	}
-	if e.trials < 1 {
-		return nil, fmt.Errorf("repro: experiment needs at least one trial per cell, got %d", e.trials)
-	}
-	sc := e.scenario
-	for _, p := range e.protocols {
-		if err := p.Validate(sc); err != nil {
-			return nil, err
-		}
-	}
+	return rs.rep, nil
+}
 
-	rep := &Report{
-		Sizes:    append([]int(nil), e.sizes...),
-		Trials:   e.trials,
-		Scenario: sc,
+// Stream executes the experiment without building a Report: every
+// TrialRecord goes to the attached Sinks as its trial finishes and is then
+// dropped, so memory stays bounded by the worker count however many
+// trials the sweep has. At least one sink must be attached.
+func (e *Experiment) Stream(ctx context.Context) error {
+	if len(e.sinks) == 0 {
+		return fmt.Errorf("repro: Stream needs at least one Sink (use Run for an in-memory Report)")
 	}
-	refSize := e.sizes[len(e.sizes)-1]
+	if len(e.metrics) > 0 {
+		// Metric aggregation lives in the in-memory Report; silently
+		// dropping configured metrics after a million-trial sweep would be
+		// far worse than refusing up front.
+		return fmt.Errorf("repro: Metrics need the in-memory Report — use Run, or aggregate records in a Sink")
+	}
+	return e.execute(ctx, nil)
+}
+
+// execute runs the trial matrix, streaming records into the report sink
+// (nil in Stream mode) and the user sinks. All sinks — the Report
+// included — consume the same record stream; the report sink is just the
+// one that aggregates in memory.
+func (e *Experiment) execute(ctx context.Context, rs *reportSink) (err error) {
+	if verr := e.validate(); verr != nil {
+		return verr
+	}
+	ss := &sinkSet{}
+	if rs != nil {
+		ss.sinks = append(ss.sinks, rs)
+	}
+	ss.sinks = append(ss.sinks, e.sinks...)
+	defer func() {
+		if cerr := ss.close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	// The probed path costs a per-trial record; the legacy path is kept
+	// bit-for-bit as the hot default when nobody is observing.
+	probed := rs == nil || len(e.sinks) > 0 || len(e.metrics) > 0 || e.probe != nil
+
 	for _, p := range e.protocols {
 		info := p.Info()
-		row := ReportRow{
-			Protocol: info,
-			States:   p.States(p.FixSize(refSize)),
+		if rs != nil {
+			rs.beginRow(p, info)
 		}
 		for _, rawN := range e.sizes {
 			n := p.FixSize(rawN)
 			if cap, capped := e.caps[info.Name]; capped && rawN > cap {
-				// An empty placeholder keeps cells positionally aligned
-				// with Sizes, so renderers never attribute a cell to the
-				// wrong size row.
-				row.Cells = append(row.Cells, ReportCell{N: n})
+				if rs != nil {
+					// An empty placeholder keeps cells positionally aligned
+					// with Sizes, so renderers never attribute a cell to the
+					// wrong size row.
+					rs.skipCell(n)
+				}
 				continue
 			}
-			cell, err := e.runCell(ctx, p, info, sc, n)
-			if err != nil {
-				return nil, err
+			if err := e.runCell(ctx, p, info, n, probed, ss, rs); err != nil {
+				return err
 			}
-			row.Cells = append(row.Cells, cell)
 		}
-		row.Exponent, row.ExponentOK = fitExponent(row.Cells)
-		rep.Rows = append(rep.Rows, row)
+		if rs != nil {
+			rs.endRow()
+		}
 	}
-	return rep, nil
+	return nil
 }
 
 // runCell fans the trials of one (protocol, size) cell out through the
-// worker pool and aggregates them in trial order.
-func (e *Experiment) runCell(ctx context.Context, p Protocol, info ProtocolInfo, sc Scenario, n int) (ReportCell, error) {
-	type trial struct {
-		res TrialResult
-		err error
+// worker pool, streaming each record to the sinks as it completes.
+func (e *Experiment) runCell(ctx context.Context, p Protocol, info ProtocolInfo, n int, probed bool, ss *sinkSet, rs *reportSink) error {
+	if rs != nil {
+		rs.beginCell(n)
 	}
 	opts := runner.Options{Workers: e.workers}
 	if e.observer != nil {
@@ -195,38 +298,140 @@ func (e *Experiment) runCell(ctx context.Context, p Protocol, info ProtocolInfo,
 			obs(Progress{Protocol: info.Name, N: n, Done: done, Trials: total})
 		}
 	}
-	results, err := runner.Map(ctx, e.trials, func(t int) trial {
-		res, err := p.Trial(sc, n, TrialSeed(n, t))
-		return trial{res, err}
+	sc := e.scenario
+	ferr := runner.ForEach(ctx, e.trials, func(t int) {
+		seed := TrialSeed(n, t)
+		var rec TrialRecord
+		if probed {
+			rp := &RecordingProbe{}
+			var probe Probe = rp
+			if e.probe != nil {
+				if extra := e.probe(); extra != nil {
+					probe = Probes(rp, extra)
+				}
+			}
+			if _, err := ProbeTrial(p, sc, n, seed, probe); err != nil {
+				ss.fail(err)
+				return
+			}
+			rec = rp.Record()
+		} else {
+			res, err := p.Trial(sc, n, seed)
+			if err != nil {
+				ss.fail(err)
+				return
+			}
+			rec = TrialRecord{
+				Protocol: info.Name, N: res.N, Seed: res.Seed,
+				Steps: res.Steps, Stabilized: res.Stabilized, Converged: res.Converged,
+			}
+		}
+		rec.Trial = t
+		ss.record(rec)
 	}, opts)
-	if err != nil {
-		return ReportCell{}, err
+	if ferr != nil {
+		return ferr
 	}
-	cell := ReportCell{N: n}
-	var steps, stab []float64
-	for _, tr := range results {
-		if tr.err != nil {
-			return ReportCell{}, tr.err
-		}
-		cell.Trials = append(cell.Trials, tr.res)
-		if !tr.res.Converged {
-			cell.Failures++
-			continue
-		}
-		steps = append(steps, float64(tr.res.Steps))
-		stab = append(stab, float64(tr.res.Stabilized))
+	if err := ss.firstErr(); err != nil {
+		return err
 	}
-	if len(steps) > 0 {
-		cell.Steps = summaryFrom(stats.Summarize(steps))
-		cell.Stabilized = summaryFrom(stats.Summarize(stab))
+	if rs != nil {
+		rs.endCell()
 	}
-	return cell, nil
+	return nil
 }
 
-// fitExponent fits mean convergence steps against n as a power law over
-// the cells with data; ok is false when fewer than two cells have any.
-func fitExponent(cells []ReportCell) (float64, bool) {
-	return harness.Exponent(harnessCells(cells))
+// reportSink is the in-memory aggregation as a Sink: it routes each record
+// into its cell slot by Trial index and, at cell/row boundaries driven by
+// execute, reduces them to the summaries, metric values and exponent fits
+// of the Report — exactly the aggregation the pre-streaming Experiment
+// did, so reports stay byte-identical.
+type reportSink struct {
+	e    *Experiment
+	rep  *Report
+	row  ReportRow
+	cell ReportCell
+	obs  []map[string]float64
+}
+
+func newReportSink(e *Experiment) *reportSink {
+	rep := &Report{
+		Sizes:    append([]int(nil), e.sizes...),
+		Trials:   e.trials,
+		Scenario: e.scenario,
+	}
+	for _, m := range e.metrics {
+		rep.Metrics = append(rep.Metrics, m.label())
+	}
+	return &reportSink{e: e, rep: rep}
+}
+
+func (rs *reportSink) beginRow(p Protocol, info ProtocolInfo) {
+	refSize := rs.e.sizes[len(rs.e.sizes)-1]
+	rs.row = ReportRow{
+		Protocol: info,
+		States:   p.States(p.FixSize(refSize)),
+	}
+}
+
+func (rs *reportSink) endRow() {
+	rs.row.Exponent, rs.row.ExponentOK = harness.Exponent(harnessCells(rs.row.Cells))
+	rs.rep.Rows = append(rs.rep.Rows, rs.row)
+}
+
+func (rs *reportSink) skipCell(n int) {
+	rs.row.Cells = append(rs.row.Cells, ReportCell{N: n})
+}
+
+func (rs *reportSink) beginCell(n int) {
+	rs.cell = ReportCell{N: n, Trials: make([]TrialResult, rs.e.trials)}
+	rs.obs = make([]map[string]float64, rs.e.trials)
+}
+
+// Record implements Sink. The experiment serializes calls; rec.Trial
+// routes the record into its pre-allocated slot, which is what keeps the
+// aggregation independent of completion order.
+func (rs *reportSink) Record(rec TrialRecord) error {
+	rs.cell.Trials[rec.Trial] = rec.Result()
+	rs.obs[rec.Trial] = rec.Observables
+	return nil
+}
+
+// Close implements Sink; the report needs no flushing.
+func (rs *reportSink) Close() error { return nil }
+
+// endCell reduces the completed cell, in trial order.
+func (rs *reportSink) endCell() {
+	var steps, stab []float64
+	for _, res := range rs.cell.Trials {
+		if !res.Converged {
+			rs.cell.Failures++
+			continue
+		}
+		steps = append(steps, float64(res.Steps))
+		stab = append(stab, float64(res.Stabilized))
+	}
+	if len(steps) > 0 {
+		rs.cell.Steps = summaryFrom(stats.Summarize(steps))
+		rs.cell.Stabilized = summaryFrom(stats.Summarize(stab))
+	}
+	for _, m := range rs.e.metrics {
+		var xs []float64
+		for _, o := range rs.obs {
+			if v, ok := o[m.Observable]; ok {
+				xs = append(xs, v)
+			}
+		}
+		if v, ok := m.apply(xs); ok {
+			if rs.cell.Metrics == nil {
+				rs.cell.Metrics = make(map[string]float64, len(rs.e.metrics))
+			}
+			rs.cell.Metrics[m.label()] = v
+		}
+	}
+	rs.row.Cells = append(rs.row.Cells, rs.cell)
+	rs.cell = ReportCell{}
+	rs.obs = nil
 }
 
 // summaryFrom converts the internal summary to the public mirror.

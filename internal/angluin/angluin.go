@@ -220,5 +220,7 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 			// c.AgentPos[0] names the unique leader in O(1).
 			return war.PeacefulWithLeader(cfg, c.AgentPos[0], func(s State) war.State { return s.War })
 		},
+		ArcNames:   []string{"leader_defects", "stray_defects"},
+		AgentNames: []string{"leaders", "repairs", "live_bullets"},
 	}
 }

@@ -342,5 +342,6 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 			}
 			return war.PeacefulWithLeader(cfg, k, func(s State) war.State { return s.War })
 		},
+		AgentNames: []string{"leaders", "anchors", "walkers", "retractors", "live_bullets"},
 	}
 }

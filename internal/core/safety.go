@@ -326,5 +326,7 @@ func (p Params) SafetySpec() population.RingSpec[State] {
 			}
 			return p.safeTail(cfg, k)
 		},
+		ArcNames:   []string{"dist_violations", "lastdrop_violations"},
+		AgentNames: []string{"leaders", "last_flags", "live_bullets"},
 	}
 }

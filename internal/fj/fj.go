@@ -261,5 +261,6 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 				return false
 			}
 		},
+		AgentNames: []string{"leaders", "waiting_leaders", "shielded_leaders", "bullets", "live_bullets"},
 	}
 }

@@ -210,5 +210,6 @@ func OrientedSpec() population.RingSpec[State] {
 		Converged: func(c population.LocalCounts, _ []State) bool {
 			return c.Arc[0] == 0 || c.Arc[1] == 0
 		},
+		ArcNames: []string{"cw_disagreements", "ccw_disagreements"},
 	}
 }

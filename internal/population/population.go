@@ -80,6 +80,8 @@ type Engine[S any] struct {
 	tracker      ConvergenceTracker[S]
 	trackerDirty bool
 
+	leaderHook func(step uint64, leaders int)
+
 	// pending holds arc draws made by RunUntilConverged's batched RNG
 	// calls but not yet executed (a run converges mid-batch). Every
 	// drawing path consumes them before touching the RNG again, so the
@@ -185,6 +187,20 @@ func (e *Engine[S]) SetTracker(t ConvergenceTracker[S]) {
 		t.Reset(e.states)
 	}
 }
+
+// SetLeaderHook installs fn, invoked after every interaction that changes
+// the leader set with the post-interaction step count and leader count —
+// the O(1) observation point probes sample leader-count trajectories from.
+// It fires only for interaction-driven changes (state installs through
+// SetStates/SetState are the caller's own doing and are not reported);
+// leader tracking must be enabled. Pass nil to remove it. The hook adds no
+// work to interactions that leave the leader set unchanged, so the batched
+// hot paths keep their throughput.
+func (e *Engine[S]) SetLeaderHook(fn func(step uint64, leaders int)) { e.leaderHook = fn }
+
+// TracksLeaders reports whether TrackLeaders has enabled leader-set
+// accounting on this engine.
+func (e *Engine[S]) TracksLeaders() bool { return e.isLeader != nil }
 
 // TrackLeaders enables leader-set change accounting using the given output
 // predicate. It must be called after the initial configuration is installed.
@@ -294,6 +310,9 @@ func (e *Engine[S]) applyPair(li, ri int32, lb, rb S) {
 	if changed {
 		e.lastLeaderChange = e.step
 		e.leaderChanges++
+		if e.leaderHook != nil {
+			e.leaderHook(e.step, e.leaderCount)
+		}
 	}
 }
 

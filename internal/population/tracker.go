@@ -59,6 +59,24 @@ type RingSpec[S any] struct {
 	// must be exact: it returns true at precisely the steps where the
 	// protocol's scan predicate would.
 	Converged func(c LocalCounts, cfg []S) bool
+	// ArcNames and AgentNames label the condition channels for
+	// diagnostics: entry b names channel bit b of the arc (respectively
+	// agent) counts. Named channels are surfaced by SampleCounts as
+	// observables of the trial-record pipeline; unnamed channels (an empty
+	// string, or a bit beyond the slice) stay internal. Naming a channel
+	// changes nothing about tracking itself.
+	ArcNames   []string
+	AgentNames []string
+}
+
+// CountSampler is the diagnostics face of a tracker: it exports the named
+// per-channel match counts so probes can record protocol-shape observables
+// (leader counts, live bullets, distance violations, …) without scanning
+// the configuration. RingTracker implements it.
+type CountSampler interface {
+	// SampleCounts writes each named channel's current match count into
+	// dst under its name. O(number of named channels).
+	SampleCounts(dst map[string]float64)
 }
 
 // RingTracker maintains a RingSpec incrementally: per-location condition
@@ -85,6 +103,20 @@ func NewRingTracker[S any](spec RingSpec[S]) *RingTracker[S] {
 // Counts returns the current per-channel match counts (for tests and
 // diagnostics).
 func (t *RingTracker[S]) Counts() LocalCounts { return t.counts }
+
+// SampleCounts implements CountSampler over the spec's named channels.
+func (t *RingTracker[S]) SampleCounts(dst map[string]float64) {
+	for b, name := range t.spec.ArcNames {
+		if name != "" {
+			dst[name] = float64(t.counts.Arc[b])
+		}
+	}
+	for b, name := range t.spec.AgentNames {
+		if name != "" {
+			dst[name] = float64(t.counts.Agent[b])
+		}
+	}
+}
 
 // Reset implements ConvergenceTracker.
 func (t *RingTracker[S]) Reset(cfg []S) {

@@ -1,0 +1,113 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Metric is one composable report aggregation: a named per-trial
+// observable (any key a probe writes into TrialRecord.Observables — see
+// TrialRecord for the standard set) reduced over a cell's trials by an
+// aggregator. Attach metrics to an Experiment with Metrics; each cell of
+// the resulting Report then carries the metric's value over the trials
+// where the observable is present (recovery_steps, for instance, exists
+// only on converged trials), rendered as an extra Markdown table per
+// metric and a "metrics" object per cell in JSON. Cells with no matching
+// trial omit the metric entirely — missing data is absent, never a stale
+// zero.
+type Metric struct {
+	// Observable is the TrialRecord observable to aggregate.
+	Observable string
+	// Agg is the reduction: "mean", "median", "p90", "min", "max", "std",
+	// "sum" or "count".
+	Agg string
+	// Label overrides the rendered name; empty selects "agg(observable)".
+	Label string
+}
+
+// MeanOf returns the mean-aggregation metric over an observable.
+func MeanOf(observable string) Metric { return Metric{Observable: observable, Agg: "mean"} }
+
+// MedianOf returns the median-aggregation metric over an observable.
+func MedianOf(observable string) Metric { return Metric{Observable: observable, Agg: "median"} }
+
+// P90Of returns the 90th-percentile metric over an observable.
+func P90Of(observable string) Metric { return Metric{Observable: observable, Agg: "p90"} }
+
+// MinOf returns the minimum metric over an observable.
+func MinOf(observable string) Metric { return Metric{Observable: observable, Agg: "min"} }
+
+// MaxOf returns the maximum metric over an observable.
+func MaxOf(observable string) Metric { return Metric{Observable: observable, Agg: "max"} }
+
+// SumOf returns the sum metric over an observable.
+func SumOf(observable string) Metric { return Metric{Observable: observable, Agg: "sum"} }
+
+// CountOf returns the sample-count metric over an observable — how many
+// trials of the cell carried it at all.
+func CountOf(observable string) Metric { return Metric{Observable: observable, Agg: "count"} }
+
+// label is the rendered column name.
+func (m Metric) label() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return fmt.Sprintf("%s(%s)", m.Agg, m.Observable)
+}
+
+// validate rejects malformed metrics at Run/Stream time.
+func (m Metric) validate() error {
+	if m.Observable == "" {
+		return fmt.Errorf("repro: metric %q has no observable", m.label())
+	}
+	switch m.Agg {
+	case "mean", "median", "p90", "min", "max", "std", "sum", "count":
+		return nil
+	default:
+		return fmt.Errorf("repro: metric %q has unknown aggregation %q", m.label(), m.Agg)
+	}
+}
+
+// apply reduces the samples; ok is false when there are none.
+func (m Metric) apply(xs []float64) (float64, bool) {
+	if m.Agg == "count" {
+		return float64(len(xs)), true
+	}
+	if len(xs) == 0 {
+		return 0, false
+	}
+	switch m.Agg {
+	case "mean":
+		return stats.Mean(xs), true
+	case "median":
+		return stats.Quantile(xs, 0.5), true
+	case "p90":
+		return stats.Quantile(xs, 0.9), true
+	case "std":
+		return stats.StdDev(xs), true
+	case "sum":
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		return sum, true
+	case "min":
+		min := xs[0]
+		for _, x := range xs[1:] {
+			if x < min {
+				min = x
+			}
+		}
+		return min, true
+	case "max":
+		max := xs[0]
+		for _, x := range xs[1:] {
+			if x > max {
+				max = x
+			}
+		}
+		return max, true
+	}
+	return 0, false
+}

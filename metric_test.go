@@ -1,0 +1,161 @@
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestMetricAggregations pins every aggregator against hand-computed
+// values, using the deterministic stub protocol (steps = n² + seed mod n).
+func TestMetricAggregations(t *testing.T) {
+	rep, err := repro.NewExperiment().
+		Protocols(stubProtocol{}).
+		Sizes(8).
+		Trials(4).
+		Metrics(
+			repro.MeanOf("steps"),
+			repro.MedianOf("steps"),
+			repro.MinOf("steps"),
+			repro.MaxOf("steps"),
+			repro.SumOf("steps"),
+			repro.CountOf("steps"),
+			repro.P90Of("steps"),
+			repro.Metric{Observable: "steps", Agg: "std", Label: "spread"},
+		).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := rep.Rows[0].Cells[0]
+	// Seeds TrialSeed(8, 0..3) = 8000024..8000027; steps = 64 + seed%8.
+	var want []float64
+	for tr := 0; tr < 4; tr++ {
+		want = append(want, 64+float64(repro.TrialSeed(8, tr)%8))
+	}
+	mean := (want[0] + want[1] + want[2] + want[3]) / 4
+	checks := map[string]float64{
+		"mean(steps)":   mean,
+		"min(steps)":    64,
+		"max(steps)":    67,
+		"sum(steps)":    4 * mean,
+		"count(steps)":  4,
+		"median(steps)": 65.5,
+	}
+	for label, wantV := range checks {
+		if got, ok := cell.Metrics[label]; !ok || math.Abs(got-wantV) > 1e-9 {
+			t.Errorf("%s = %v (present %v), want %v; trials %v", label, got, ok, wantV, want)
+		}
+	}
+	if _, ok := cell.Metrics["spread"]; !ok {
+		t.Errorf("custom label missing: %v", cell.Metrics)
+	}
+	if _, ok := cell.Metrics["p90(steps)"]; !ok {
+		t.Errorf("p90 missing: %v", cell.Metrics)
+	}
+	if len(rep.Metrics) != 8 {
+		t.Fatalf("report metric labels: %v", rep.Metrics)
+	}
+}
+
+// TestMetricRecoverySteps is the end-to-end acceptance path: a
+// fault-injection sweep ranked on recovery time after the last burst, with
+// the metric rendered in markdown and JSON.
+func TestMetricRecoverySteps(t *testing.T) {
+	rep, err := repro.NewExperiment().
+		ProtocolNames("ppl").
+		Sizes(8, 16).
+		Trials(3).
+		Scenario(repro.Scenario{Faults: []repro.Fault{{AtStep: 300, Agents: 4}}}).
+		Metrics(repro.MeanOf("recovery_steps"), repro.MaxOf("leaders_peak")).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range rep.Rows[0].Cells {
+		rc, ok := cell.Metrics["mean(recovery_steps)"]
+		if !ok || rc <= 0 {
+			t.Fatalf("recovery metric missing from cell n=%d: %v", cell.N, cell.Metrics)
+		}
+		if rc >= cell.Steps.Mean {
+			t.Fatalf("n=%d: mean recovery %v not below mean steps %v with a burst at 300", cell.N, rc, cell.Steps.Mean)
+		}
+		if pk, ok := cell.Metrics["max(leaders_peak)"]; !ok || pk < 1 {
+			t.Fatalf("peak-leaders metric missing: %v", cell.Metrics)
+		}
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "### Metric: mean(recovery_steps)") {
+		t.Fatalf("metric table missing from markdown:\n%s", md)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back repro.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Metrics) != 2 || back.Rows[0].Cells[0].Metrics["mean(recovery_steps)"] == 0 {
+		t.Fatalf("metrics lost in JSON round trip: %+v", back.Metrics)
+	}
+}
+
+// TestMetricAbsentObservable: a metric over an observable no trial carries
+// renders as missing, never as zero.
+func TestMetricAbsentObservable(t *testing.T) {
+	rep, err := repro.NewExperiment().
+		Protocols(stubProtocol{}). // plain Protocol: scalar observables only
+		Sizes(8).
+		Trials(2).
+		Metrics(repro.MeanOf("leaders_peak")).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := rep.Rows[0].Cells[0]
+	if _, ok := cell.Metrics["mean(leaders_peak)"]; ok {
+		t.Fatalf("metric fabricated a value with no samples: %v", cell.Metrics)
+	}
+	if !strings.Contains(rep.Markdown(), "### Metric: mean(leaders_peak)") {
+		t.Fatal("metric table heading missing")
+	}
+	if !strings.Contains(rep.Markdown(), "| — |") {
+		t.Fatal("absent metric cell must render as missing")
+	}
+}
+
+// TestStreamRejectsMetrics: metric aggregation needs the in-memory
+// Report, so Stream must refuse up front rather than silently dropping
+// the metrics after an expensive sweep.
+func TestStreamRejectsMetrics(t *testing.T) {
+	err := repro.NewExperiment().
+		ProtocolNames("ppl").
+		Sizes(8).
+		Metrics(repro.MeanOf("recovery_steps")).
+		Sinks(&memSink{}).
+		Stream(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "Metrics") {
+		t.Fatalf("Stream with metrics: %v", err)
+	}
+}
+
+// TestMetricValidation: malformed metrics fail at Run time.
+func TestMetricValidation(t *testing.T) {
+	if _, err := repro.NewExperiment().
+		ProtocolNames("ppl").Sizes(8).
+		Metrics(repro.Metric{Observable: "steps", Agg: "geomean"}).
+		Run(context.Background()); err == nil {
+		t.Fatal("unknown aggregation accepted")
+	}
+	if _, err := repro.NewExperiment().
+		ProtocolNames("ppl").Sizes(8).
+		Metrics(repro.Metric{Agg: "mean"}).
+		Run(context.Background()); err == nil {
+		t.Fatal("metric without observable accepted")
+	}
+}

@@ -1,0 +1,323 @@
+package repro
+
+// This file is the per-trial half of the streaming observation API: typed
+// TrialEvents, the Probe that receives them, the TrialRecord a trial
+// distills into, and the ProbedProtocol contract built-in protocols
+// implement. The cross-trial half — Sinks that consume TrialRecords as
+// workers finish — lives in sink.go; composable report aggregation over
+// record observables lives in metric.go.
+
+// EventKind classifies a TrialEvent.
+type EventKind string
+
+const (
+	// EventLeaderChange reports the leader count: once at step 0 with the
+	// initial count, then after every interaction that changes the leader
+	// set. Emitted only by protocols that track a leader output (all
+	// election protocols; not P_OR).
+	EventLeaderChange EventKind = "leaders"
+	// EventEpoch marks the start of a fault epoch: epoch 0 at the trial
+	// start, epoch i immediately after the i-th fault burst installs. The
+	// run after the last epoch event is the recovery the
+	// self-stabilization question asks about.
+	EventEpoch EventKind = "epoch"
+	// EventFault reports a fault burst right after its corrupted states
+	// install.
+	EventFault EventKind = "fault"
+	// EventConverged reports the exact hitting time of the protocol's
+	// convergence predicate. At most one per trial; absent when the budget
+	// runs out first.
+	EventConverged EventKind = "converged"
+	// EventChannels carries the named convergence-tracker channel counts
+	// (leaders, live bullets, distance violations, … — see each internal
+	// spec), sampled once when the run phase ends: at the convergence step,
+	// or at budget exhaustion, where the counts say how far from converged
+	// the ring still was.
+	EventChannels EventKind = "channels"
+)
+
+// TrialEvent is one typed observation inside a trial. Step is the engine
+// step count at the event; the other fields are kind-specific and zero
+// elsewhere.
+type TrialEvent struct {
+	Kind EventKind `json:"kind"`
+	Step uint64    `json:"step"`
+	// Leaders is the leader count after the event, for leader-change,
+	// fault and converged events of leader-tracking protocols; -1 when the
+	// protocol has no leader output.
+	Leaders int `json:"leaders,omitempty"`
+	// Agents is the number of corrupted agents of a fault event.
+	Agents int `json:"agents,omitempty"`
+	// Epoch is the fault-epoch index of an epoch event.
+	Epoch int `json:"epoch,omitempty"`
+	// Counts holds the named tracker channel counts of a channels event.
+	Counts map[string]float64 `json:"counts,omitempty"`
+}
+
+// Probe receives the typed event stream of one trial. A fresh Probe value
+// is used per trial (the Experiment builds one per trial through
+// ProbeWith), so implementations need no internal locking: Begin, every
+// Observe and End are called sequentially from the single goroutine
+// running that trial, in step order.
+//
+// Events are sampled O(1) off the engine's incremental trackers — a probe
+// never forces a configuration scan, and a trial's RNG stream, hitting
+// time and TrialResult are bit-for-bit identical with or without a probe
+// attached.
+type Probe interface {
+	// Begin is called once, before the trial executes any scheduler step.
+	Begin(protocol string, n int, seed uint64)
+	// Observe is called after each event, in step order.
+	Observe(ev TrialEvent)
+	// End is called once, after the run phase, with the trial's legacy
+	// scalar outcome.
+	End(res TrialResult)
+}
+
+// ProbedProtocol is the observation superset of Protocol: a ProbedTrial is
+// a Trial that additionally streams typed events to the probe. All
+// built-in protocols implement it; external registrants that only satisfy
+// Protocol keep compiling and working — ProbeTrial (and the Experiment)
+// fall back to the plain Trial and a scalars-only record for them.
+type ProbedProtocol interface {
+	Protocol
+	// ProbedTrial runs one trial exactly as Trial would — same seeds, same
+	// RNG stream, same TrialResult — streaming events to probe along the
+	// way. A nil probe is allowed and makes it equivalent to Trial.
+	ProbedTrial(sc Scenario, n int, seed uint64, probe Probe) (TrialResult, error)
+}
+
+// ProbeTrial runs one observed trial of any Protocol: through ProbedTrial
+// when p implements ProbedProtocol, otherwise through the plain Trial with
+// Begin, a synthesized converged event and End around it, so probes (and
+// TrialRecords) degrade gracefully to the legacy scalars for external
+// protocols.
+func ProbeTrial(p Protocol, sc Scenario, n int, seed uint64, probe Probe) (TrialResult, error) {
+	if probe == nil {
+		return p.Trial(sc, n, seed)
+	}
+	if pp, ok := p.(ProbedProtocol); ok {
+		return pp.ProbedTrial(sc, n, seed, probe)
+	}
+	probe.Begin(p.Info().Name, n, seed)
+	res, err := p.Trial(sc, n, seed)
+	if err != nil {
+		return res, err
+	}
+	if res.Converged {
+		probe.Observe(TrialEvent{Kind: EventConverged, Step: res.Steps, Leaders: -1})
+	}
+	probe.End(res)
+	return res, nil
+}
+
+// Probes fans one trial's event stream out to several probes, in order.
+func Probes(ps ...Probe) Probe { return multiProbe(ps) }
+
+type multiProbe []Probe
+
+func (m multiProbe) Begin(protocol string, n int, seed uint64) {
+	for _, p := range m {
+		p.Begin(protocol, n, seed)
+	}
+}
+
+func (m multiProbe) Observe(ev TrialEvent) {
+	for _, p := range m {
+		p.Observe(ev)
+	}
+}
+
+func (m multiProbe) End(res TrialResult) {
+	for _, p := range m {
+		p.End(res)
+	}
+}
+
+// SeriesPoint is one sample of a named per-trial series.
+type SeriesPoint struct {
+	Step  uint64  `json:"step"`
+	Value float64 `json:"value"`
+}
+
+// TrialRecord is the streaming form of one trial's outcome: the legacy
+// scalars plus the named observables and series a probe distilled from the
+// event stream. Records are what Sinks consume and Metrics aggregate; one
+// JSON object per record is the JSONL artifact schema
+// (see JSONLSink).
+//
+// Observables emitted by RecordingProbe:
+//
+//	steps, stabilized, converged      — the scalars, repeated for Metrics
+//	leaders_initial, leaders_peak,
+//	leaders_final, leader_changes     — leader-count trajectory facts
+//	                                    (leader-tracking protocols only)
+//	fault_bursts, fault_agents,
+//	last_fault_step                   — fault-schedule facts (when ≥1
+//	                                    burst fired)
+//	recovery_steps                    — steps − last_fault_step, the
+//	                                    recovery time after the last
+//	                                    fault (converged trials only;
+//	                                    equals steps when no burst fired)
+//	chan_<name>                       — named tracker channel counts at
+//	                                    the end of the run phase
+//
+// and the series "leaders": the (step, count) leader trajectory.
+type TrialRecord struct {
+	Protocol   string `json:"protocol"`
+	N          int    `json:"n"`
+	Trial      int    `json:"trial"`
+	Seed       uint64 `json:"seed"`
+	Steps      uint64 `json:"steps"`
+	Stabilized uint64 `json:"stabilized"`
+	Converged  bool   `json:"converged"`
+	// Tags carries free-form string context set by the producer (cmd/bench
+	// tags records with the mode and scenario, say).
+	Tags        map[string]string        `json:"tags,omitempty"`
+	Observables map[string]float64       `json:"observables,omitempty"`
+	Series      map[string][]SeriesPoint `json:"series,omitempty"`
+}
+
+// Result returns the legacy scalar view of the record.
+func (r TrialRecord) Result() TrialResult {
+	return TrialResult{N: r.N, Seed: r.Seed, Steps: r.Steps, Stabilized: r.Stabilized, Converged: r.Converged}
+}
+
+// DefaultMaxSeriesPoints bounds a RecordingProbe series; see
+// RecordingProbe.MaxSeriesPoints.
+const DefaultMaxSeriesPoints = 4096
+
+// RecordingProbe is the standard Probe: it distills a trial's event stream
+// into a TrialRecord (the observables and series documented on
+// TrialRecord). The zero value is ready to use for one trial; call Record
+// after the trial for the result.
+type RecordingProbe struct {
+	// MaxSeriesPoints caps the points kept per series; 0 selects
+	// DefaultMaxSeriesPoints. When a series would exceed the cap it is
+	// deterministically thinned — every other kept point is dropped and
+	// the sampling stride doubles — so memory stays bounded on
+	// pathological trajectories while the step range stays covered.
+	MaxSeriesPoints int
+
+	rec          TrialRecord
+	haveLeaders  bool
+	initLeaders  float64
+	peakLeaders  float64
+	finalLeaders float64
+	changes      float64
+	bursts       float64
+	burstAgents  float64
+	lastFault    uint64
+	counts       map[string]float64
+	leaders      []SeriesPoint
+	stride       uint64
+	seen         uint64 // leader events seen, for stride sampling
+}
+
+func (p *RecordingProbe) Begin(protocol string, n int, seed uint64) {
+	p.rec = TrialRecord{Protocol: protocol, N: n, Seed: seed}
+}
+
+func (p *RecordingProbe) Observe(ev TrialEvent) {
+	switch ev.Kind {
+	case EventLeaderChange:
+		count := float64(ev.Leaders)
+		if !p.haveLeaders {
+			p.haveLeaders = true
+			p.initLeaders = count
+			p.peakLeaders = count
+		} else {
+			p.changes++
+		}
+		if count > p.peakLeaders {
+			p.peakLeaders = count
+		}
+		p.finalLeaders = count
+		p.appendLeaderPoint(ev.Step, count)
+	case EventFault:
+		p.bursts++
+		p.burstAgents += float64(ev.Agents)
+		p.lastFault = ev.Step
+		if p.haveLeaders && ev.Leaders >= 0 {
+			// The burst may rewrite the leader set without an interaction;
+			// keep the trajectory honest across the install.
+			count := float64(ev.Leaders)
+			if count > p.peakLeaders {
+				p.peakLeaders = count
+			}
+			p.finalLeaders = count
+			p.appendLeaderPoint(ev.Step, count)
+		}
+	case EventChannels:
+		p.counts = ev.Counts
+	}
+}
+
+// appendLeaderPoint samples the "leaders" series under the thinning cap.
+func (p *RecordingProbe) appendLeaderPoint(step uint64, count float64) {
+	p.seen++
+	if p.stride == 0 {
+		p.stride = 1
+	}
+	if (p.seen-1)%p.stride != 0 {
+		return
+	}
+	max := p.MaxSeriesPoints
+	if max <= 0 {
+		max = DefaultMaxSeriesPoints
+	}
+	if max < 2 {
+		max = 2
+	}
+	if len(p.leaders) >= max {
+		kept := p.leaders[:0]
+		for i := 0; i < len(p.leaders); i += 2 {
+			kept = append(kept, p.leaders[i])
+		}
+		p.leaders = kept
+		p.stride *= 2
+		if (p.seen-1)%p.stride != 0 {
+			return
+		}
+	}
+	p.leaders = append(p.leaders, SeriesPoint{Step: step, Value: count})
+}
+
+func (p *RecordingProbe) End(res TrialResult) {
+	p.rec.N = res.N
+	p.rec.Seed = res.Seed
+	p.rec.Steps = res.Steps
+	p.rec.Stabilized = res.Stabilized
+	p.rec.Converged = res.Converged
+
+	obs := map[string]float64{
+		"steps":      float64(res.Steps),
+		"stabilized": float64(res.Stabilized),
+		"converged":  0,
+	}
+	if res.Converged {
+		obs["converged"] = 1
+		obs["recovery_steps"] = float64(res.Steps - p.lastFault)
+	}
+	if p.haveLeaders {
+		obs["leaders_initial"] = p.initLeaders
+		obs["leaders_peak"] = p.peakLeaders
+		obs["leaders_final"] = p.finalLeaders
+		obs["leader_changes"] = p.changes
+	}
+	if p.bursts > 0 {
+		obs["fault_bursts"] = p.bursts
+		obs["fault_agents"] = p.burstAgents
+		obs["last_fault_step"] = float64(p.lastFault)
+	}
+	for name, v := range p.counts {
+		obs["chan_"+name] = v
+	}
+	p.rec.Observables = obs
+	if len(p.leaders) > 0 {
+		p.rec.Series = map[string][]SeriesPoint{"leaders": p.leaders}
+	}
+}
+
+// Record returns the distilled TrialRecord; valid after End.
+func (p *RecordingProbe) Record() TrialRecord { return p.rec }

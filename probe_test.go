@@ -1,0 +1,197 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// collectProbe records the raw event stream for assertions.
+type collectProbe struct {
+	protocol string
+	n        int
+	seed     uint64
+	events   []repro.TrialEvent
+	ended    bool
+	result   repro.TrialResult
+}
+
+func (p *collectProbe) Begin(protocol string, n int, seed uint64) {
+	p.protocol, p.n, p.seed = protocol, n, seed
+}
+func (p *collectProbe) Observe(ev repro.TrialEvent) { p.events = append(p.events, ev) }
+func (p *collectProbe) End(res repro.TrialResult)   { p.ended, p.result = true, res }
+
+func (p *collectProbe) kinds(kind repro.EventKind) []repro.TrialEvent {
+	var out []repro.TrialEvent
+	for _, ev := range p.events {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestProbedTrialMatchesPlainTrial is the no-perturbation guarantee: a
+// probe observes the trial without changing it — same RNG stream, same
+// hitting time, same scalars — for every built-in protocol.
+func TestProbedTrialMatchesPlainTrial(t *testing.T) {
+	sc := repro.Scenario{Faults: []repro.Fault{{AtStep: 500, Agents: 4}}}
+	for _, name := range repro.Protocols() {
+		p, err := repro.NewProtocol(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		useSc := sc
+		if err := p.Validate(sc); err != nil {
+			useSc = repro.Scenario{} // orient rejects nothing relevant; be safe
+		}
+		n := p.FixSize(16)
+		plain, err := p.Trial(useSc, n, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		probe := &collectProbe{}
+		probed, err := repro.ProbeTrial(p, useSc, n, 3, repro.Probes(probe, &repro.RecordingProbe{}))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if plain != probed {
+			t.Fatalf("%s: probed trial diverged: %+v vs %+v", name, plain, probed)
+		}
+		if !probe.ended || probe.result != plain {
+			t.Fatalf("%s: probe End saw %+v, want %+v", name, probe.result, plain)
+		}
+		if probe.protocol != p.Info().Name || probe.n != n || probe.seed != 3 {
+			t.Fatalf("%s: Begin saw (%q, %d, %d)", name, probe.protocol, probe.n, probe.seed)
+		}
+	}
+}
+
+// TestProbeEventStream pins the typed event stream of a faulted ppl trial:
+// initial leader sample, epochs around the burst, the fault itself, the
+// convergence step and the channel counts.
+func TestProbeEventStream(t *testing.T) {
+	const n, seed, burstAt, burstAgents = 16, 2, 400, 8
+	p := repro.PPL(0, 0)
+	sc := repro.Scenario{Faults: []repro.Fault{{AtStep: burstAt, Agents: burstAgents}}}
+	probe := &collectProbe{}
+	res, err := repro.ProbeTrial(p, sc, n, seed, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("trial did not converge: %+v", res)
+	}
+
+	leaders := probe.kinds(repro.EventLeaderChange)
+	if len(leaders) == 0 || leaders[0].Step != 0 {
+		t.Fatalf("no initial leader sample: %+v", leaders)
+	}
+	for i := 1; i < len(leaders); i++ {
+		if leaders[i].Step < leaders[i-1].Step {
+			t.Fatalf("leader events out of step order: %+v", leaders)
+		}
+	}
+
+	epochs := probe.kinds(repro.EventEpoch)
+	if len(epochs) != 2 || epochs[0].Epoch != 0 || epochs[1].Epoch != 1 {
+		t.Fatalf("epochs = %+v, want epoch 0 at start and epoch 1 after the burst", epochs)
+	}
+
+	faults := probe.kinds(repro.EventFault)
+	if len(faults) != 1 || faults[0].Step != burstAt || faults[0].Agents != burstAgents {
+		t.Fatalf("fault events = %+v", faults)
+	}
+	if faults[0].Leaders < 0 {
+		t.Fatal("ppl tracks leaders; fault event must carry the count")
+	}
+
+	conv := probe.kinds(repro.EventConverged)
+	if len(conv) != 1 || conv[0].Step != res.Steps || conv[0].Leaders != 1 {
+		t.Fatalf("converged events = %+v, want one at step %d with 1 leader", conv, res.Steps)
+	}
+
+	chans := probe.kinds(repro.EventChannels)
+	if len(chans) != 1 || chans[0].Counts["leaders"] != 1 || chans[0].Counts["live_bullets"] != 0 {
+		t.Fatalf("channel counts = %+v, want sampled converged shape", chans)
+	}
+}
+
+// TestRecordingProbeObservables pins the distilled TrialRecord of a
+// faulted trial: the recovery observable, fault accounting, the leader
+// trajectory and the tracker channel counts.
+func TestRecordingProbeObservables(t *testing.T) {
+	const n, seed, burstAt = 16, 2, 400
+	p := repro.PPL(0, 0)
+	sc := repro.Scenario{Faults: []repro.Fault{{AtStep: burstAt, Agents: 8}}}
+	probe := &repro.RecordingProbe{}
+	res, err := repro.ProbeTrial(p, sc, n, seed, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := probe.Record()
+	if rec.Result() != res {
+		t.Fatalf("record scalars %+v diverged from result %+v", rec.Result(), res)
+	}
+	obs := rec.Observables
+	if obs["recovery_steps"] != float64(res.Steps-burstAt) {
+		t.Fatalf("recovery_steps = %v, want %d", obs["recovery_steps"], res.Steps-burstAt)
+	}
+	if obs["fault_bursts"] != 1 || obs["fault_agents"] != 8 || obs["last_fault_step"] != burstAt {
+		t.Fatalf("fault observables wrong: %v", obs)
+	}
+	if obs["leaders_final"] != 1 || obs["leaders_peak"] < 1 || obs["leaders_initial"] < 0 {
+		t.Fatalf("leader observables wrong: %v", obs)
+	}
+	if obs["chan_leaders"] != 1 {
+		t.Fatalf("channel observables missing: %v", obs)
+	}
+	series := rec.Series["leaders"]
+	if len(series) == 0 || series[0].Step != 0 || series[len(series)-1].Value != 1 {
+		t.Fatalf("leader series wrong: %+v", series)
+	}
+}
+
+// TestRecordingProbeSeriesCap pins the deterministic thinning: a
+// pathological trajectory stays within the configured point budget while
+// still spanning the step range.
+func TestRecordingProbeSeriesCap(t *testing.T) {
+	probe := &repro.RecordingProbe{MaxSeriesPoints: 8}
+	probe.Begin("stub", 4, 1)
+	for step := uint64(0); step < 1000; step++ {
+		probe.Observe(repro.TrialEvent{Kind: repro.EventLeaderChange, Step: step, Leaders: int(step % 3)})
+	}
+	probe.End(repro.TrialResult{N: 4, Seed: 1, Steps: 1000, Converged: true})
+	series := probe.Record().Series["leaders"]
+	if len(series) == 0 || len(series) > 8 {
+		t.Fatalf("series has %d points, want 1..8", len(series))
+	}
+	if series[0].Step != 0 {
+		t.Fatalf("thinning dropped the start point: %+v", series[0])
+	}
+	if series[len(series)-1].Step < 500 {
+		t.Fatalf("thinned series no longer spans the trial: %+v", series)
+	}
+}
+
+// TestProbeFallbackForPlainProtocols: an external registrant that only
+// implements Protocol still produces scalar records through ProbeTrial.
+func TestProbeFallbackForPlainProtocols(t *testing.T) {
+	p := stubProtocol{}
+	probe := &repro.RecordingProbe{}
+	res, err := repro.ProbeTrial(p, repro.Scenario{}, 8, 3, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := probe.Record()
+	if rec.Result() != res || rec.Protocol != "stub" {
+		t.Fatalf("fallback record %+v for result %+v", rec, res)
+	}
+	if rec.Observables["steps"] != float64(res.Steps) || rec.Observables["converged"] != 1 {
+		t.Fatalf("fallback observables %v", rec.Observables)
+	}
+	if len(rec.Series) != 0 {
+		t.Fatalf("plain protocol cannot have series: %+v", rec.Series)
+	}
+}

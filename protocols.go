@@ -64,8 +64,27 @@ type trialEngine[S any] struct {
 // incremental tracker, so Steps is the exact hitting time of the
 // protocol's convergence predicate, not a checkEvery-quantized
 // overestimate.
-func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64) TrialResult {
+//
+// A non-nil probe receives the trial's typed event stream (see Probe):
+// the initial leader count and every interaction-driven leader-set change
+// through the engine's O(1) leader hook, each fault burst and the epoch it
+// opens, the convergence step, and the named tracker channel counts at
+// the end of the run phase. name labels the events' protocol. Probing
+// changes nothing about the trial itself — the RNG stream, hitting time
+// and TrialResult are identical with probe == nil.
+func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64, name string, probe Probe) TrialResult {
+	if probe != nil {
+		probe.Begin(name, n, seed)
+		if te.eng.TracksLeaders() {
+			probe.Observe(TrialEvent{Kind: EventLeaderChange, Step: te.eng.Steps(), Leaders: te.eng.LeaderCount()})
+			te.eng.SetLeaderHook(func(step uint64, leaders int) {
+				probe.Observe(TrialEvent{Kind: EventLeaderChange, Step: step, Leaders: leaders})
+			})
+		}
+		probe.Observe(TrialEvent{Kind: EventEpoch, Step: te.eng.Steps()})
+	}
 	var frng *xrand.RNG
+	epoch := 0
 	for _, f := range sc.sortedFaults() {
 		if f.AtStep >= maxSteps {
 			break // bursts past the budget never fire
@@ -86,9 +105,19 @@ func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64) T
 		} else {
 			te.eng.SetStates(cfg)
 		}
+		if probe != nil {
+			epoch++
+			ev := TrialEvent{Kind: EventFault, Step: te.eng.Steps(), Agents: f.Agents, Leaders: -1}
+			if te.eng.TracksLeaders() {
+				ev.Leaders = te.eng.LeaderCount()
+			}
+			probe.Observe(ev)
+			probe.Observe(TrialEvent{Kind: EventEpoch, Step: te.eng.Steps(), Epoch: epoch})
+		}
 	}
 	var steps uint64
 	var ok bool
+	tracked := false
 	if every := convergenceScanEvery.Load(); every > 0 || te.tracker == nil {
 		check := te.check
 		if every > 0 {
@@ -97,12 +126,33 @@ func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64) T
 		steps, ok = te.eng.RunUntil(te.pred, check, maxSteps)
 	} else {
 		te.eng.SetTracker(te.tracker)
+		tracked = true
 		steps, ok = te.eng.RunUntilConverged(maxSteps)
 	}
-	return TrialResult{
+	res := TrialResult{
 		N: n, Seed: seed, Steps: steps,
 		Stabilized: te.eng.LastLeaderChange(), Converged: ok,
 	}
+	if probe != nil {
+		if ok {
+			ev := TrialEvent{Kind: EventConverged, Step: steps, Leaders: -1}
+			if te.eng.TracksLeaders() {
+				ev.Leaders = te.eng.LeaderCount()
+			}
+			probe.Observe(ev)
+		}
+		if tracked {
+			if cs, sampled := te.tracker.(population.CountSampler); sampled {
+				counts := make(map[string]float64)
+				cs.SampleCounts(counts)
+				if len(counts) > 0 {
+					probe.Observe(TrialEvent{Kind: EventChannels, Step: steps, Counts: counts})
+				}
+			}
+		}
+		probe.End(res)
+	}
+	return res
 }
 
 // benchRaw runs exactly steps scheduler steps with no convergence
@@ -122,6 +172,26 @@ func (te trialEngine[S]) benchScan(maxSteps uint64) (uint64, bool) {
 
 // stepCount returns the scheduler steps executed so far.
 func (te trialEngine[S]) stepCount() uint64 { return te.eng.Steps() }
+
+// probedTrial is the one copy of the Trial/ProbedTrial entry path shared
+// by every built-in protocol: validate the scenario, build the trial
+// engine, run it under the scenario's budget with the probe attached.
+func probedTrial[S any](p Protocol, newTrial func(Scenario, int, uint64) trialEngine[S], sc Scenario, n int, seed uint64, probe Probe) (TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return TrialResult{}, err
+	}
+	te := newTrial(sc, n, seed)
+	return te.run(sc, n, seed, sc.MaxSteps(p, n), p.Info().Name, probe), nil
+}
+
+// newBenchFor is the shared newBench body: a fully wired, unrun trial
+// engine for RunBenchmark to time.
+func newBenchFor[S any](p Protocol, newTrial func(Scenario, int, uint64) trialEngine[S], sc Scenario, n int, seed uint64) (benchRunner, error) {
+	if err := p.Validate(sc); err != nil {
+		return nil, err
+	}
+	return newTrial(sc, n, seed), nil
+}
 
 // validateElection is the scenario check shared by the four baselines:
 // directed ring only, random starts only (their hand-crafted hard
@@ -203,18 +273,17 @@ func (p pplProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[core.
 }
 
 func (p pplProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
-	if err := p.Validate(sc); err != nil {
-		return TrialResult{}, err
-	}
-	te := p.newTrial(sc, n, seed)
-	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// ProbedTrial implements ProbedProtocol: Trial with the typed event
+// stream attached.
+func (p pplProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Probe) (TrialResult, error) {
+	return probedTrial(p, p.newTrial, sc, n, seed, probe)
 }
 
 func (p pplProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
-	if err := p.Validate(sc); err != nil {
-		return nil, err
-	}
-	return p.newTrial(sc, n, seed), nil
+	return newBenchFor(p, p.newTrial, sc, n, seed)
 }
 
 // orientProtocol is the paper's Section 5 orientation protocol P_OR.
@@ -288,18 +357,17 @@ func (p orientProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[or
 }
 
 func (p orientProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
-	if err := p.Validate(sc); err != nil {
-		return TrialResult{}, err
-	}
-	te := p.newTrial(sc, n, seed)
-	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// ProbedTrial implements ProbedProtocol: Trial with the typed event
+// stream attached.
+func (p orientProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Probe) (TrialResult, error) {
+	return probedTrial(p, p.newTrial, sc, n, seed, probe)
 }
 
 func (p orientProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
-	if err := p.Validate(sc); err != nil {
-		return nil, err
-	}
-	return p.newTrial(sc, n, seed), nil
+	return newBenchFor(p, p.newTrial, sc, n, seed)
 }
 
 // yokotaProtocol is the [28] baseline with knowledge N = 2n.
@@ -337,18 +405,17 @@ func (p yokotaProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[yo
 }
 
 func (p yokotaProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
-	if err := p.Validate(sc); err != nil {
-		return TrialResult{}, err
-	}
-	te := p.newTrial(sc, n, seed)
-	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// ProbedTrial implements ProbedProtocol: Trial with the typed event
+// stream attached.
+func (p yokotaProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Probe) (TrialResult, error) {
+	return probedTrial(p, p.newTrial, sc, n, seed, probe)
 }
 
 func (p yokotaProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
-	if err := p.Validate(sc); err != nil {
-		return nil, err
-	}
-	return p.newTrial(sc, n, seed), nil
+	return newBenchFor(p, p.newTrial, sc, n, seed)
 }
 
 // angluinProtocol is the [5]-style mod-k baseline with k = 2; requested
@@ -394,18 +461,17 @@ func (p angluinProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[a
 }
 
 func (p angluinProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
-	if err := p.Validate(sc); err != nil {
-		return TrialResult{}, err
-	}
-	te := p.newTrial(sc, n, seed)
-	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// ProbedTrial implements ProbedProtocol: Trial with the typed event
+// stream attached.
+func (p angluinProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Probe) (TrialResult, error) {
+	return probedTrial(p, p.newTrial, sc, n, seed, probe)
 }
 
 func (p angluinProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
-	if err := p.Validate(sc); err != nil {
-		return nil, err
-	}
-	return p.newTrial(sc, n, seed), nil
+	return newBenchFor(p, p.newTrial, sc, n, seed)
 }
 
 // fjProtocol is the [15]-style oracle baseline.
@@ -444,18 +510,17 @@ func (p fjProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[fj.Sta
 }
 
 func (p fjProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
-	if err := p.Validate(sc); err != nil {
-		return TrialResult{}, err
-	}
-	te := p.newTrial(sc, n, seed)
-	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// ProbedTrial implements ProbedProtocol: Trial with the typed event
+// stream attached.
+func (p fjProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Probe) (TrialResult, error) {
+	return probedTrial(p, p.newTrial, sc, n, seed, probe)
 }
 
 func (p fjProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
-	if err := p.Validate(sc); err != nil {
-		return nil, err
-	}
-	return p.newTrial(sc, n, seed), nil
+	return newBenchFor(p, p.newTrial, sc, n, seed)
 }
 
 // chenchenProtocol is the [11]-style baseline. The reconstruction
@@ -497,16 +562,15 @@ func (p chenchenProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[
 }
 
 func (p chenchenProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
-	if err := p.Validate(sc); err != nil {
-		return TrialResult{}, err
-	}
-	te := p.newTrial(sc, n, seed)
-	return te.run(sc, n, seed, sc.MaxSteps(p, n)), nil
+	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// ProbedTrial implements ProbedProtocol: Trial with the typed event
+// stream attached.
+func (p chenchenProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Probe) (TrialResult, error) {
+	return probedTrial(p, p.newTrial, sc, n, seed, probe)
 }
 
 func (p chenchenProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
-	if err := p.Validate(sc); err != nil {
-		return nil, err
-	}
-	return p.newTrial(sc, n, seed), nil
+	return newBenchFor(p, p.newTrial, sc, n, seed)
 }

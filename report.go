@@ -12,6 +12,10 @@ import (
 )
 
 // Summary holds the descriptive statistics of one cell's converged trials.
+// A Summary with Count zero — every trial failed, or the cell was skipped —
+// has no statistics at all: JSON renders its fields as explicit nulls and
+// CSV as empty fields, never as stale zeros a reader could mistake for
+// measured values.
 type Summary struct {
 	Count  int     `json:"count"`
 	Mean   float64 `json:"mean"`
@@ -20,6 +24,46 @@ type Summary struct {
 	Median float64 `json:"median"`
 	P90    float64 `json:"p90"`
 	Max    float64 `json:"max"`
+}
+
+// summaryJSON is the wire form of Summary: pointer fields express "no
+// data" as null.
+type summaryJSON struct {
+	Count  int      `json:"count"`
+	Mean   *float64 `json:"mean"`
+	Std    *float64 `json:"std"`
+	Min    *float64 `json:"min"`
+	Median *float64 `json:"median"`
+	P90    *float64 `json:"p90"`
+	Max    *float64 `json:"max"`
+}
+
+// MarshalJSON renders a Count-zero summary with null statistics.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	out := summaryJSON{Count: s.Count}
+	if s.Count > 0 {
+		out.Mean, out.Std, out.Min = &s.Mean, &s.Std, &s.Min
+		out.Median, out.P90, out.Max = &s.Median, &s.P90, &s.Max
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON accepts both the null form and plain numbers.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var in summaryJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*s = Summary{Count: in.Count}
+	deref := func(p *float64) float64 {
+		if p == nil {
+			return 0
+		}
+		return *p
+	}
+	s.Mean, s.Std, s.Min = deref(in.Mean), deref(in.Std), deref(in.Min)
+	s.Median, s.P90, s.Max = deref(in.Median), deref(in.P90), deref(in.Max)
+	return nil
 }
 
 // ReportCell aggregates the trials of one (protocol, size) pair: every
@@ -31,6 +75,10 @@ type ReportCell struct {
 	Steps      Summary       `json:"steps"`
 	Stabilized Summary       `json:"stabilized"`
 	Failures   int           `json:"failures"`
+	// Metrics holds the values of the experiment's Metric aggregations,
+	// keyed by metric label. Only metrics with at least one sample in the
+	// cell appear; absent without configured metrics.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // ReportRow is one protocol's line of the experiment: its Table 1
@@ -57,6 +105,10 @@ type Report struct {
 	Trials   int         `json:"trials"`
 	Scenario Scenario    `json:"scenario"`
 	Rows     []ReportRow `json:"rows"`
+	// Metrics lists the labels of the experiment's configured Metric
+	// aggregations, in configuration order; per-cell values live in
+	// ReportCell.Metrics. Absent without configured metrics.
+	Metrics []string `json:"metrics,omitempty"`
 }
 
 // Exponents maps each protocol name to its fitted scaling exponent (0 when
@@ -98,6 +150,39 @@ func (r *Report) Markdown() string {
 	b.WriteString("\n### Table 1 reproduction\n\n")
 	b.WriteString(harness.SummaryTable(rows, cells, statesAt))
 	fmt.Fprintf(&b, "\nTrials per cell: %d.\n", r.Trials)
+	for _, label := range r.Metrics {
+		b.WriteString(r.metricTable(label))
+	}
+	return b.String()
+}
+
+// metricTable renders one metric as a protocol × size table; cells without
+// the metric render as missing.
+func (r *Report) metricTable(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n### Metric: %s\n\n", label)
+	b.WriteString("| protocol |")
+	for _, n := range r.Sizes {
+		fmt.Fprintf(&b, " n=%d |", n)
+	}
+	b.WriteString("\n|---|")
+	b.WriteString(strings.Repeat("---|", len(r.Sizes)))
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "| %s |", row.Protocol.Name)
+		for i := range r.Sizes {
+			if i >= len(row.Cells) {
+				b.WriteString(" — |")
+				continue
+			}
+			if v, ok := row.Cells[i].Metrics[label]; ok {
+				fmt.Fprintf(&b, " %.4g |", v)
+			} else {
+				b.WriteString(" — |")
+			}
+		}
+		b.WriteString("\n")
+	}
 	return b.String()
 }
 
@@ -136,13 +221,13 @@ func (r *Report) CSV() ([]byte, error) {
 				strconv.Itoa(c.N),
 				strconv.Itoa(len(c.Trials)),
 				strconv.Itoa(c.Failures),
-				formatFloat(c.Steps.Mean),
-				formatFloat(c.Steps.Median),
-				formatFloat(c.Steps.P90),
-				formatFloat(c.Steps.Min),
-				formatFloat(c.Steps.Max),
-				formatFloat(c.Steps.Std),
-				formatFloat(c.Stabilized.Mean),
+				summaryField(c.Steps, c.Steps.Mean),
+				summaryField(c.Steps, c.Steps.Median),
+				summaryField(c.Steps, c.Steps.P90),
+				summaryField(c.Steps, c.Steps.Min),
+				summaryField(c.Steps, c.Steps.Max),
+				summaryField(c.Steps, c.Steps.Std),
+				summaryField(c.Stabilized, c.Stabilized.Mean),
 				exp,
 			}
 			if err := w.Write(record); err != nil {
@@ -159,4 +244,13 @@ func (r *Report) CSV() ([]byte, error) {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// summaryField renders one statistic of s, or an empty field when the
+// summary has no data (a failure-only cell) — the CSV form of "null".
+func summaryField(s Summary, v float64) string {
+	if s.Count == 0 {
+		return ""
+	}
+	return formatFloat(v)
 }

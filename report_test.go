@@ -88,6 +88,64 @@ func TestReportGoldenCSV(t *testing.T) {
 	}
 }
 
+// failureReport is a report whose every trial fails: a 1-step budget
+// cannot reach S_PL, so each cell has trials but zero converged ones.
+func failureReport(t *testing.T) *repro.Report {
+	t.Helper()
+	rep, err := repro.NewExperiment().
+		ProtocolNames("ppl").
+		Sizes(8, 16).
+		Trials(2).
+		Scenario(repro.Scenario{Budget: repro.Budget{MaxSteps: 1}}).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestReportGoldenFailureOnly pins the rendering of cells with zero
+// converged trials: summaries are explicit nulls in JSON and empty fields
+// in CSV — never stale zeros that read like measured values.
+func TestReportGoldenFailureOnly(t *testing.T) {
+	rep := failureReport(t)
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_failed.json", data)
+	if !strings.Contains(string(data), `"mean": null`) {
+		t.Fatalf("failure-only summary not null in JSON:\n%s", data)
+	}
+	var back repro.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if c := back.Rows[0].Cells[0]; c.Failures != 2 || c.Steps.Count != 0 || c.Steps.Mean != 0 {
+		t.Fatalf("null summaries did not round-trip to zero values: %+v", c)
+	}
+
+	csvData, err := rep.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_failed.csv", csvData)
+	lines := strings.Split(strings.TrimSpace(string(csvData)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("failure CSV:\n%s", csvData)
+	}
+	// protocol,n,trials,failures, then 7 empty statistic fields, then the
+	// (empty) exponent.
+	if !strings.Contains(lines[1], ",2,2,,,,,,,,") {
+		t.Fatalf("failure CSV row carries non-empty statistics: %q", lines[1])
+	}
+
+	md := rep.Markdown()
+	if !strings.Contains(md, "| — |") {
+		t.Fatalf("failure-only cells must render as missing in markdown:\n%s", md)
+	}
+}
+
 // TestReportMarkdownShape covers the rendered layout: heading per
 // scenario, the escaped |Q| column, missing cells for the capped row, and
 // the em-dash for an unfittable exponent.

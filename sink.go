@@ -1,0 +1,190 @@
+package repro
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Sink consumes TrialRecords as trials finish. The Experiment delivers
+// records in completion order, not trial order (each record carries its
+// Trial index), serializes Record calls across worker goroutines, and
+// Closes every attached sink exactly once before Run or Stream returns —
+// on success, on the first error, and on context cancellation alike, so a
+// cancelled sweep still leaves a flushed, well-formed artifact behind. A
+// Record error aborts the experiment and is surfaced by Run/Stream.
+//
+// Implementations used outside an Experiment (a command writing records
+// from its own worker pool, say) must do their own serialization;
+// JSONLSink locks internally and is safe either way.
+type Sink interface {
+	Record(rec TrialRecord) error
+	Close() error
+}
+
+// JSONLSink streams TrialRecords as JSON Lines: one compact JSON object
+// per record, newline-terminated — the bounded-memory artifact form for
+// sweeps too large to hold in a Report. Writes are buffered; Close flushes
+// (and closes the underlying file when the sink opened it). Record and
+// Close are safe for concurrent use.
+type JSONLSink struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	closer io.Closer
+	closed bool
+	count  int64
+}
+
+// NewJSONLSink returns a sink writing records to w. Close flushes buffered
+// records but does not close w — the caller owns it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriter(w)}
+}
+
+// CreateJSONL creates (or truncates) the file at path and returns a sink
+// owning it: Close flushes and closes the file.
+func CreateJSONL(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewJSONLSink(f)
+	s.closer = f
+	return s, nil
+}
+
+// Record implements Sink.
+func (s *JSONLSink) Record(rec TrialRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("repro: JSONLSink is closed")
+	}
+	if _, err := s.bw.Write(data); err != nil {
+		return err
+	}
+	if err := s.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	s.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (s *JSONLSink) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Close implements Sink: it flushes buffered records and closes the
+// underlying file when the sink owns one. Closing twice is a no-op.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.bw.Flush()
+	if s.closer != nil {
+		if cerr := s.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// DecodeTrialRecords streams a JSONL record artifact: fn is called once
+// per line, in file order. Decoding stops at the first malformed line or
+// fn error.
+func DecodeTrialRecords(r io.Reader, fn func(rec TrialRecord) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec TrialRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("repro: record line %d: %w", line, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ReadTrialRecords reads a whole JSONL record artifact into memory.
+func ReadTrialRecords(r io.Reader) ([]TrialRecord, error) {
+	var out []TrialRecord
+	err := DecodeTrialRecords(r, func(rec TrialRecord) error {
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
+}
+
+// sinkSet fans records out to every attached sink under one mutex — the
+// serialization half of the Sink contract — and captures the first error
+// (a failing sink or a failing trial).
+type sinkSet struct {
+	mu    sync.Mutex
+	sinks []Sink
+	err   error
+}
+
+// record delivers rec to every sink in order; after the first error the
+// set goes inert.
+func (ss *sinkSet) record(rec TrialRecord) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.err != nil {
+		return
+	}
+	for _, s := range ss.sinks {
+		if err := s.Record(rec); err != nil {
+			ss.err = fmt.Errorf("repro: sink: %w", err)
+			return
+		}
+	}
+}
+
+// fail records a trial error; the first error wins.
+func (ss *sinkSet) fail(err error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.err == nil {
+		ss.err = err
+	}
+}
+
+func (ss *sinkSet) firstErr() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.err
+}
+
+// close closes every sink once, returning the first close error.
+func (ss *sinkSet) close() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var first error
+	for _, s := range ss.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	ss.sinks = nil
+	return first
+}

@@ -104,7 +104,7 @@ func TestFaultInstallRecordsLeaderChange(t *testing.T) {
 		pred:    func([]flipState) bool { return true },
 		check:   1,
 	}
-	res := te.run(Scenario{Faults: []Fault{{AtStep: 5, Agents: 1}}}, 4, 7, 100)
+	res := te.run(Scenario{Faults: []Fault{{AtStep: 5, Agents: 1}}}, 4, 7, 100, "flip", nil)
 	if res.Steps != 5 {
 		t.Fatalf("trial ended at step %d, want the install step 5", res.Steps)
 	}
