@@ -21,6 +21,12 @@ const (
 	// periodic full-configuration predicate (checkEvery ≈ n/2): the
 	// pre-tracker baseline, kept as the comparison point.
 	BenchScan BenchMode = "scan"
+	// BenchInterned measures a run to convergence through the interned
+	// table-lookup execution layer (the trial default since the interned
+	// engine landed): transitions, leader accounting and tracker updates
+	// replayed as table loads, with transparent generic fallback when the
+	// interner's capacity cap is exceeded.
+	BenchInterned BenchMode = "interned"
 )
 
 // BenchResult is one measurement of the performance-baseline pipeline
@@ -39,6 +45,10 @@ type BenchResult struct {
 	// Converged reports whether the convergence modes hit their predicate
 	// within the budget; always true for BenchRaw.
 	Converged bool `json:"converged"`
+	// Fallback reports, for BenchInterned rows, that the interner's
+	// capacity cap was exceeded and the run completed on the generic path
+	// (P_PL at large n); absent for every other mode.
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // Record converts the measurement to the streaming TrialRecord form, so
@@ -67,6 +77,7 @@ type benchRunner interface {
 	benchRaw(steps uint64)
 	benchTracked(maxSteps uint64) (uint64, bool)
 	benchScan(maxSteps uint64) (uint64, bool)
+	benchInterned(maxSteps uint64) (steps uint64, converged, interned bool)
 	stepCount() uint64
 }
 
@@ -80,7 +91,8 @@ type benchable interface {
 
 // RunBenchmark executes one perf-baseline measurement: protocol name (a
 // registered built-in), requested ring size (FixSize-adjusted
-// internally), scheduler seed, scenario, and mode. rawSteps is the step
+// internally), scheduler seed, scenario, and mode — BenchRaw, BenchTracked,
+// BenchScan or BenchInterned. rawSteps is the step
 // budget of BenchRaw and ignored by the convergence modes, which run to
 // the scenario's budget. Fault-schedule scenarios are rejected: the modes
 // time a single uninterrupted run phase, so a burst schedule would be
@@ -120,6 +132,11 @@ func RunBenchmark(name string, n int, seed uint64, sc Scenario, mode BenchMode, 
 	case BenchScan:
 		_, res.Converged = ru.benchScan(maxSteps)
 		res.Steps = ru.stepCount()
+	case BenchInterned:
+		var interned bool
+		_, res.Converged, interned = ru.benchInterned(maxSteps)
+		res.Steps = ru.stepCount()
+		res.Fallback = !interned
 	default:
 		return BenchResult{}, fmt.Errorf("repro: unknown bench mode %q", mode)
 	}

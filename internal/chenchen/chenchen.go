@@ -274,6 +274,42 @@ func (ru *Runner) SetStates(cfg []State) {
 // Engine exposes the underlying engine.
 func (ru *Runner) Engine() *population.Engine[State] { return ru.eng }
 
+// InternEnv adapts the runner's flag census to the interned execution
+// layer (population.EnvSpec). The transition reads the census only through
+// the sign pattern of its three counters — Clean() and the orphan-cleanup
+// guards are all emptiness tests — so eight transition tables cover every
+// census view, and per-transition flag-count deltas replace the engine
+// observer that maintains the census on the generic path.
+func (ru *Runner) InternEnv() *population.EnvSpec[State] {
+	return &population.EnvSpec[State]{
+		Keys: 8,
+		Key: func() uint32 {
+			var k uint32
+			if ru.census.Anchors > 0 {
+				k |= 1
+			}
+			if ru.census.Walkers > 0 {
+				k |= 2
+			}
+			if ru.census.Retractors > 0 {
+				k |= 4
+			}
+			return k
+		},
+		Delta: func(lb, rb, la, ra State) uint32 {
+			da := btoi(la.Anchor) - btoi(lb.Anchor) + btoi(ra.Anchor) - btoi(rb.Anchor)
+			dw := btoi(la.Walker) - btoi(lb.Walker) + btoi(ra.Walker) - btoi(rb.Walker)
+			dr := btoi(la.Retract) - btoi(lb.Retract) + btoi(ra.Retract) - btoi(rb.Retract)
+			return uint32(da+2) | uint32(dw+2)<<3 | uint32(dr+2)<<6
+		},
+		Apply: func(d uint32) {
+			ru.census.Anchors += int(d&7) - 2
+			ru.census.Walkers += int(d>>3&7) - 2
+			ru.census.Retractors += int(d>>6&7) - 2
+		},
+	}
+}
+
 func btoi(b bool) int {
 	if b {
 		return 1
@@ -318,6 +354,35 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 				m |= agentLiveBullet
 			}
 			return m
+		},
+		Gate: func(c population.LocalCounts) bool {
+			if c.Agent[0] != 1 || c.Agent[1] > 1 {
+				return false
+			}
+			walkers, retractors := c.Agent[2], c.Agent[3]
+			return (walkers == 1 && retractors == 0) || (walkers == 0 && retractors <= 1)
+		},
+		Residual: func(c population.LocalCounts, cfg []State) (bool, population.Witness) {
+			n := len(cfg)
+			k := c.AgentPos[0] // the unique leader's index
+			if c.Agent[2] == 1 && c.Agent[3] == 0 && c.Agent[1] == 1 {
+				pa := ((c.AgentPos[1]-k)%n + n) % n // the unique anchor
+				pw := ((c.AgentPos[2]-k)%n + n) % n // the unique walker
+				if pa > pw {
+					// Leader-relative ordering of three single points; it
+					// re-evaluates in O(1), so the trivial witness (re-check
+					// after every interaction) costs nothing. It lives here
+					// rather than in the gate only because it needs n.
+					return false, population.WholeRing(n)
+				}
+			}
+			if c.Agent[4] == 0 {
+				return true, population.Witness{}
+			}
+			if ok, off := war.PeacefulPrefix(cfg, k, func(s State) war.State { return s.War }); !ok {
+				return false, population.IntervalWitness(n, k, off, k)
+			}
+			return true, population.Witness{}
 		},
 		Converged: func(c population.LocalCounts, cfg []State) bool {
 			if c.Agent[0] != 1 || c.Agent[1] > 1 {

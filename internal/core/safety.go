@@ -182,73 +182,100 @@ func (p Params) IsSafe(cfg []State) bool {
 // unique leader sits at k. It is shared by the scan predicate IsSafe and
 // the incremental tracker's residual (SafetySpec).
 func (p Params) safeTail(cfg []State, k int) bool {
-	n := len(cfg)
-	zeta := p.Zeta()
-	mask := (uint64(1) << uint(p.Psi)) - 1
+	ok, _ := p.safeTailWitness(cfg, k)
+	return ok
+}
 
-	// Segment IDs of the full segments S_0 .. S_{ζ-2}, leader-relative.
+// safeTailWitness is safeTail with a failure witness: the returned interval
+// covers every agent the first failing check read (a consecutive segment
+// pair's b bits, or a token plus its working pair's b bits), anchored at
+// the leader. While those agents are untouched and the leader stays put,
+// the check — and therefore safeTail — keeps failing, which is what lets
+// the incremental tracker skip the O(n) re-scan on almost every step of
+// the long construction phase.
+func (p Params) safeTailWitness(cfg []State, k int) (bool, population.Witness) {
+	n := len(cfg)
+	psi := p.Psi
+	zeta := p.Zeta()
+	mask := (uint64(1) << uint(psi)) - 1
+
+	// Segment IDs of the full segments S_0 .. S_{ζ-2}, leader-relative. A
+	// failing pair (S_j, S_{j+1}) read the b bits of the 2ψ agents at
+	// leader-relative positions [jψ, (j+2)ψ).
 	for j := 0; j+1 <= zeta-2; j++ {
-		a := segmentID(cfg, (k+j*p.Psi)%n, p.Psi)
-		b := segmentID(cfg, (k+(j+1)*p.Psi)%n, p.Psi)
+		a := segmentID(cfg, (k+j*psi)%n, psi)
+		b := segmentID(cfg, (k+(j+1)*psi)%n, psi)
 		if b != (a+1)&mask {
-			return false
+			return false, population.IntervalWitness(n, k+j*psi, 2*psi-1, k)
 		}
 	}
 
 	for i := 0; i < n; i++ {
 		v := cfg[(k+i)%n]
-		if !v.TokB.None() && !p.tokenSound(cfg, k, i, v.TokB, 0) {
-			return false
+		if !v.TokB.None() {
+			if ok, lo, hi := p.tokenSoundSpan(cfg, k, i, v.TokB, 0); !ok {
+				return false, population.IntervalWitness(n, k+lo, hi-lo, k)
+			}
 		}
-		if !v.TokW.None() && !p.tokenSound(cfg, k, i, v.TokW, p.Psi) {
-			return false
+		if !v.TokW.None() {
+			if ok, lo, hi := p.tokenSoundSpan(cfg, k, i, v.TokW, psi); !ok {
+				return false, population.IntervalWitness(n, k+lo, hi-lo, k)
+			}
 		}
 	}
-	return true
+	return true, population.Witness{}
 }
 
-// tokenSound reports whether a token held by the agent at leader-relative
-// index i is valid (on its trajectory, Definition 3.3 corrected),
-// attributable to a working segment pair (S_j, S_{j+1}), and correct
-// (Definition 4.3 / Lemma 4.4: its payload matches the sum bit and carry of
-// ι(S_j)+1 at its current round). d is 0 for black tokens and ψ for white.
-// The configuration must be in C_DL and k must be the leader index.
-func (p Params) tokenSound(cfg []State, k, i int, t Token, d int) bool {
+// tokenSoundSpan reports whether a token held by the agent at
+// leader-relative index i is valid (on its trajectory, Definition 3.3
+// corrected), attributable to a working segment pair (S_j, S_{j+1}), and
+// correct (Definition 4.3 / Lemma 4.4: its payload matches the sum bit and
+// carry of ι(S_j)+1 at its current round). d is 0 for black tokens and ψ
+// for white. The configuration must be in C_DL and k must be the leader
+// index.
+//
+// On failure the returned [lo, hi] (leader-relative, inclusive) covers
+// every agent the verdict read: always the token holder i, plus — once the
+// working pair is determined — the b bits of S_j the payload was checked
+// against. Structural failures (off-trajectory, no working pair) depend on
+// the token alone, so their span is just {i}.
+func (p Params) tokenSoundSpan(cfg []State, k, i int, t Token, d int) (bool, int, int) {
 	n := len(cfg)
 	psi := p.Psi
 	zeta := p.Zeta()
 	if i >= psi*(zeta-1) {
-		return false // tokens must not sit in the last segment
+		return false, i, i // tokens must not sit in the last segment
 	}
 
 	var j, x int // working pair (S_j, S_{j+1}), round x
 	if t.Pos > 0 {
 		target := i + int(t.Pos)
 		if target < psi || target >= n {
-			return false
+			return false, i, i
 		}
 		x = (target - psi) % psi
 		j = (target - psi - x) / psi
 	} else {
 		target := i + int(t.Pos)
 		if target < 0 {
-			return false
+			return false, i, i
 		}
 		off := target % psi
 		if off == 0 {
-			return false // left targets are interior to a segment
+			return false, i, i // left targets are interior to a segment
 		}
 		j = target / psi
 		x = off - 1
 	}
 	if j < 0 || j > zeta-2 {
-		return false
+		return false, i, i
 	}
 	if (j%2 == 0) != (d == 0) {
-		return false // segment color must match token color
+		return false, i, i // segment color must match token color
 	}
 
-	// Expected payload: the round-x sum bit and carry of ι(S_j) + 1.
+	// Expected payload: the round-x sum bit and carry of ι(S_j) + 1, read
+	// from the b bits at leader-relative [jψ, jψ+x].
 	carryIn := uint8(1)
 	for tt := 0; tt < x; tt++ {
 		if cfg[(k+j*psi+tt)%n].B == 0 {
@@ -259,7 +286,17 @@ func (p Params) tokenSound(cfg []State, k, i int, t Token, d int) bool {
 	bx := cfg[(k+j*psi+x)%n].B
 	expBit := bx ^ carryIn
 	expCarry := carryIn & bx
-	return t.Bit == expBit && t.Carry == expCarry
+	if t.Bit == expBit && t.Carry == expCarry {
+		return true, 0, 0
+	}
+	lo, hi := j*psi, j*psi+x
+	if i < lo {
+		lo = i
+	}
+	if i > hi {
+		hi = i
+	}
+	return false, lo, hi
 }
 
 // SafetySpec is the delta-decomposed form of IsSafe for incremental
@@ -312,14 +349,28 @@ func (p Params) SafetySpec() population.RingSpec[State] {
 			}
 			return m
 		},
+		Gate: func(c population.LocalCounts) bool {
+			// With exactly one leader, an intact distance chain and a single
+			// correctly sized last-flag block ending at the leader, the
+			// configuration is in C_DL up to peacefulness.
+			return c.Agent[0] == 1 && c.Arc[0] == 0 && c.Arc[1] == 0 && c.Agent[1] == expectLast
+		},
+		Residual: func(c population.LocalCounts, cfg []State) (bool, population.Witness) {
+			// c.AgentPos[0] names the unique leader in O(1).
+			k := c.AgentPos[0]
+			if c.Agent[2] > 0 {
+				if ok, off := war.PeacefulPrefix(cfg, k, func(s State) war.State { return s.War }); !ok {
+					// The peacefulness walk read offsets 0..off from the
+					// leader and the leader's shield.
+					return false, population.IntervalWitness(len(cfg), k, off, k)
+				}
+			}
+			return p.safeTailWitness(cfg, k)
+		},
 		Converged: func(c population.LocalCounts, cfg []State) bool {
 			if c.Agent[0] != 1 || c.Arc[0] != 0 || c.Arc[1] != 0 || c.Agent[1] != expectLast {
 				return false
 			}
-			// Local gate open: with exactly one leader, an intact distance
-			// chain and a single correctly sized last-flag block ending at
-			// the leader, the configuration is in C_DL up to peacefulness.
-			// c.AgentPos[0] names the unique leader in O(1).
 			k := c.AgentPos[0]
 			if c.Agent[2] > 0 && !war.PeacefulWithLeader(cfg, k, func(s State) war.State { return s.War }) {
 				return false

@@ -213,6 +213,44 @@ func (ru *Runner) SetStates(cfg []State) {
 // Engine exposes the underlying engine for stepping and inspection.
 func (ru *Runner) Engine() *population.Engine[State] { return ru.eng }
 
+// InternEnv adapts the runner's oracle to the interned execution layer
+// (population.EnvSpec): the transition reads the oracle only through the
+// two emptiness bits, so four transition tables cover every oracle view,
+// and the per-transition leader/bullet count deltas replace the engine
+// observer that maintains them on the generic path.
+func (ru *Runner) InternEnv() *population.EnvSpec[State] {
+	return &population.EnvSpec[State]{
+		Keys: 4,
+		Key: func() uint32 {
+			var k uint32
+			if ru.leaders == 0 {
+				k |= 1
+			}
+			if ru.bullets == 0 {
+				k |= 2
+			}
+			return k
+		},
+		Delta: func(lb, rb, la, ra State) uint32 {
+			dl := btoi(la.Leader) - btoi(lb.Leader) + btoi(ra.Leader) - btoi(rb.Leader)
+			db := btoi(la.Bullet != war.None) - btoi(lb.Bullet != war.None) +
+				btoi(ra.Bullet != war.None) - btoi(rb.Bullet != war.None)
+			return uint32(dl+2) | uint32(db+2)<<3
+		},
+		Apply: func(d uint32) {
+			ru.leaders += int(d&7) - 2
+			ru.bullets += int(d>>3&7) - 2
+		},
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // StableSpec is the delta-decomposed form of Stable for incremental
 // convergence tracking (population.RingTracker). Stable only constrains
 // global counts — one leader, at most one bullet — and the unique leader's

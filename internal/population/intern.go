@@ -1,0 +1,196 @@
+package population
+
+// This file holds the state-interning primitives of the table-lookup
+// execution layer (see interned.go): a dynamic state interner and a tiered
+// pair table. The paper's headline property — poly-logarithmically many
+// states per agent — means the reachable state space of every protocol we
+// simulate is small compared to the number of interactions executed, so
+// memoizing the pairwise transition per (state, state) pair and replaying
+// it as table loads amortizes the full branchy transition cascade away.
+
+// Interner assigns dense uint32 IDs to distinct states in order of first
+// appearance. It is capacity-capped: protocols whose executions wander
+// through more distinct states than the cap (P_PL at large n, whose state
+// space is poly-log in theory but a large product space in practice) make
+// Intern report failure, and the interned engine falls back to the generic
+// path instead of growing tables without bound.
+type Interner[S comparable] struct {
+	ids  map[S]uint32
+	vals []S
+	max  int
+}
+
+// NewInterner returns an interner capped at max distinct states.
+func NewInterner[S comparable](max int) *Interner[S] {
+	return &Interner[S]{ids: make(map[S]uint32), max: max}
+}
+
+// Intern returns the dense ID of s, minting one on first sight. ok is
+// false when minting would exceed the cap; the interner is unchanged in
+// that case.
+func (in *Interner[S]) Intern(s S) (uint32, bool) {
+	if id, ok := in.ids[s]; ok {
+		return id, true
+	}
+	if len(in.vals) >= in.max {
+		return 0, false
+	}
+	id := uint32(len(in.vals))
+	in.ids[s] = id
+	in.vals = append(in.vals, s)
+	return id, true
+}
+
+// Value returns the state with the given ID.
+func (in *Interner[S]) Value(id uint32) S { return in.vals[id] }
+
+// Len returns the number of distinct states interned so far.
+func (in *Interner[S]) Len() int { return len(in.vals) }
+
+// Cap returns the capacity cap.
+func (in *Interner[S]) Cap() int { return in.max }
+
+// pairTable memoizes a uint64 per ordered ID pair with two tiers. While
+// the interner holds at most denseMax states it is a dense stride×stride
+// array — a lookup is literally one multiply and one load — growing its
+// stride by re-layout as IDs are minted. Beyond denseMax it migrates to an
+// open-addressing hash table (power-of-two capacity, multiplicative
+// hashing, linear probing), whose memory tracks the pairs actually seen
+// instead of the square of the state count. Values use bit 63 as the
+// present flag, so a zero dense cell and an empty hash slot both read as a
+// miss.
+type pairTable struct {
+	denseMax int
+	stride   int // dense tier: current stride (power of two); 0 once hashed
+	dense    []uint64
+	keys     []uint64 // hashed tier: packed (l<<32 | r), emptyKey when free
+	hvals    []uint64
+	used     int
+}
+
+const (
+	pairPresent = uint64(1) << 63
+	emptyKey    = ^uint64(0) // unreachable: IDs are far below 1<<32
+)
+
+// newPairTable returns a table that stays dense while the interner holds
+// at most denseMax states.
+func newPairTable(denseMax int) pairTable {
+	return pairTable{denseMax: denseMax}
+}
+
+// get returns the memoized value for (l, r), if present.
+func (t *pairTable) get(l, r uint32) (uint64, bool) {
+	if t.stride != 0 || t.keys == nil {
+		if int(l) >= t.stride || int(r) >= t.stride {
+			return 0, false
+		}
+		v := t.dense[int(l)*t.stride+int(r)]
+		return v, v&pairPresent != 0
+	}
+	key := uint64(l)<<32 | uint64(r)
+	mask := uint64(len(t.keys) - 1)
+	for i := pairHash(key) & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case key:
+			return t.hvals[i], true
+		case emptyKey:
+			return 0, false
+		}
+	}
+}
+
+// pairHash mixes both halves of the packed pair key down into the low bits
+// the power-of-two mask keeps (the low half of a product depends only on
+// the low half of the key, which would make every pair with the same right
+// ID collide).
+func pairHash(key uint64) uint64 {
+	h := key * 0x9e3779b97f4a7c15
+	return h ^ h>>32
+}
+
+// put memoizes v for (l, r). nStates is the interner's current size; it
+// drives dense growth and the dense→hashed migration. v must not have bit
+// 63 set — put owns the present flag.
+func (t *pairTable) put(l, r uint32, v uint64, nStates int) {
+	v |= pairPresent
+	if t.keys == nil {
+		if nStates <= t.denseMax {
+			if need := max(int(l), int(r)) + 1; need > t.stride || t.stride == 0 {
+				t.growDense(nStates)
+			}
+			t.dense[int(l)*t.stride+int(r)] = v
+			t.used++
+			return
+		}
+		t.migrate()
+	}
+	if t.used >= len(t.keys)*3/4 {
+		t.growHash(len(t.keys) * 2)
+	}
+	t.insertHash(uint64(l)<<32|uint64(r), v)
+	t.used++
+}
+
+// growDense re-lays the dense tier out at the next power-of-two stride
+// covering nStates IDs.
+func (t *pairTable) growDense(nStates int) {
+	stride := 16
+	for stride < nStates {
+		stride *= 2
+	}
+	if stride <= t.stride {
+		return
+	}
+	dense := make([]uint64, stride*stride)
+	for l := 0; l < t.stride; l++ {
+		copy(dense[l*stride:l*stride+t.stride], t.dense[l*t.stride:(l+1)*t.stride])
+	}
+	t.dense, t.stride = dense, stride
+}
+
+// migrate moves every dense entry into a fresh hash tier.
+func (t *pairTable) migrate() {
+	cap := 1024
+	for cap < t.used*2 {
+		cap *= 2
+	}
+	t.keys = make([]uint64, cap)
+	t.hvals = make([]uint64, cap)
+	for i := range t.keys {
+		t.keys[i] = emptyKey
+	}
+	for l := 0; l < t.stride; l++ {
+		for r := 0; r < t.stride; r++ {
+			if v := t.dense[l*t.stride+r]; v&pairPresent != 0 {
+				t.insertHash(uint64(l)<<32|uint64(r), v)
+			}
+		}
+	}
+	t.dense, t.stride = nil, 0
+}
+
+func (t *pairTable) growHash(cap int) {
+	oldKeys, oldVals := t.keys, t.hvals
+	t.keys = make([]uint64, cap)
+	t.hvals = make([]uint64, cap)
+	for i := range t.keys {
+		t.keys[i] = emptyKey
+	}
+	for i, k := range oldKeys {
+		if k != emptyKey {
+			t.insertHash(k, oldVals[i])
+		}
+	}
+}
+
+func (t *pairTable) insertHash(key, v uint64) {
+	mask := uint64(len(t.keys) - 1)
+	for i := pairHash(key) & mask; ; i = (i + 1) & mask {
+		if t.keys[i] == emptyKey || t.keys[i] == key {
+			t.keys[i] = key
+			t.hvals[i] = v
+			return
+		}
+	}
+}

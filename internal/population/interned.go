@@ -1,0 +1,606 @@
+package population
+
+// The interned execution layer: an Engine wrapper that replays interactions
+// as table loads. States are interned into dense uint32 IDs (intern.go),
+// the pairwise transition is memoized per (idL, idR) — per environment key
+// for oracle protocols — and the memo entry carries everything the engine's
+// bookkeeping needs precomputed: the successor IDs, whether the leader set
+// changed and by how much, and the transition's effect on the oracle's
+// backing counters. Convergence tracking is mirrored at the ID level too:
+// per-ID agent masks and a per-ID-pair arc-mask table replace the RingSpec
+// mask closures, so a RingTracker-equivalent update is a handful of array
+// loads.
+//
+// The layer is a pure accelerator: arc draws use the same batched RNG
+// stream (including the engine's pending-draw buffer), the step counter,
+// leader accounting, leader hook, tracker counts, witness caching and
+// hitting times are bit-for-bit identical to the generic path, and when the
+// interner's capacity cap is exceeded mid-run the engine falls back to the
+// generic path transparently — the already-drawn arc is executed
+// generically, remaining pre-drawn arcs stay pending, and the run continues
+// on the exact same scheduler stream.
+
+// EnvSpec adapts a protocol whose transition reads a small global
+// environment derived from global counters — the Fischer–Jiang Ω? oracle
+// view, the Chen–Chen flag census — to the interned layer. The transition
+// must depend on the environment only through Key (a small dense key), and
+// its effect on the environment's backing counters must be expressible as
+// a per-transition delta: the interned hot path calls Apply(delta) instead
+// of dispatching the engine observer that maintains the counters on the
+// generic path, so Delta/Apply must replicate that observer exactly.
+type EnvSpec[S any] struct {
+	// Keys is the number of distinct environment keys; one transition table
+	// is kept per key.
+	Keys int
+	// Key returns the current environment key in [0, Keys).
+	Key func() uint32
+	// Delta encodes the transition's effect on the environment's backing
+	// counters in at most 11 bits (the memo entry's spare field).
+	Delta func(lb, rb, la, ra S) uint32
+	// Apply applies an encoded delta to the backing counters.
+	Apply func(delta uint32)
+}
+
+// InternOptions tunes the interned layer's capacity caps.
+type InternOptions struct {
+	// MaxStates caps the interner; once an execution needs more distinct
+	// states the engine permanently falls back to the generic path.
+	// 0 selects DefaultMaxStates.
+	MaxStates int
+	// DenseStates caps the dense table tier; beyond it pair tables switch
+	// to hashing (see pairTable). 0 selects DefaultDenseStates.
+	DenseStates int
+}
+
+const (
+	// DefaultMaxStates is deliberately small: measured across the six
+	// built-ins, table lookups beat recomputing the transition only while
+	// the tables stay cache-resident — the O(1)-state regime (the war-based
+	// baselines at ~24–200 reachable states, P_OR at ~100). Protocols that
+	// wander past the cap (P_PL's product state space, the O(n)-state [28]
+	// baseline) fall back within their first few thousand steps, before the
+	// cold-fill cost amounts to anything; callers with a protocol they know
+	// reuses a larger space can raise the cap through InternOptions.
+	DefaultMaxStates = 256
+	// DefaultDenseStates keeps the dense tier's stride² array at or below
+	// 512² entries (2 MiB) and its growth re-layouts cheap. At the default
+	// state cap every table stays dense; the hashed tier serves callers who
+	// raise MaxStates past it.
+	DefaultDenseStates = 512
+)
+
+// Adaptive reuse guard: interning only pays when (state, state) pairs
+// repeat, i.e. when the reachable state space is small relative to the
+// run — the poly-log regime. A run that keeps missing the tables (P_PL's
+// product state space, the O(n)-state baselines at sizes whose runs are
+// too short to amortize the fills) pays the full transition PLUS the
+// memoization on every step, so after adaptStrikes consecutive windows of
+// adaptWindow steps with more than 1-in-adaptMissDiv misses the engine
+// falls back to the generic path, exactly as it does when the capacity cap
+// is hit. The guard reads only deterministic per-run counters, so whether
+// a given seed's run interns or falls back is reproducible — and either
+// way bit-identical.
+const (
+	adaptWindow  = 2048
+	adaptMissDiv = 4 // bail threshold: more than window/4 misses
+	adaptStrikes = 3
+)
+
+// Memo-entry layout (pairTable values).
+const (
+	idBits            = 24
+	idMask            = 1<<idBits - 1
+	flagLeaderChanged = uint64(1) << 48
+	leaderDeltaShift  = 49 // 3 bits, biased by +2
+	envDeltaShift     = 52 // 11 bits, EnvSpec.Delta encoding
+	envDeltaMask      = 1<<11 - 1
+)
+
+// Accelerator is the state-type-free face of an InternedEngine, which is
+// what the protocol wiring stores next to its generic engine.
+type Accelerator interface {
+	// Run executes exactly steps scheduler steps (interned when possible).
+	Run(steps uint64)
+	// RunUntilConverged runs to the spec's convergence with exact hitting
+	// times, mirroring Engine.RunUntilConverged.
+	RunUntilConverged(maxSteps uint64) (uint64, bool)
+	// SampleCounts exports the named tracker channel counts, exactly as the
+	// generic RingTracker's CountSampler would.
+	SampleCounts(dst map[string]float64)
+	// Interned reports whether the layer is still interning (false once the
+	// capacity cap forced the generic fallback).
+	Interned() bool
+}
+
+// InternedEngine wraps an Engine with the interned execution layer. It
+// shares the engine's state slice, RNG, step counter and leader accounting;
+// only the inner loop differs.
+type InternedEngine[S comparable] struct {
+	*Engine[S]
+	spec    RingSpec[S]
+	env     *EnvSpec[S]
+	generic ConvergenceTracker[S]
+
+	in    *Interner[S]
+	ids   []uint32 // per-agent interned ID, mirror of Engine.states
+	idsOK bool
+	idGen uint64 // Engine.installGen the mirror was built at
+
+	leaderBit []bool  // per ID: isLeader
+	amask     []uint8 // per ID: RingSpec.AgentMask
+	trans     []pairTable
+	arcs      pairTable
+
+	// RingTracker mirror at the ID level.
+	arcBits   []uint8
+	agentBits []uint8
+	counts    LocalCounts
+	mirrorOK  bool
+	wc        witnessCache
+
+	// Adaptive reuse guard counters (see adaptWindow).
+	winSteps  int
+	winMisses int
+	strikes   int
+
+	fellBack bool
+}
+
+// NewInterned attaches the interned layer to e. spec is the same RingSpec
+// the generic tracker uses (masks are memoized per ID, the verdict —
+// including Gate/Residual witness caching — is shared); generic is the
+// tracker installed on capacity fallback; env adapts oracle protocols and
+// is nil for pure pairwise transitions. When env is nil and an observer is
+// installed on e, every run delegates to the generic path — observation
+// means per-interaction dispatch the interned loop does not do. When env
+// is non-nil, the engine's observer is by contract the env-counter
+// maintainer and is replaced by EnvSpec.Apply on the interned path.
+func NewInterned[S comparable](e *Engine[S], spec RingSpec[S], env *EnvSpec[S], generic ConvergenceTracker[S], opts InternOptions) *InternedEngine[S] {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	if opts.MaxStates > 1<<idBits {
+		// Memo entries pack successor IDs into idBits-wide fields; a cap
+		// beyond that would silently truncate IDs instead of falling back.
+		opts.MaxStates = 1 << idBits
+	}
+	if opts.DenseStates <= 0 {
+		opts.DenseStates = DefaultDenseStates
+	}
+	keys := 1
+	if env != nil {
+		if env.Keys < 1 || env.Key == nil || env.Delta == nil || env.Apply == nil {
+			panic("population: EnvSpec needs Keys >= 1 and Key/Delta/Apply")
+		}
+		keys = env.Keys
+	}
+	g := &InternedEngine[S]{
+		Engine:  e,
+		spec:    spec,
+		env:     env,
+		generic: generic,
+		in:      NewInterner[S](opts.MaxStates),
+		trans:   make([]pairTable, keys),
+	}
+	for i := range g.trans {
+		g.trans[i] = newPairTable(opts.DenseStates)
+	}
+	g.arcs = newPairTable(opts.DenseStates)
+	return g
+}
+
+// Interned implements Accelerator.
+func (g *InternedEngine[S]) Interned() bool { return !g.fellBack }
+
+// States returns the number of distinct states interned so far (0 after
+// fallback) — a diagnostic for tests and benchmarks.
+func (g *InternedEngine[S]) States() int {
+	if g.fellBack {
+		return 0
+	}
+	return g.in.Len()
+}
+
+// prepare readies the interned path: leaders recounted, the ID mirror
+// rebuilt if states were installed since it was last valid. It reports
+// false when the run must take the generic path instead (fallback already
+// happened, an observer demands dispatch, or re-interning overflowed the
+// cap).
+func (g *InternedEngine[S]) prepare() bool {
+	if g.fellBack {
+		return false
+	}
+	e := g.Engine
+	if e.observer != nil && g.env == nil {
+		return false
+	}
+	if e.leaderDirty {
+		e.recountLeaders()
+	}
+	if !g.idsOK || g.idGen != e.installGen {
+		if !g.reintern() {
+			return false
+		}
+	}
+	return true
+}
+
+// reintern rebuilds the per-agent ID mirror from the engine's states.
+func (g *InternedEngine[S]) reintern() bool {
+	e := g.Engine
+	if g.ids == nil {
+		g.ids = make([]uint32, e.topo.N)
+	}
+	for i, s := range e.states {
+		id, ok := g.in.Intern(s)
+		if !ok {
+			g.fall()
+			return false
+		}
+		g.ids[i] = id
+	}
+	g.syncIDMeta()
+	g.idsOK, g.idGen = true, e.installGen
+	g.mirrorOK = false
+	return true
+}
+
+// syncIDMeta extends the per-ID precomputed leader bits and agent masks to
+// cover newly minted IDs.
+func (g *InternedEngine[S]) syncIDMeta() {
+	e := g.Engine
+	for id := len(g.amask); id < g.in.Len(); id++ {
+		s := g.in.vals[id]
+		lead := e.isLeader != nil && e.isLeader(s)
+		g.leaderBit = append(g.leaderBit, lead)
+		var m uint8
+		if g.spec.AgentMask != nil {
+			m = g.spec.AgentMask(s)
+		}
+		g.amask = append(g.amask, m)
+	}
+}
+
+// fall abandons the interned layer permanently, releasing its tables.
+func (g *InternedEngine[S]) fall() {
+	g.fellBack = true
+	g.in = nil
+	g.ids = nil
+	g.idsOK = false
+	g.trans = nil
+	g.arcs = pairTable{}
+	g.leaderBit, g.amask = nil, nil
+	g.arcBits, g.agentBits = nil, nil
+	g.mirrorOK = false
+}
+
+// fill computes, interns and memoizes the transition of (idL, idR) under
+// env key. ok is false when interning a successor would exceed the cap.
+func (g *InternedEngine[S]) fill(key uint32, idL, idR uint32) (uint64, bool) {
+	e := g.Engine
+	lb, rb := g.in.vals[idL], g.in.vals[idR]
+	la, ra := e.trans(lb, rb)
+	l2, ok := g.in.Intern(la)
+	if !ok {
+		return 0, false
+	}
+	r2, ok := g.in.Intern(ra)
+	if !ok {
+		return 0, false
+	}
+	g.syncIDMeta()
+	v := uint64(l2) | uint64(r2)<<idBits
+	if e.isLeader != nil {
+		delta := 0
+		changed := false
+		if was, is := g.leaderBit[idL], g.leaderBit[l2]; was != is {
+			changed = true
+			if is {
+				delta++
+			} else {
+				delta--
+			}
+		}
+		if was, is := g.leaderBit[idR], g.leaderBit[r2]; was != is {
+			changed = true
+			if is {
+				delta++
+			} else {
+				delta--
+			}
+		}
+		if changed {
+			v |= flagLeaderChanged | uint64(delta+2)<<leaderDeltaShift
+		}
+	}
+	if g.env != nil {
+		v |= uint64(g.env.Delta(lb, rb, la, ra)&envDeltaMask) << envDeltaShift
+	}
+	g.trans[key].put(idL, idR, v, g.in.Len())
+	return v, true
+}
+
+// applyInterned executes one interaction on the arc (li, ri) through the
+// memo tables, maintaining everything Engine.applyPair does. When mirror
+// is set the tracker mirror is kept in sync too. It reports false after a
+// capacity fallback, in which case the interaction has been executed
+// generically instead (with the generic tracker installed first when
+// mirror was requested, so its Reset precedes and its Update covers the
+// interaction).
+func (g *InternedEngine[S]) applyInterned(li, ri int32, mirror bool) bool {
+	e := g.Engine
+	idL, idR := g.ids[li], g.ids[ri]
+	var key uint32
+	if g.env != nil {
+		key = g.env.Key()
+	}
+	v, ok := g.trans[key].get(idL, idR)
+	if !ok {
+		g.winMisses++
+		if v, ok = g.fill(key, idL, idR); !ok {
+			g.fall()
+			if mirror {
+				e.SetTracker(g.generic)
+			}
+			lb, rb := e.states[li], e.states[ri]
+			e.applyPair(li, ri, lb, rb)
+			if e.observer != nil {
+				// The generic continuation maintains oracle counters through
+				// the engine observer, so the triggering interaction must
+				// dispatch it exactly as applyArc would — otherwise an
+				// EnvSpec protocol's census would permanently miss this one
+				// delta. (Pure protocols with observers never reach here:
+				// prepare() routes them to the generic path up front.)
+				e.observer(int(li), lb, e.states[li])
+				e.observer(int(ri), rb, e.states[ri])
+			}
+			return false
+		}
+	}
+	g.winSteps++
+	l2 := uint32(v) & idMask
+	r2 := uint32(v>>idBits) & idMask
+	e.states[li] = g.in.vals[l2]
+	e.states[ri] = g.in.vals[r2]
+	g.ids[li], g.ids[ri] = l2, r2
+	e.step++
+	if g.env != nil {
+		g.env.Apply(uint32(v>>envDeltaShift) & envDeltaMask)
+	}
+	if v&flagLeaderChanged != 0 {
+		e.leaderCount += int((v>>leaderDeltaShift)&7) - 2
+		e.lastLeaderChange = e.step
+		e.leaderChanges++
+		if e.leaderHook != nil {
+			e.leaderHook(e.step, e.leaderCount)
+		}
+	}
+	if mirror {
+		g.mirrorUpdate(int(li), int(ri), l2, r2)
+	}
+	return true
+}
+
+// reuseBail evaluates the adaptive reuse guard after each completed
+// window and reports whether the run should abandon interning. Callers
+// bail between steps, so the switch is as clean as the capacity fallback.
+func (g *InternedEngine[S]) reuseBail() bool {
+	if g.winSteps < adaptWindow {
+		return false
+	}
+	if g.winMisses > g.winSteps/adaptMissDiv {
+		g.strikes++
+	} else {
+		g.strikes = 0
+	}
+	g.winSteps, g.winMisses = 0, 0
+	return g.strikes >= adaptStrikes
+}
+
+// arcMaskID returns the spec's arc mask for the ring-adjacent ID pair,
+// memoized in the arc table.
+func (g *InternedEngine[S]) arcMaskID(a, b uint32) uint8 {
+	if v, ok := g.arcs.get(a, b); ok {
+		return uint8(v)
+	}
+	m := g.spec.ArcMask(g.in.vals[a], g.in.vals[b])
+	g.arcs.put(a, b, uint64(m), g.in.Len())
+	return m
+}
+
+// ensureMirror (re)builds the tracker mirror from the current
+// configuration — the ID-level equivalent of RingTracker.Reset.
+func (g *InternedEngine[S]) ensureMirror() {
+	if g.mirrorOK {
+		return
+	}
+	n := g.Engine.topo.N
+	if len(g.agentBits) != n {
+		g.agentBits = make([]uint8, n)
+		g.arcBits = make([]uint8, n)
+	}
+	g.counts = LocalCounts{}
+	g.wc.reset()
+	for i := 0; i < n; i++ {
+		var ab, gb uint8
+		if g.spec.ArcMask != nil {
+			ab = g.arcMaskID(g.ids[i], g.ids[(i+1)%n])
+		}
+		if g.spec.AgentMask != nil {
+			gb = g.amask[g.ids[i]]
+		}
+		g.arcBits[i], g.agentBits[i] = ab, gb
+		bumpCounts(&g.counts.Arc, 0, ab)
+		bumpAgentCounts(&g.counts, 0, gb, i)
+	}
+	g.mirrorOK = true
+}
+
+// mirrorUpdate is the ID-level RingTracker.Update: the two touched agents'
+// masks come from the per-ID table, the up to four incident arcs from the
+// arc-pair table.
+func (g *InternedEngine[S]) mirrorUpdate(a, b int, l2, r2 uint32) {
+	n := g.Engine.topo.N
+	g.wc.note(a, b, n)
+	if g.spec.AgentMask != nil {
+		g.refreshAgentID(a, l2)
+		g.refreshAgentID(b, r2)
+	}
+	if g.spec.ArcMask == nil {
+		return
+	}
+	idx := [4]int{prev(a, n), a, prev(b, n), b}
+	for k, arc := range idx {
+		dup := false
+		for j := 0; j < k; j++ {
+			if idx[j] == arc {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			g.refreshArcID(arc)
+		}
+	}
+}
+
+func (g *InternedEngine[S]) refreshAgentID(i int, id uint32) {
+	nw := g.amask[id]
+	if old := g.agentBits[i]; old != nw {
+		g.agentBits[i] = nw
+		bumpAgentCounts(&g.counts, old, nw, i)
+	}
+}
+
+func (g *InternedEngine[S]) refreshArcID(i int) {
+	n := g.Engine.topo.N
+	nw := g.arcMaskID(g.ids[i], g.ids[(i+1)%n])
+	if old := g.arcBits[i]; old != nw {
+		g.arcBits[i] = nw
+		bumpCounts(&g.counts.Arc, old, nw)
+	}
+}
+
+// convergedNow is the spec verdict over the mirrored counts — the same
+// witness-cached protocol as RingTracker.Converged, through the one
+// shared implementation.
+func (g *InternedEngine[S]) convergedNow() bool {
+	return witnessVerdict(&g.wc, &g.spec, g.counts, g.Engine.states)
+}
+
+// Run implements Accelerator: exactly steps scheduler steps, interned when
+// possible, with the identical RNG stream, state trajectory and accounting
+// of Engine.Run.
+func (g *InternedEngine[S]) Run(steps uint64) {
+	if !g.prepare() {
+		// The generic engine advances states without the ID mirror seeing
+		// it (installGen only tracks installs, not interactions), so the
+		// mirror must be rebuilt before any later interned run.
+		g.idsOK = false
+		g.Engine.Run(steps)
+		return
+	}
+	g.mirrorOK = false // not maintained outside convergence runs
+	if rem := g.runSteps(steps, false); rem > 0 {
+		g.Engine.Run(rem)
+	}
+}
+
+// runSteps executes up to steps interned interactions, drawing arcs through
+// the engine's pending buffer in the same batch sizes as the generic paths.
+// It returns the number of steps still owed after a capacity fallback (the
+// already-drawn arc has been executed generically; remaining pre-drawn arcs
+// stay pending, so a generic continuation follows the identical scheduler
+// stream), or 0 on completion.
+func (g *InternedEngine[S]) runSteps(steps uint64, mirror bool) uint64 {
+	e := g.Engine
+	nArcs := len(e.topo.Arcs)
+	for steps > 0 {
+		if e.pendStart == e.pendEnd {
+			batch := uint64(arcBatch)
+			if steps < batch {
+				batch = steps
+			}
+			e.rng.FillIntn(nArcs, e.pendBuf[:batch])
+			e.pendStart, e.pendEnd = 0, int(batch)
+		}
+		arc := e.topo.Arcs[e.pendBuf[e.pendStart]]
+		e.pendStart++
+		steps--
+		if !g.applyInterned(arc[0], arc[1], mirror) {
+			return steps
+		}
+		if g.reuseBail() {
+			g.fall()
+			return steps
+		}
+	}
+	return 0
+}
+
+// RunUntilConverged implements Accelerator, mirroring
+// Engine.RunUntilConverged: the verdict runs after every single step, so
+// hitting times are exact; on mid-batch convergence the remaining pre-drawn
+// arcs stay pending for later runs.
+func (g *InternedEngine[S]) RunUntilConverged(maxSteps uint64) (uint64, bool) {
+	e := g.Engine
+	if !g.prepare() {
+		g.idsOK = false // the generic run advances states past the mirror
+		e.SetTracker(g.generic)
+		return e.RunUntilConverged(maxSteps)
+	}
+	g.ensureMirror()
+	if g.convergedNow() {
+		return e.step, true
+	}
+	nArcs := len(e.topo.Arcs)
+	for e.step < maxSteps {
+		if e.pendStart == e.pendEnd {
+			batch := uint64(arcBatch)
+			if rem := maxSteps - e.step; rem < batch {
+				batch = rem
+			}
+			e.rng.FillIntn(nArcs, e.pendBuf[:batch])
+			e.pendStart, e.pendEnd = 0, int(batch)
+		}
+		arc := e.topo.Arcs[e.pendBuf[e.pendStart]]
+		e.pendStart++
+		if !g.applyInterned(arc[0], arc[1], true) {
+			// Fallback: the generic tracker was installed before the drawn
+			// arc ran, so the generic loop resumes with exact verdicts.
+			return e.RunUntilConverged(maxSteps)
+		}
+		if g.convergedNow() {
+			return e.step, true
+		}
+		if g.reuseBail() {
+			g.fall()
+			e.SetTracker(g.generic)
+			return e.RunUntilConverged(maxSteps)
+		}
+	}
+	return e.step, false
+}
+
+// SampleCounts implements Accelerator: named channel counts over the
+// current configuration, byte-identical to the generic RingTracker's
+// CountSampler output.
+func (g *InternedEngine[S]) SampleCounts(dst map[string]float64) {
+	if g.prepare() {
+		g.ensureMirror()
+		for b, name := range g.spec.ArcNames {
+			if name != "" {
+				dst[name] = float64(g.counts.Arc[b])
+			}
+		}
+		for b, name := range g.spec.AgentNames {
+			if name != "" {
+				dst[name] = float64(g.counts.Agent[b])
+			}
+		}
+		return
+	}
+	if cs, ok := g.generic.(CountSampler); ok {
+		cs.SampleCounts(dst)
+	}
+}

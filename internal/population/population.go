@@ -80,6 +80,12 @@ type Engine[S any] struct {
 	tracker      ConvergenceTracker[S]
 	trackerDirty bool
 
+	// installGen counts bulk/single state installs. The interned execution
+	// layer (interned.go) compares it against the generation its per-agent
+	// ID mirror was built at, so fault bursts installed through
+	// SetStates/SetState are re-interned before the next interned step.
+	installGen uint64
+
 	leaderHook func(step uint64, leaders int)
 
 	// pending holds arc draws made by RunUntilConverged's batched RNG
@@ -149,6 +155,7 @@ func (e *Engine[S]) SetStates(states []S) {
 	copy(e.states, states)
 	e.leaderDirty = true
 	e.trackerDirty = e.tracker != nil
+	e.installGen++
 }
 
 // SetState installs agent i's state. The leader count is not recomputed
@@ -163,6 +170,7 @@ func (e *Engine[S]) SetState(i int, s S) {
 	e.states[i] = s
 	e.leaderDirty = true
 	e.trackerDirty = e.tracker != nil
+	e.installGen++
 }
 
 func (e *Engine[S]) recordLeaderChange() {

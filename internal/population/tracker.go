@@ -59,6 +59,22 @@ type RingSpec[S any] struct {
 	// must be exact: it returns true at precisely the steps where the
 	// protocol's scan predicate would.
 	Converged func(c LocalCounts, cfg []S) bool
+	// Gate and Residual, when both non-nil, split Converged for the
+	// witness-cached hot path: Gate is the pure counter part of the verdict
+	// (O(1), no configuration access) and Residual the non-local remainder,
+	// run only once the gate passes. The invariant every spec must uphold is
+	//
+	//	Converged(c, cfg) == Gate(c) && ok, where ok, _ = Residual(c, cfg)
+	//
+	// at every reachable configuration. On failure Residual returns a
+	// Witness — ring positions its falseness depends on — and the tracker
+	// skips re-running the residual until an interaction touches one of
+	// them, which keeps hitting times exact while amortizing the residual's
+	// scan cost away (for P_PL the local gate is open for most of the long
+	// construction phase, so an unconditional per-step residual scan costs
+	// O(n) per interaction; witness caching reduces it to O(1) amortized).
+	Gate     func(c LocalCounts) bool
+	Residual func(c LocalCounts, cfg []S) (bool, Witness)
 	// ArcNames and AgentNames label the condition channels for
 	// diagnostics: entry b names channel bit b of the arc (respectively
 	// agent) counts. Named channels are surfaced by SampleCounts as
@@ -67,6 +83,103 @@ type RingSpec[S any] struct {
 	// changes nothing about tracking itself.
 	ArcNames   []string
 	AgentNames []string
+}
+
+// Witness records why a RingSpec residual failed: the inclusive interval
+// [Lo, Hi] of ring positions (wrapping when Lo > Hi) covering every agent
+// whose state the failing check read, plus an optional Anchor position the
+// check is pinned to (typically the unique leader the scan walks from;
+// -1 for none). The contract: as long as no interaction touches a position
+// in the interval or the anchor, the residual is guaranteed to keep
+// returning false, so the tracker may answer "not converged" without
+// re-running it. Any touch of the leader is always observable this way —
+// a leader set can only change by flipping some agent's leader bit, which
+// touches that agent — so anchoring at the leader keeps leader-relative
+// witnesses sound across gate flickers.
+type Witness struct {
+	Lo, Hi int32
+	Anchor int32
+}
+
+// WholeRing is the trivial witness: every interaction invalidates it, so
+// the residual re-runs on the next verdict — the behavior specs without
+// witness support had all along. Residuals that cannot localize their
+// failure return it.
+func WholeRing(n int) Witness {
+	return Witness{Lo: 0, Hi: int32(n - 1), Anchor: -1}
+}
+
+// IntervalWitness builds a witness for the wrapped inclusive interval of
+// ring positions [lo, lo+span] anchored at anchor, clamping to the whole
+// ring when the span covers it.
+func IntervalWitness(n, lo, span, anchor int) Witness {
+	if span >= n-1 {
+		return WholeRing(n)
+	}
+	lo = mod(lo, n)
+	return Witness{Lo: int32(lo), Hi: int32(mod(lo+span, n)), Anchor: int32(anchor)}
+}
+
+// contains reports whether ring position i lies in the witness's touch set.
+func (w Witness) contains(i, n int) bool {
+	if int32(i) == w.Anchor {
+		return true
+	}
+	span := w.Hi - w.Lo
+	if span < 0 {
+		span += int32(n)
+	}
+	d := int32(i) - w.Lo
+	if d < 0 {
+		d += int32(n)
+	}
+	return d <= span
+}
+
+// witnessCache is the residual-witness state shared by the two tracker
+// implementations (RingTracker and the interned engine's mirror): while a
+// witness is armed and untouched, the residual is known to still fail and
+// is not re-run. Keeping the protocol in one place keeps the two hitting-
+// time-exact paths in lockstep by construction.
+type witnessCache struct {
+	armed bool
+	dirty bool
+	w     Witness
+}
+
+func (c *witnessCache) reset() { c.armed = false }
+
+// note marks the cache dirty when either touched agent lies in the armed
+// witness's touch set. O(1); called after every interaction.
+func (c *witnessCache) note(a, b, n int) {
+	if c.armed && !c.dirty && (c.w.contains(a, n) || c.w.contains(b, n)) {
+		c.dirty = true
+	}
+}
+
+// witnessVerdict runs the witness-cached Gate/Residual protocol over the
+// current counts and configuration, falling back to the spec's monolithic
+// Converged when the split is absent. It is the single copy of the
+// exactness-critical caching logic behind both RingTracker.Converged and
+// the interned engine's convergedNow (a free function because methods
+// cannot introduce type parameters).
+func witnessVerdict[S any](c *witnessCache, spec *RingSpec[S], counts LocalCounts, cfg []S) bool {
+	if spec.Gate == nil || spec.Residual == nil {
+		return spec.Converged(counts, cfg)
+	}
+	if !spec.Gate(counts) {
+		return false
+	}
+	if c.armed && !c.dirty {
+		return false
+	}
+	ok, w := spec.Residual(counts, cfg)
+	if ok {
+		c.armed = false
+		return true
+	}
+	c.armed, c.dirty, c.w = true, false, w
+	return false
 }
 
 // CountSampler is the diagnostics face of a tracker: it exports the named
@@ -89,6 +202,9 @@ type RingTracker[S any] struct {
 	arcBits   []uint8
 	agentBits []uint8
 	counts    LocalCounts
+
+	// Residual witness cache (see RingSpec.Residual and witnessCache).
+	wc witnessCache
 }
 
 // NewRingTracker returns a tracker for the spec. It is inert until the
@@ -127,6 +243,7 @@ func (t *RingTracker[S]) Reset(cfg []S) {
 		t.agentBits = make([]uint8, n)
 	}
 	t.counts = LocalCounts{}
+	t.wc.reset()
 	for i := 0; i < n; i++ {
 		var ab, gb uint8
 		if t.spec.ArcMask != nil {
@@ -146,6 +263,7 @@ func (t *RingTracker[S]) Reset(cfg []S) {
 func (t *RingTracker[S]) Update(li, ri int32) {
 	n := len(t.cfg)
 	a, b := int(li), int(ri)
+	t.wc.note(a, b, n)
 	if t.spec.AgentMask != nil {
 		t.refreshAgent(a)
 		t.refreshAgent(b)
@@ -169,9 +287,13 @@ func (t *RingTracker[S]) Update(li, ri int32) {
 	}
 }
 
-// Converged implements ConvergenceTracker.
+// Converged implements ConvergenceTracker. Specs that provide the
+// Gate/Residual split get the witness-cached path: the O(1) gate runs
+// every step, and a failing residual is only re-run after an interaction
+// touches its witness; specs without the split pay their full Converged
+// verdict every call, exactly as before.
 func (t *RingTracker[S]) Converged() bool {
-	return t.spec.Converged(t.counts, t.cfg)
+	return witnessVerdict(&t.wc, &t.spec, t.counts, t.cfg)
 }
 
 func (t *RingTracker[S]) refreshAgent(i int) {

@@ -136,6 +136,19 @@ func Peaceful(i int, leader []bool, st []State) bool {
 // yet. cfg is generic over the protocol state; get projects out the war
 // variables.
 func PeacefulWithLeader[T any](cfg []T, k int, get func(T) State) bool {
+	ok, _ := PeacefulPrefix(cfg, k, get)
+	return ok
+}
+
+// PeacefulPrefix is PeacefulWithLeader with a failure witness: on a
+// non-peaceful ring it also returns the clockwise offset d (from the
+// leader at k) of the first offending live bullet. The verdict up to that
+// point read only the leader's shield and the war variables of the agents
+// at offsets 0..d, so it keeps failing as long as none of those agents —
+// nor the leader — changes state; incremental convergence trackers use
+// this interval as the residual's re-check trigger. On a peaceful ring the
+// offset is -1.
+func PeacefulPrefix[T any](cfg []T, k int, get func(T) State) (bool, int) {
 	n := len(cfg)
 	shield := get(cfg[k]).Shield
 	seenSignal := false
@@ -145,10 +158,10 @@ func PeacefulWithLeader[T any](cfg []T, k int, get func(T) State) bool {
 			seenSignal = true
 		}
 		if s.Bullet == Live && (!shield || seenSignal) {
-			return false
+			return false, off
 		}
 	}
-	return true
+	return true, -1
 }
 
 // AllLiveBulletsPeaceful reports whether the configuration is in C_PB: at

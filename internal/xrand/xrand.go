@@ -42,13 +42,20 @@ func (r *RNG) Intn(n int) int {
 		panic("xrand: Intn called with n <= 0")
 	}
 	bound := uint64(n)
-	for {
-		v := r.Uint64()
-		hi, lo := bits.Mul64(v, bound)
-		if lo >= bound || lo >= (-bound)%bound {
-			return int(hi)
-		}
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, bound)
+	if lo >= bound {
+		// First draw accepted without ever computing the modulo: the
+		// rejection threshold (-bound)%bound is below bound, so lo >= bound
+		// already implies acceptance. This is the overwhelmingly common case.
+		return int(hi)
 	}
+	threshold := (-bound) % bound // loop-invariant: hoisted out of the rejection loop
+	for lo < threshold {
+		v = r.Uint64()
+		hi, lo = bits.Mul64(v, bound)
+	}
+	return int(hi)
 }
 
 // FillIntn fills out with uniformly random int32 values in [0, n), drawing
@@ -64,12 +71,16 @@ func (r *RNG) FillIntn(n int, out []int32) {
 		panic("xrand: FillIntn bound exceeds int32 range")
 	}
 	bound := uint64(n)
+	// Lemire's rejection threshold is a pure function of the bound, so it is
+	// computed once for the whole batch; the per-draw accept test is then a
+	// single compare (threshold < bound, so the lo >= bound shortcut of the
+	// single-draw path would be redundant here).
 	threshold := (-bound) % bound
 	for i := range out {
 		for {
 			v := r.Uint64()
 			hi, lo := bits.Mul64(v, bound)
-			if lo >= bound || lo >= threshold {
+			if lo >= threshold {
 				out[i] = int32(hi)
 				break
 			}

@@ -2,6 +2,7 @@ package xrand
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 	"testing/quick"
 )
@@ -193,4 +194,86 @@ func BenchmarkIntn(b *testing.B) {
 		sink = r.Intn(1000)
 	}
 	_ = sink
+}
+
+// preHoistFillIntn is a verbatim copy of the FillIntn rejection loop as it
+// stood before the threshold test was reduced to a single compare (the
+// per-draw check was `lo >= bound || lo >= threshold`). It is the
+// differential oracle of TestFillIntnGoldenStream: the simplification must
+// not move a single draw.
+func preHoistFillIntn(r *RNG, n int, out []int32) {
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for i := range out {
+		for {
+			v := r.Uint64()
+			hi, lo := bits.Mul64(v, bound)
+			if lo >= bound || lo >= threshold {
+				out[i] = int32(hi)
+				break
+			}
+		}
+	}
+}
+
+// TestFillIntnGoldenStream pins the bounded-draw stream two ways: against a
+// verbatim copy of the pre-simplification rejection loop across many bounds
+// and seeds (the threshold is below the bound, so dropping the lo >= bound
+// shortcut must be a no-op), and against hardcoded golden values for one
+// (seed, bound) cell, so any future rewrite that silently moves a draw —
+// and with it every recorded experiment — fails loudly.
+func TestFillIntnGoldenStream(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 6, 7, 48, 64, 100, 1000, 1 << 16, 1<<31 - 1} {
+		for seed := uint64(0); seed < 8; seed++ {
+			a, b := New(seed), New(seed)
+			got := make([]int32, 512)
+			want := make([]int32, 512)
+			a.FillIntn(n, got)
+			preHoistFillIntn(b, n, want)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d seed=%d: draw %d = %d, pre-hoist loop = %d", n, seed, i, got[i], want[i])
+				}
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("n=%d seed=%d: RNG states diverged", n, seed)
+			}
+		}
+	}
+
+	golden := []int32{4, 0, 1, 2, 0, 5, 1, 4, 2, 3, 1, 2, 3, 3, 3, 1, 0, 2, 0, 4, 5, 0, 3, 3, 0, 1, 4, 4, 5, 4, 4, 5}
+	r := New(42)
+	buf := make([]int32, len(golden))
+	r.FillIntn(6, buf)
+	for i, g := range golden {
+		if buf[i] != g {
+			t.Fatalf("golden draw %d: got %d, want %d", i, buf[i], g)
+		}
+	}
+}
+
+// TestIntnGoldenThresholdHoist pins Intn the same way: the hoisted
+// threshold and first-draw fast path must reproduce the original
+// recompute-per-iteration loop draw for draw.
+func TestIntnGoldenThresholdHoist(t *testing.T) {
+	preHoistIntn := func(r *RNG, n int) int {
+		bound := uint64(n)
+		for {
+			v := r.Uint64()
+			hi, lo := bits.Mul64(v, bound)
+			if lo >= bound || lo >= (-bound)%bound {
+				return int(hi)
+			}
+		}
+	}
+	for _, n := range []int{1, 2, 3, 5, 7, 48, 1000, 1<<31 - 1} {
+		for seed := uint64(0); seed < 8; seed++ {
+			a, b := New(seed), New(seed)
+			for i := 0; i < 512; i++ {
+				if got, want := a.Intn(n), preHoistIntn(b, n); got != want {
+					t.Fatalf("n=%d seed=%d: draw %d = %d, pre-hoist loop = %d", n, seed, i, got, want)
+				}
+			}
+		}
+	}
 }

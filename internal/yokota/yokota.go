@@ -167,6 +167,20 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 			}
 			return m
 		},
+		Gate: func(c population.LocalCounts) bool {
+			return c.Agent[0] == 1 && c.Arc[0] == 0
+		},
+		Residual: func(c population.LocalCounts, cfg []State) (bool, population.Witness) {
+			if c.Agent[1] == 0 {
+				return true, population.Witness{} // no live bullets: C_PB holds trivially
+			}
+			// c.AgentPos[0] names the unique leader in O(1).
+			k := c.AgentPos[0]
+			if ok, off := war.PeacefulPrefix(cfg, k, func(s State) war.State { return s.War }); !ok {
+				return false, population.IntervalWitness(len(cfg), k, off, k)
+			}
+			return true, population.Witness{}
+		},
 		Converged: func(c population.LocalCounts, cfg []State) bool {
 			if c.Agent[0] != 1 || c.Arc[0] != 0 {
 				return false

@@ -41,6 +41,12 @@ const faultSeedSalt = 0xfa_17_5eed
 // across worker goroutines.
 var convergenceScanEvery atomic.Int64
 
+// internedOff is a test hook: when set, trials run on the generic engine
+// instead of the interned table-lookup layer. The differential regression
+// tests flip it to pin the interned path bit-identical — states, steps,
+// leader accounting, hitting times, probe streams — to the generic one.
+var internedOff atomic.Bool
+
 // trialEngine bundles the protocol-specific pieces the generic scenario
 // runner needs: the engine, an installer that routes configuration changes
 // through the protocol's oracle runner (nil for plain engines), a state
@@ -52,18 +58,33 @@ type trialEngine[S any] struct {
 	install func([]S)
 	corrupt func(rng *xrand.RNG, cur S) S
 	tracker population.ConvergenceTracker[S]
+	accel   population.Accelerator
 	pred    func([]S) bool
 	check   int
+}
+
+// interned returns the trial's interned execution layer, or nil when the
+// trial must run generically: the layer is absent, a test hook forces the
+// generic engine or the scan-era oracle, or the layer has already fallen
+// back (it then delegates internally, so returning it would still be
+// correct — this just keeps the dispatch explicit).
+func (te trialEngine[S]) interned() population.Accelerator {
+	if te.accel == nil || internedOff.Load() || convergenceScanEvery.Load() > 0 {
+		return nil
+	}
+	return te.accel
 }
 
 // run executes one trial under the scenario's fault schedule and budget:
 // each burst fires at its scheduled step (bursts past the budget never
 // fire), and convergence is judged on the run after the last burst — the
 // self-stabilization question "does the protocol recover from this fault
-// history within the budget". Convergence is detected through the
-// incremental tracker, so Steps is the exact hitting time of the
-// protocol's convergence predicate, not a checkEvery-quantized
-// overestimate.
+// history within the budget". The trial runs on the interned table-lookup
+// layer by default (falling back to the generic engine transparently when
+// its guards trip) and judges convergence after every step, so Steps is
+// the exact hitting time of the protocol's convergence predicate, not a
+// checkEvery-quantized overestimate; the interned and generic paths are
+// pinned bit-identical by the differential regression tests.
 //
 // A non-nil probe receives the trial's typed event stream (see Probe):
 // the initial leader count and every interaction-driven leader-set change
@@ -83,6 +104,7 @@ func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64, n
 		}
 		probe.Observe(TrialEvent{Kind: EventEpoch, Step: te.eng.Steps()})
 	}
+	acc := te.interned()
 	var frng *xrand.RNG
 	epoch := 0
 	for _, f := range sc.sortedFaults() {
@@ -90,7 +112,11 @@ func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64, n
 			break // bursts past the budget never fire
 		}
 		if f.AtStep > te.eng.Steps() {
-			te.eng.Run(f.AtStep - te.eng.Steps())
+			if acc != nil {
+				acc.Run(f.AtStep - te.eng.Steps())
+			} else {
+				te.eng.Run(f.AtStep - te.eng.Steps())
+			}
 		}
 		if frng == nil {
 			frng = xrand.New(seed ^ faultSeedSalt)
@@ -117,17 +143,27 @@ func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64, n
 	}
 	var steps uint64
 	var ok bool
-	tracked := false
-	if every := convergenceScanEvery.Load(); every > 0 || te.tracker == nil {
+	var sample func(map[string]float64)
+	switch every := convergenceScanEvery.Load(); {
+	case every > 0 || (te.tracker == nil && acc == nil):
 		check := te.check
 		if every > 0 {
 			check = int(every)
 		}
 		steps, ok = te.eng.RunUntil(te.pred, check, maxSteps)
-	} else {
+	case acc != nil:
+		// The production default: the interned table-lookup layer, which
+		// judges convergence after every step through the mirrored tracker
+		// (and falls back to the generic tracker transparently if the
+		// interner's capacity cap is hit).
+		steps, ok = acc.RunUntilConverged(maxSteps)
+		sample = acc.SampleCounts
+	default:
 		te.eng.SetTracker(te.tracker)
-		tracked = true
 		steps, ok = te.eng.RunUntilConverged(maxSteps)
+		if cs, sampled := te.tracker.(population.CountSampler); sampled {
+			sample = cs.SampleCounts
+		}
 	}
 	res := TrialResult{
 		N: n, Seed: seed, Steps: steps,
@@ -141,13 +177,11 @@ func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64, n
 			}
 			probe.Observe(ev)
 		}
-		if tracked {
-			if cs, sampled := te.tracker.(population.CountSampler); sampled {
-				counts := make(map[string]float64)
-				cs.SampleCounts(counts)
-				if len(counts) > 0 {
-					probe.Observe(TrialEvent{Kind: EventChannels, Step: steps, Counts: counts})
-				}
+		if sample != nil {
+			counts := make(map[string]float64)
+			sample(counts)
+			if len(counts) > 0 {
+				probe.Observe(TrialEvent{Kind: EventChannels, Step: steps, Counts: counts})
 			}
 		}
 		probe.End(res)
@@ -163,6 +197,14 @@ func (te trialEngine[S]) benchRaw(steps uint64) { te.eng.Run(steps) }
 func (te trialEngine[S]) benchTracked(maxSteps uint64) (uint64, bool) {
 	te.eng.SetTracker(te.tracker)
 	return te.eng.RunUntilConverged(maxSteps)
+}
+
+// benchInterned runs to convergence through the interned table-lookup
+// layer; the extra result reports whether the run stayed interned (false
+// when the capacity cap forced the generic fallback mid-run).
+func (te trialEngine[S]) benchInterned(maxSteps uint64) (uint64, bool, bool) {
+	steps, ok := te.accel.RunUntilConverged(maxSteps)
+	return steps, ok, te.accel.Interned()
 }
 
 // benchScan runs to convergence through the scan-era periodic predicate.
@@ -263,10 +305,13 @@ func (p pplProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[core.
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(par.InitConfig(sc.Init.String(), seed))
 	eng.TrackLeaders(core.IsLeader)
+	spec := par.SafetySpec()
+	tracker := population.NewRingTracker(spec)
 	return trialEngine[core.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ core.State) core.State { return par.RandomState(rng) },
-		tracker: population.NewRingTracker(par.SafetySpec()),
+		tracker: tracker,
+		accel:   population.NewInterned(eng, spec, nil, tracker, population.InternOptions{}),
 		pred:    func(cfg []core.State) bool { return par.IsSafe(cfg) },
 		check:   n/2 + 1,
 	}
@@ -337,6 +382,8 @@ func (p orientProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[or
 	pr := orient.New()
 	eng := population.NewEngine(population.UndirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(orient.InitialConfig(colors, xrand.New(seed^initSeedSalt)))
+	spec := orient.OrientedSpec()
+	tracker := population.NewRingTracker(spec)
 	return trialEngine[orient.State]{
 		eng: eng,
 		// Corruption scrambles the evolving registers but preserves the
@@ -350,7 +397,8 @@ func (p orientProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[or
 				Strong: rng.Bool(),
 			}
 		},
-		tracker: population.NewRingTracker(orient.OrientedSpec()),
+		tracker: tracker,
+		accel:   population.NewInterned(eng, spec, nil, tracker, population.InternOptions{}),
 		pred:    orient.Oriented,
 		check:   n,
 	}
@@ -395,10 +443,13 @@ func (p yokotaProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[yo
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(pr.RandomConfig(xrand.New(seed^initSeedSalt), n))
 	eng.TrackLeaders(yokota.IsLeader)
+	spec := pr.StableSpec()
+	tracker := population.NewRingTracker(spec)
 	return trialEngine[yokota.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ yokota.State) yokota.State { return pr.RandomState(rng) },
-		tracker: population.NewRingTracker(pr.StableSpec()),
+		tracker: tracker,
+		accel:   population.NewInterned(eng, spec, nil, tracker, population.InternOptions{}),
 		pred:    pr.Stable,
 		check:   n/2 + 1,
 	}
@@ -451,10 +502,13 @@ func (p angluinProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[a
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(pr.RandomConfig(xrand.New(seed^initSeedSalt), n))
 	eng.TrackLeaders(angluin.IsLeader)
+	spec := pr.StableSpec()
+	tracker := population.NewRingTracker(spec)
 	return trialEngine[angluin.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ angluin.State) angluin.State { return pr.RandomState(rng) },
-		tracker: population.NewRingTracker(pr.StableSpec()),
+		tracker: tracker,
+		accel:   population.NewInterned(eng, spec, nil, tracker, population.InternOptions{}),
 		pred:    pr.Stable,
 		check:   n/2 + 1,
 	}
@@ -499,11 +553,14 @@ func (p fjProtocol) Validate(sc Scenario) error { return validateElection(p.Info
 func (p fjProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[fj.State] {
 	ru := fj.NewRunner(n, xrand.New(seed))
 	ru.SetStates(fj.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
+	spec := fj.New().StableSpec()
+	tracker := population.NewRingTracker(spec)
 	return trialEngine[fj.State]{
 		eng:     ru.Engine(),
 		install: ru.SetStates, // keep the oracle census in sync
 		corrupt: func(rng *xrand.RNG, _ fj.State) fj.State { return fj.New().RandomState(rng) },
-		tracker: population.NewRingTracker(fj.New().StableSpec()),
+		tracker: tracker,
+		accel:   population.NewInterned(ru.Engine(), spec, ru.InternEnv(), tracker, population.InternOptions{}),
 		pred:    fj.Stable,
 		check:   n/2 + 1,
 	}
@@ -551,11 +608,14 @@ func (p chenchenProtocol) Validate(sc Scenario) error { return validateElection(
 func (p chenchenProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[chenchen.State] {
 	ru := chenchen.NewRunner(n, xrand.New(seed))
 	ru.SetStates(chenchen.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
+	spec := chenchen.New().StableSpec()
+	tracker := population.NewRingTracker(spec)
 	return trialEngine[chenchen.State]{
 		eng:     ru.Engine(),
 		install: ru.SetStates, // keep the flag census in sync
 		corrupt: func(rng *xrand.RNG, _ chenchen.State) chenchen.State { return chenchen.New().RandomState(rng) },
-		tracker: population.NewRingTracker(chenchen.New().StableSpec()),
+		tracker: tracker,
+		accel:   population.NewInterned(ru.Engine(), spec, ru.InternEnv(), tracker, population.InternOptions{}),
 		pred:    chenchen.Stable,
 		check:   n/2 + 1,
 	}
