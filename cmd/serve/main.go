@@ -1,0 +1,107 @@
+// Command serve runs the experiment service: ringsim over HTTP. Clients
+// POST job specs (protocols × sizes × scenario × trials × metrics) to
+// /v1/jobs; a bounded worker pool executes them through the Experiment
+// streaming path with a content-addressed cell cache, and results stream
+// back as TrialRecord JSONL or rendered Reports. See docs/API.md for the
+// HTTP surface.
+//
+// Usage:
+//
+//	go run ./cmd/serve -addr :8080
+//	curl -s localhost:8080/v1/jobs -d '{"protocols":["ppl"],"sizes":[16,32],"trials":3}'
+//	curl -s localhost:8080/v1/jobs/j-000001/records
+//	curl -s 'localhost:8080/v1/jobs/j-000001/report?format=md'
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, queued
+// and running jobs complete (bounded by -drain-timeout), sinks flush,
+// then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 2, "concurrently executing jobs")
+		queueDepth   = fs.Int("queue", 16, "bounded queue depth (full queue answers 429)")
+		trialWorkers = fs.Int("trial-workers", 0, "per-cell trial pool size (0 = one per core)")
+		cacheMB      = fs.Int64("cache-mb", 256, "in-memory cell cache bound, MiB")
+		cacheDir     = fs.String("cache-dir", "", "spill evicted cache entries to this directory (gzip JSONL)")
+		artifacts    = fs.String("artifacts", "", "write per-job record artifacts (rotating gzip JSONL) under this directory")
+		segMB        = fs.Int64("artifact-segment-mb", 0, "artifact segment size bound, MiB (0 = 64)")
+		drain        = fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for queued and running jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *artifacts != "" {
+		if err := os.MkdirAll(*artifacts, 0o755); err != nil {
+			log.Printf("serve: artifacts dir: %v", err)
+			return 1
+		}
+	}
+	svc := service.New(service.Config{
+		Workers:              *workers,
+		QueueDepth:           *queueDepth,
+		TrialWorkers:         *trialWorkers,
+		CacheBytes:           *cacheMB << 20,
+		CacheDir:             *cacheDir,
+		ArtifactsDir:         *artifacts,
+		ArtifactSegmentBytes: *segMB << 20,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("serve: listen: %v", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	log.Printf("serve: listening on %s (workers=%d queue=%d cache=%dMiB)", ln.Addr(), *workers, *queueDepth, *cacheMB)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("serve: %v — draining (budget %s)", s, *drain)
+	case err := <-serveErr:
+		log.Printf("serve: http: %v", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Listener first (stop new connections and let in-flight responses
+	// finish), then the service (drain the job queue, flush sinks).
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("serve: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("serve: drain incomplete: %v", err)
+		return 1
+	}
+	fmt.Println("serve: drained cleanly")
+	return 0
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}
+
+func TestRunReportsListenFailure(t *testing.T) {
+	if code := run([]string{"-addr", "256.256.256.256:0"}); code != 1 {
+		t.Fatalf("run(bad addr) = %d, want 1", code)
+	}
+}
+
+func TestRunDrainsCleanlyOnSIGTERM(t *testing.T) {
+	// Park SIGTERM on a channel of our own first: this disables the
+	// default process-killing disposition, so the signal below can never
+	// race run's own Notify registration and kill the test binary.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain-timeout", "30s"})
+	}()
+	// Give the server a moment to boot and register its handler.
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("self-SIGTERM: %v", err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d after SIGTERM, want 0 (clean drain)", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+}

@@ -4,7 +4,7 @@
 //	Protocol for Self-stabilizing Leader Election on Rings with a
 //	Poly-logarithmic Number of States." PODC 2023 (arXiv:2305.08375).
 //
-// The root package is the public experiment API, built from three
+// The root package is the public experiment API, built from four
 // composable concepts:
 //
 //   - Protocol — the one contract every protocol under test satisfies:
@@ -27,6 +27,13 @@
 //     fitted scaling exponents) with Markdown, JSON and CSV renderers —
 //     and, through the streaming observation API below, feeds per-trial
 //     TrialRecords to pluggable Sinks as workers finish.
+//     ReportFromRecords replays a recorded artifact back through the
+//     same aggregation, byte-identical to the run that produced it.
+//
+//   - Streaming observation — Probe, TrialRecord, Sink and Metric: the
+//     layer that makes richer observables (leader trajectories, recovery
+//     times, tracker channel counts) first-class per-trial artifacts.
+//     See the section below.
 //
 // Quickstart:
 //
@@ -73,6 +80,10 @@
 //     JSONLSink writes the one-JSON-object-per-line artifact cmd/sweep
 //     (-record), cmd/ringsim (-record) and cmd/bench (-records) emit and
 //     cmd/figures (-records) renders; DecodeTrialRecords reads it back.
+//     RotatingJSONLSink adds size-bounded segment rotation and gzip
+//     compression for long-running streams, and its Close finalizes
+//     (flush, gzip footer, fsync) even after a mid-write error, so a
+//     crashed or cancelled run still leaves well-formed segments.
 //
 // A worked recovery-time measurement (see examples/recovery): inject
 // fault bursts, stream records, rank protocols on healing time:
@@ -178,6 +189,20 @@
 // every push, so engine performance has a recorded and enforced
 // trajectory.
 //
+// # Experiment service
+//
+// cmd/serve (over internal/service) puts this API behind a long-running
+// HTTP server: POST /v1/jobs takes a JSON job spec — protocols × sizes ×
+// scenario × trials × metrics — a bounded worker-pool queue executes its
+// cells through Experiment.Stream, and results stream back as
+// TrialRecord JSONL (GET /v1/jobs/{id}/records) or rendered reports
+// (GET /v1/jobs/{id}/report?format=md|json|csv, replayed through
+// ReportFromRecords). Because every (protocol, scenario, n, seed) cell
+// is a pure function of its inputs, finished cells are content-addressed
+// and cached: identical jobs return byte-identical records from cache,
+// and hit/miss counters are observable on /v1/stats. See docs/API.md for
+// the HTTP reference.
+//
 // For driving a single simulation interactively, RingElection runs P_PL
 // on a directed ring and RingOrientation runs the Section 5 orientation
 // protocol on an undirected ring. Comparison regenerates the paper's
@@ -191,7 +216,8 @@
 // internal/stats) and the parallel trial-execution engine
 // (internal/runner).
 //
-// See README.md for the architecture overview and the examples/ directory
-// for runnable walkthroughs of the election, orientation, fault-injection
-// and experiment APIs.
+// See README.md for the narrative overview, docs/ARCHITECTURE.md for the
+// full layer map, docs/API.md for the service's HTTP reference, and the
+// examples/ directory for runnable walkthroughs of the election,
+// orientation, fault-injection and experiment APIs.
 package repro

@@ -175,6 +175,13 @@ func (e *Experiment) fail(err error) {
 	}
 }
 
+// Validate surfaces builder misuse — no protocols or sizes, a bad trial
+// count, malformed metrics, a scenario a protocol rejects — without
+// running anything. Run, Stream and ReportFromRecords all call it first;
+// it is exported for callers (the experiment service, say) that must
+// reject a bad configuration before queueing it.
+func (e *Experiment) Validate() error { return e.validate() }
+
 // validate surfaces builder misuse before any trial runs.
 func (e *Experiment) validate() error {
 	if e.err != nil {
@@ -214,6 +221,56 @@ func (e *Experiment) Run(ctx context.Context) (*Report, error) {
 	rs := newReportSink(e)
 	if err := e.execute(ctx, rs); err != nil {
 		return nil, err
+	}
+	return rs.rep, nil
+}
+
+// ReportFromRecords rebuilds the Report of this experiment from
+// already-produced TrialRecords instead of running any trial — the replay
+// path for record artifacts (a JSONL file, a service cache) produced by an
+// identically-configured experiment. Records are matched to cells by
+// (protocol name, FixSize-adjusted n, trial index); every non-skipped cell
+// must be fully covered or an error is returned, so a partial artifact
+// cannot silently render as an all-failures report. Because Run aggregates
+// through exactly this sink, the rebuilt Report — and its rendered bytes —
+// is byte-identical to the one the original Run returned, including Metric
+// tables (metrics reduce record observables, which the records carry).
+func (e *Experiment) ReportFromRecords(recs []TrialRecord) (*Report, error) {
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	type cellKey struct {
+		proto string
+		n     int
+		trial int
+	}
+	byKey := make(map[cellKey]TrialRecord, len(recs))
+	for _, rec := range recs {
+		byKey[cellKey{rec.Protocol, rec.N, rec.Trial}] = rec
+	}
+	rs := newReportSink(e)
+	for _, p := range e.protocols {
+		info := p.Info()
+		rs.beginRow(p, info)
+		for _, rawN := range e.sizes {
+			n := p.FixSize(rawN)
+			if cap, capped := e.caps[info.Name]; capped && rawN > cap {
+				rs.skipCell(n)
+				continue
+			}
+			rs.beginCell(n)
+			for t := 0; t < e.trials; t++ {
+				rec, ok := byKey[cellKey{info.Name, n, t}]
+				if !ok {
+					return nil, fmt.Errorf("repro: records missing trial %d of cell (%s, n=%d)", t, info.Name, n)
+				}
+				if err := rs.Record(rec); err != nil {
+					return nil, err
+				}
+			}
+			rs.endCell()
+		}
+		rs.endRow()
 	}
 	return rs.rep, nil
 }

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// CacheStats is the counter snapshot GET /v1/stats exposes.
+type CacheStats struct {
+	// Hits counts Get calls answered from memory or disk.
+	Hits int64 `json:"hits"`
+	// Misses counts Get calls that found nothing.
+	Misses int64 `json:"misses"`
+	// DiskHits counts the subset of Hits served from the spill directory.
+	DiskHits int64 `json:"disk_hits"`
+	// Entries and Bytes describe the in-memory LRU right now.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Evictions counts entries pushed out of memory; with a spill
+	// directory configured every eviction lands on disk first.
+	Evictions int64 `json:"evictions"`
+	// SpillErrors counts evictions whose disk write failed (the entry is
+	// then simply dropped — the cache is an accelerator, never a
+	// correctness dependency).
+	SpillErrors int64 `json:"spill_errors"`
+}
+
+// CellCache is the content-addressed cell store: digest key → the cell's
+// canonical TrialRecord JSONL bytes. Entries live in a byte-bounded
+// in-memory LRU; evictions optionally spill to a directory as gzip files
+// (<key>.jsonl.gz), from which later Gets transparently re-admit. Because
+// keys are content digests over (SpecVersion, protocol, scenario, n,
+// trials) and cells are pure functions of exactly those inputs, a cache
+// entry can never be stale — only absent.
+type CellCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	dir      string // "" disables disk spill
+	stats    CacheStats
+}
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCellCache returns a cache bounded to maxBytes of record bytes in
+// memory (minimum one entry is always admitted), spilling evictions to
+// dir when non-empty. The directory is created on first use.
+func NewCellCache(maxBytes int64, dir string) *CellCache {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &CellCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		dir:      dir,
+	}
+}
+
+// Get returns the record bytes stored under key. Memory hits refresh the
+// LRU position; disk hits re-admit the entry to memory. The returned
+// slice is shared — callers must not mutate it.
+func (c *CellCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*cacheEntry).data, true
+	}
+	if c.dir != "" {
+		if data, err := c.readSpill(key); err == nil {
+			c.stats.Hits++
+			c.stats.DiskHits++
+			c.admit(key, data)
+			return data, true
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Put stores the record bytes under key. Storing an existing key is a
+// no-op (content-addressed entries are immutable by construction).
+func (c *CellCache) Put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.items[key]; dup {
+		return
+	}
+	c.admit(key, data)
+}
+
+// admit inserts the entry and evicts from the cold end past the byte
+// bound; callers hold the mutex.
+func (c *CellCache) admit(key string, data []byte) {
+	el := c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.items[key] = el
+	c.curBytes += int64(len(data))
+	for c.curBytes > c.maxBytes && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.key)
+		c.curBytes -= int64(len(ent.data))
+		c.stats.Evictions++
+		if c.dir != "" {
+			if err := c.writeSpill(ent.key, ent.data); err != nil {
+				c.stats.SpillErrors++
+			}
+		}
+	}
+}
+
+// spillPath is the on-disk form of one entry.
+func (c *CellCache) spillPath(key string) string {
+	return filepath.Join(c.dir, key+".jsonl.gz")
+}
+
+// writeSpill persists an evicted entry as an independently-valid gzip
+// file, written via a temp file + rename so a crashed write can never
+// leave a truncated artifact under the content address.
+func (c *CellCache) writeSpill(key string, data []byte) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	path := c.spillPath(key)
+	if _, err := os.Stat(path); err == nil {
+		return nil // already spilled in a previous eviction
+	}
+	tmp, err := os.CreateTemp(c.dir, "spill-*")
+	if err != nil {
+		return err
+	}
+	gz := gzip.NewWriter(tmp)
+	_, werr := gz.Write(data)
+	if cerr := gz.Close(); werr == nil {
+		werr = cerr
+	}
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readSpill loads a spilled entry back from disk.
+func (c *CellCache) readSpill(key string) ([]byte, error) {
+	f, err := os.Open(c.spillPath(key))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	defer gz.Close()
+	data, err := io.ReadAll(gz)
+	if err != nil {
+		return nil, err
+	}
+	if !validJSONL(data) {
+		return nil, fmt.Errorf("spilled entry %s is not JSONL", key)
+	}
+	return data, nil
+}
+
+// validJSONL is a cheap shape check on re-admitted spill data: non-empty,
+// newline-terminated. (Content integrity is already covered by gzip's
+// CRC; this guards against foreign files dropped into the directory.)
+func validJSONL(data []byte) bool {
+	return len(data) > 0 && data[len(data)-1] == '\n' && bytes.IndexByte(data, '{') == 0
+}
+
+// Stats returns a snapshot of the counters.
+func (c *CellCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Bytes = c.curBytes
+	return s
+}

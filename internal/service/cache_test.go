@@ -1,0 +1,117 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// entry returns deterministic JSONL-shaped payloads for cache tests.
+func entry(i, size int) (string, []byte) {
+	line := fmt.Sprintf(`{"k":%d,"pad":%q}`, i, bytes.Repeat([]byte{'x'}, size))
+	return fmt.Sprintf("key-%04d", i), append([]byte(line), '\n')
+}
+
+func TestCellCacheHitMissCounters(t *testing.T) {
+	c := NewCellCache(1<<20, "")
+	key, data := entry(1, 8)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key, data)
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v; want stored bytes", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.Bytes != int64(len(data)) {
+		t.Fatalf("stats.Bytes = %d, want %d", st.Bytes, len(data))
+	}
+}
+
+func TestCellCacheEvictsLRU(t *testing.T) {
+	// Room for ~3 entries of 100 bytes of padding each.
+	c := NewCellCache(400, "")
+	keys := make([]string, 5)
+	for i := range keys {
+		k, d := entry(i, 100)
+		keys[i] = k
+		c.Put(k, d)
+	}
+	// The oldest entries must be gone, the newest present.
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived past the byte bound")
+	}
+	if _, ok := c.Get(keys[4]); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, expected evictions", st)
+	}
+	if st.Bytes > 400 {
+		t.Fatalf("stats.Bytes = %d exceeds the bound", st.Bytes)
+	}
+}
+
+func TestCellCacheSpillsAndReadmits(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCellCache(300, dir)
+	k0, d0 := entry(0, 100)
+	c.Put(k0, d0)
+	// Push k0 out of memory.
+	for i := 1; i < 4; i++ {
+		k, d := entry(i, 100)
+		c.Put(k, d)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	// The spilled file exists and the entry comes back from disk.
+	if _, err := os.Stat(c.spillPath(k0)); err != nil {
+		t.Fatalf("expected spill file for %s: %v", k0, err)
+	}
+	got, ok := c.Get(k0)
+	if !ok {
+		t.Fatal("spilled entry did not re-admit")
+	}
+	if !bytes.Equal(got, d0) {
+		t.Fatalf("spill round-trip corrupted data: %q != %q", got, d0)
+	}
+	st := c.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want DiskHits=1", st)
+	}
+}
+
+func TestCellCachePutIsIdempotent(t *testing.T) {
+	c := NewCellCache(1<<20, "")
+	k, d := entry(7, 16)
+	c.Put(k, d)
+	c.Put(k, d)
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != int64(len(d)) {
+		t.Fatalf("duplicate Put changed accounting: %+v", st)
+	}
+}
+
+func TestCellDigestProperties(t *testing.T) {
+	a := cellDigest("ppl", []byte(`{}`), 16, 3)
+	if b := cellDigest("ppl", []byte(`{}`), 16, 3); b != a {
+		t.Fatal("digest is not deterministic")
+	}
+	for name, other := range map[string]string{
+		"protocol": cellDigest("yokota", []byte(`{}`), 16, 3),
+		"scenario": cellDigest("ppl", []byte(`{"init":"noleader"}`), 16, 3),
+		"size":     cellDigest("ppl", []byte(`{}`), 32, 3),
+		"trials":   cellDigest("ppl", []byte(`{}`), 16, 4),
+	} {
+		if other == a {
+			t.Fatalf("digest ignores the %s input", name)
+		}
+	}
+}

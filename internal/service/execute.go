@@ -1,0 +1,152 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro"
+)
+
+// executeJob runs one job cell by cell in deterministic order — protocol
+// row order, then size order, trial order inside each cell — so the
+// concatenated JSONL stream is byte-identical however the cells were
+// satisfied (cold run, memory hit, disk hit) and whatever the worker
+// count. Each cell is looked up in the content-addressed cache first;
+// misses run through the Experiment streaming path and are stored back.
+//
+// When an artifacts directory is configured, the job's full record stream
+// is additionally written through a rotating gzip JSONLSink — the
+// bounded, servable artifact form — which is flushed and finalized before
+// the job reaches a terminal state (graceful shutdown therefore flushes
+// sinks by construction: Shutdown drains the queue, and every drained job
+// closed its sink).
+func (s *Server) executeJob(j *Job) {
+	err := s.runCells(j)
+	j.finish(err)
+}
+
+// runCells does the work of executeJob, returning the job's terminal
+// error (nil for success).
+func (s *Server) runCells(j *Job) error {
+	var art *repro.RotatingJSONLSink
+	if s.cfg.ArtifactsDir != "" {
+		base := filepath.Join(s.cfg.ArtifactsDir, fmt.Sprintf("%s.jsonl", j.ID))
+		sink, err := repro.CreateRotatingJSONL(base, repro.RotateOptions{
+			MaxBytes: s.cfg.ArtifactSegmentBytes,
+			Compress: true,
+		})
+		if err != nil {
+			return fmt.Errorf("create artifact sink: %w", err)
+		}
+		art = sink
+		defer art.Close()
+	}
+
+	for _, cell := range j.cells {
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		if cell.Skipped {
+			j.skipCellDone()
+			continue
+		}
+		data, hit := s.cache.Get(cell.Key)
+		if !hit {
+			var err error
+			data, err = s.runCell(j, cell)
+			if err != nil {
+				return err
+			}
+			s.cache.Put(cell.Key, data)
+		}
+		if art != nil {
+			// Replay the cell's canonical bytes through the artifact sink —
+			// cached cells never re-run, but the artifact still carries the
+			// full job stream.
+			if err := repro.DecodeTrialRecords(bytes.NewReader(data), art.Record); err != nil {
+				return fmt.Errorf("artifact sink: %w", err)
+			}
+		}
+		j.appendCell(data, countLines(data), hit)
+	}
+	if art != nil {
+		if err := art.Close(); err != nil {
+			return fmt.Errorf("finalize artifact: %w", err)
+		}
+	}
+	return nil
+}
+
+// runCell executes one cold cell through the Experiment streaming path
+// and encodes its records canonically: trial order, one compact JSON
+// object per line. json.Marshal sorts map keys, so the bytes are a pure
+// function of the records — the property the content-addressed cache
+// leans on.
+func (s *Server) runCell(j *Job, cell cellPlan) ([]byte, error) {
+	col := newCollector(j.Spec.Trials)
+	err := repro.NewExperiment().
+		ProtocolNames(cell.Protocol).
+		Sizes(cell.RawN).
+		Trials(j.Spec.Trials).
+		Scenario(j.Spec.Scenario).
+		Workers(s.cfg.TrialWorkers).
+		Sinks(col).
+		Stream(j.ctx)
+	if err != nil {
+		return nil, err
+	}
+	return col.encode()
+}
+
+// collector buffers one cell's records by trial index; records arrive in
+// completion order from the worker pool, encode re-serializes them in
+// trial order.
+type collector struct {
+	mu   sync.Mutex
+	recs []*repro.TrialRecord
+}
+
+func newCollector(trials int) *collector {
+	return &collector{recs: make([]*repro.TrialRecord, trials)}
+}
+
+// Record implements repro.Sink.
+func (c *collector) Record(rec repro.TrialRecord) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec.Trial < 0 || rec.Trial >= len(c.recs) {
+		return fmt.Errorf("record trial %d out of range [0,%d)", rec.Trial, len(c.recs))
+	}
+	c.recs[rec.Trial] = &rec
+	return nil
+}
+
+// Close implements repro.Sink.
+func (c *collector) Close() error { return nil }
+
+// encode emits the canonical JSONL bytes of the cell.
+func (c *collector) encode() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var buf bytes.Buffer
+	for t, rec := range c.recs {
+		if rec == nil {
+			return nil, fmt.Errorf("cell finished without a record for trial %d", t)
+		}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// countLines counts the records in a JSONL byte block.
+func countLines(data []byte) int {
+	return bytes.Count(data, []byte{'\n'})
+}

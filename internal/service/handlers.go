@@ -1,0 +1,243 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro"
+)
+
+// routes wires the HTTP surface. Method-qualified patterns give exact
+// 405s for free; {id} path values identify jobs.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v as indented JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleHealthz answers liveness/readiness probes: 200 while serving,
+// 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleProtocols lists the registered protocol names — what a client
+// may put in a job spec.
+func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"protocols": repro.Protocols()})
+}
+
+// handleStats serves the cache/queue/jobs counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// submitResponse is the 202 body of POST /v1/jobs.
+type submitResponse struct {
+	JobStatus
+	RecordsURL string `json:"records_url"`
+	ReportURL  string `json:"report_url"`
+}
+
+// handleSubmit validates a job spec, plans its cells and enqueues it:
+// 202 Accepted with the job status, 400 on a bad spec, 429 when the
+// bounded queue is full (backpressure — retry later), 503 while
+// draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	cells, err := spec.plan()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	j := s.store.add(s.base, spec, cells)
+	if err := s.queue.Submit(j); err != nil {
+		j.Cancel()
+		switch err {
+		case ErrQueueFull:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "queue full (capacity %d) — retry later", s.queue.Stats().Capacity)
+		default:
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		JobStatus:  j.Status(),
+		RecordsURL: fmt.Sprintf("/v1/jobs/%s/records", j.ID),
+		ReportURL:  fmt.Sprintf("/v1/jobs/%s/report", j.ID),
+	})
+}
+
+// handleList serves every job's status in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.list()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, map[string][]JobStatus{"jobs": out})
+}
+
+// jobOr404 resolves the {id} path value.
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+// handleStatus serves one job's status.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleCancel cancels a queued or running job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleRecords streams the job's TrialRecord JSONL, chunked: bytes flow
+// as cells finish (from cache or cold runs), the connection closes when
+// the job reaches a terminal state. A finished job serves its whole
+// artifact immediately; re-fetching is cheap and byte-identical.
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Job-Id", j.ID)
+	flusher, _ := w.(http.Flusher)
+	off := 0
+	for {
+		chunk, terminal, changed := j.snapshot(off)
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return // client went away
+			}
+			off += len(chunk)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleReport renders the finished job's Report in the requested format
+// (?format=md|json|csv, default md): records are replayed through
+// Experiment.ReportFromRecords, so a fully-cached job renders without a
+// single trial running. An unfinished job answers 409 — poll the status
+// endpoint, or stream /records which needs no completion barrier.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict, "job %s is %s — the report needs state done", j.ID, st.State)
+		return
+	}
+	recs, err := repro.ReadTrialRecords(bytes.NewReader(j.RecordsDone()))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "decode records: %v", err)
+		return
+	}
+	rep, err := j.Spec.experiment().ReportFromRecords(recs)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "rebuild report: %v", err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "md", "markdown":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		fmt.Fprint(w, rep.Markdown())
+	case "json":
+		data, err := rep.JSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "render: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case "csv":
+		data, err := rep.CSV()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "render: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Write(data)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (md, json, csv)", format)
+	}
+}

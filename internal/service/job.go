@@ -1,0 +1,282 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state admits no successor.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submitted experiment: its spec, its cell plan, and the
+// record bytes accumulated as cells finish. All mutable fields are
+// guarded by mu; readers stream concurrently with the executing worker
+// through snapshot/wait.
+type Job struct {
+	ID    string
+	Spec  JobSpec
+	cells []cellPlan
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu          sync.Mutex
+	notify      chan struct{} // closed+replaced on every visible change
+	state       State
+	errMsg      string
+	cellsDone   int
+	cacheHits   int
+	cacheMisses int
+	records     []byte
+	recordCount int
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+}
+
+// JobStatus is the JSON view of a job (GET /v1/jobs/{id} and the submit
+// response).
+type JobStatus struct {
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	Error       string     `json:"error,omitempty"`
+	CellsTotal  int        `json:"cells_total"`
+	CellsDone   int        `json:"cells_done"`
+	CacheHits   int        `json:"cache_hits"`
+	CacheMisses int        `json:"cache_misses"`
+	Records     int        `json:"records"`
+	Created     time.Time  `json:"created"`
+	Started     *time.Time `json:"started,omitempty"`
+	Finished    *time.Time `json:"finished,omitempty"`
+}
+
+// newJob builds a queued job from a validated spec and its plan, with a
+// per-job cancellation context derived from base.
+func newJob(base context.Context, id string, spec JobSpec, cells []cellPlan) *Job {
+	ctx, cancel := context.WithCancel(base)
+	return &Job{
+		ID:      id,
+		Spec:    spec,
+		cells:   cells,
+		ctx:     ctx,
+		cancel:  cancel,
+		notify:  make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now().UTC(),
+	}
+}
+
+// bump wakes every waiter; callers hold mu.
+func (j *Job) bump() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// start transitions queued → running; it reports false when the job was
+// cancelled while queued.
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	select {
+	case <-j.ctx.Done():
+		j.state = StateCanceled
+		j.errMsg = "canceled before start"
+		j.finished = time.Now().UTC()
+		j.bump()
+		return false
+	default:
+	}
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	j.bump()
+	return true
+}
+
+// appendCell accumulates one finished cell's record bytes.
+func (j *Job) appendCell(data []byte, records int, hit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.records = append(j.records, data...)
+	j.recordCount += records
+	j.cellsDone++
+	if hit {
+		j.cacheHits++
+	} else {
+		j.cacheMisses++
+	}
+	j.bump()
+}
+
+// skipCellDone counts a size-capped cell (no records) toward progress.
+func (j *Job) skipCellDone() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cellsDone++
+	j.bump()
+}
+
+// finish moves the job to its terminal state: done on nil error,
+// canceled when its context was cancelled, failed otherwise.
+func (j *Job) finish(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case j.ctx.Err() != nil:
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now().UTC()
+	j.cancel() // release the context either way
+	j.bump()
+}
+
+// Cancel cancels the job's context; the executor (or start) observes it
+// and finishes the job as canceled.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	wasQueued := j.state == StateQueued
+	j.mu.Unlock()
+	j.cancel()
+	if wasQueued {
+		// A queued job may never be picked up again before shutdown; mark
+		// it canceled eagerly so status readers aren't left hanging. start
+		// double-checks under the lock, so the worker race is benign.
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.errMsg = "canceled"
+			j.finished = time.Now().UTC()
+			j.bump()
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Status snapshots the JSON view.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		State:       j.state,
+		Error:       j.errMsg,
+		CellsTotal:  len(j.cells),
+		CellsDone:   j.cellsDone,
+		CacheHits:   j.cacheHits,
+		CacheMisses: j.cacheMisses,
+		Records:     j.recordCount,
+		Created:     j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// snapshot returns the record bytes past off, the current terminal flag,
+// and a channel that closes on the next change — the streaming handler's
+// wait primitive.
+func (j *Job) snapshot(off int) (chunk []byte, terminal bool, changed <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if off < len(j.records) {
+		chunk = j.records[off:]
+	}
+	return chunk, j.state.terminal(), j.notify
+}
+
+// WaitDone blocks until the job reaches a terminal state or ctx expires.
+func (j *Job) WaitDone(ctx context.Context) error {
+	for {
+		_, terminal, changed := j.snapshot(0)
+		if terminal {
+			return nil
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// RecordsDone returns the full record bytes of a terminal job.
+func (j *Job) RecordsDone() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// jobStore is the in-memory job registry: id → job, submission-ordered.
+type jobStore struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*Job
+	ids  []string
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*Job)}
+}
+
+// add registers a new job under the next sequential id.
+func (st *jobStore) add(base context.Context, spec JobSpec, cells []cellPlan) *Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	id := fmt.Sprintf("j-%06d", st.seq)
+	j := newJob(base, id, spec, cells)
+	st.jobs[id] = j
+	st.ids = append(st.ids, id)
+	return j
+}
+
+// get looks a job up by id.
+func (st *jobStore) get(id string) (*Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// list returns every job in submission order.
+func (st *jobStore) list() []*Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Job, 0, len(st.ids))
+	for _, id := range st.ids {
+		out = append(out, st.jobs[id])
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue has no slot —
+// the HTTP layer translates it to 429 Too Many Requests, the service's
+// backpressure signal.
+var ErrQueueFull = errors.New("service: job queue is full")
+
+// ErrShuttingDown is returned by Submit once Shutdown has begun.
+var ErrShuttingDown = errors.New("service: shutting down")
+
+// QueueStats is the queue's /v1/stats snapshot.
+type QueueStats struct {
+	// Depth is the number of jobs waiting (excluding running ones);
+	// Capacity is the queue bound Submit enforces.
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	// Running is the number of jobs currently executing; Workers the pool
+	// size.
+	Running int `json:"running"`
+	Workers int `json:"workers"`
+}
+
+// queue is the bounded worker pool executing jobs: Submit enqueues (or
+// refuses, when full — backpressure, not buffering), a fixed set of
+// workers drains, Shutdown stops intake and drains what was accepted.
+type queue struct {
+	jobs    chan *Job
+	exec    func(*Job)
+	workers int
+
+	mu      sync.Mutex
+	closed  bool
+	running int
+	wg      sync.WaitGroup
+}
+
+// newQueue starts workers goroutines draining a depth-bounded queue into
+// exec. exec must honor the job's context for cancellation.
+func newQueue(workers, depth int, exec func(*Job)) *queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	q := &queue{
+		jobs:    make(chan *Job, depth),
+		exec:    exec,
+		workers: workers,
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// worker drains the queue until it closes.
+func (q *queue) worker() {
+	defer q.wg.Done()
+	for j := range q.jobs {
+		if !j.start() {
+			continue // cancelled while queued
+		}
+		q.mu.Lock()
+		q.running++
+		q.mu.Unlock()
+		q.exec(j)
+		q.mu.Lock()
+		q.running--
+		q.mu.Unlock()
+	}
+}
+
+// Submit enqueues a job without blocking: a full queue is the caller's
+// problem (429), never a hidden unbounded buffer.
+func (q *queue) Submit(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case q.jobs <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Shutdown stops intake, lets the workers drain every accepted job, and
+// waits for them under ctx's deadline. On deadline it calls cancelAll
+// (the server passes its base-context cancel, which aborts every queued
+// and running job), eats what is left of the queue, and keeps waiting for
+// the workers to observe the cancellation — exec returns promptly once
+// its job context is cancelled, so this second wait is short.
+func (q *queue) Shutdown(ctx context.Context, cancelAll func()) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return fmt.Errorf("service: queue already shut down")
+	}
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Deadline passed: abandon the drain, cancel everything still
+		// moving, and wait out the (now immediate) worker exits.
+		if cancelAll != nil {
+			cancelAll()
+		}
+		for j := range q.jobs {
+			j.Cancel()
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the queue counters.
+func (q *queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Depth:    len(q.jobs),
+		Capacity: cap(q.jobs),
+		Running:  q.running,
+		Workers:  q.workers,
+	}
+}

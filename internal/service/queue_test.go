@@ -1,0 +1,98 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubJob builds a minimal job for queue-level tests.
+func stubJob(t *testing.T) *Job {
+	t.Helper()
+	return newJob(context.Background(), "j-test", JobSpec{}, nil)
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 8)
+	q := newQueue(1, 1, func(j *Job) {
+		started <- struct{}{}
+		<-block
+		j.finish(nil)
+	})
+	// First job occupies the worker…
+	if err := q.Submit(stubJob(t)); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	<-started
+	// …second fills the queue slot…
+	if err := q.Submit(stubJob(t)); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	// …third must bounce.
+	if err := q.Submit(stubJob(t)); err != ErrQueueFull {
+		t.Fatalf("submit 3 = %v, want ErrQueueFull", err)
+	}
+	close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Shutdown(ctx, nil); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := q.Submit(stubJob(t)); err != ErrShuttingDown {
+		t.Fatalf("submit after shutdown = %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestQueueShutdownDrainsAcceptedJobs(t *testing.T) {
+	var ran atomic.Int32
+	q := newQueue(1, 4, func(j *Job) {
+		time.Sleep(10 * time.Millisecond)
+		ran.Add(1)
+		j.finish(nil)
+	})
+	for i := 0; i < 3; i++ {
+		if err := q.Submit(stubJob(t)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := q.Shutdown(ctx, nil); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("drain ran %d jobs, want 3", got)
+	}
+}
+
+func TestQueueShutdownDeadlineCancelsJobs(t *testing.T) {
+	base, cancelAll := context.WithCancel(context.Background())
+	q := newQueue(1, 4, func(j *Job) {
+		<-j.ctx.Done() // a job that only ends by cancellation
+		j.finish(j.ctx.Err())
+	})
+	running := newJob(base, "j-running", JobSpec{}, nil)
+	queued := newJob(base, "j-queued", JobSpec{}, nil)
+	if err := q.Submit(running); err != nil {
+		t.Fatalf("submit running: %v", err)
+	}
+	if err := q.Submit(queued); err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := q.Shutdown(ctx, cancelAll)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	// Both jobs must have reached a terminal state: the running one via
+	// base-context cancellation, the queued one either way.
+	for _, j := range []*Job{running, queued} {
+		st := j.Status()
+		if !st.State.terminal() {
+			t.Fatalf("job %s left in state %s after deadline shutdown", st.ID, st.State)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the job worker-pool size (concurrently executing jobs);
+	// 0 selects 2.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-running jobs;
+	// a full queue answers 429. 0 selects 16.
+	QueueDepth int
+	// TrialWorkers caps the per-cell trial pool (Experiment.Workers);
+	// 0 selects one per core.
+	TrialWorkers int
+	// CacheBytes bounds the in-memory cell cache; 0 selects 256 MiB.
+	CacheBytes int64
+	// CacheDir, when non-empty, spills evicted cache entries to disk as
+	// gzip JSONL and re-admits them on later hits.
+	CacheDir string
+	// ArtifactsDir, when non-empty, writes each job's full record stream
+	// through a rotating gzip JSONLSink under this directory.
+	ArtifactsDir string
+	// ArtifactSegmentBytes bounds artifact segments; 0 selects the sink
+	// default (64 MiB).
+	ArtifactSegmentBytes int64
+}
+
+// Server is the experiment service: job store + bounded queue + content-
+// addressed cell cache behind an http.Handler. Construct with New, serve
+// Handler() however you like (http.Server, httptest), and Shutdown to
+// drain.
+type Server struct {
+	cfg    Config
+	store  *jobStore
+	cache  *CellCache
+	queue  *queue
+	mux    *http.ServeMux
+	base   context.Context
+	cancel context.CancelFunc
+	// draining flips once Shutdown begins: health turns unready and
+	// submissions are refused at the HTTP layer too.
+	draining atomic.Bool
+}
+
+// New builds a ready-to-serve service.
+func New(cfg Config) *Server { return newServer(cfg, nil) }
+
+// newServer is New with a substitutable job executor — the test seam for
+// exercising queue backpressure and report-before-done without timing
+// games. nil exec selects the real one.
+func newServer(cfg Config, exec func(*Job)) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		store:  newJobStore(),
+		cache:  NewCellCache(cfg.CacheBytes, cfg.CacheDir),
+		base:   base,
+		cancel: cancel,
+	}
+	if exec == nil {
+		exec = s.executeJob
+	}
+	s.queue = newQueue(cfg.Workers, cfg.QueueDepth, exec)
+	s.mux = s.routes()
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the service: no new jobs are accepted, queued and
+// running jobs complete (their sinks flushed), and the call returns when
+// the workers are idle. If ctx expires first, every remaining job is
+// cancelled and the deadline error returned. Callers shut the HTTP
+// listener down first (http.Server.Shutdown), then the service.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.queue.Shutdown(ctx, s.cancel)
+}
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	Cache CacheStats `json:"cache"`
+	Queue QueueStats `json:"queue"`
+	Jobs  JobsStats  `json:"jobs"`
+}
+
+// JobsStats summarizes the job store by state.
+type JobsStats struct {
+	Total    int `json:"total"`
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	js := JobsStats{}
+	for _, j := range s.store.list() {
+		js.Total++
+		switch j.Status().State {
+		case StateQueued:
+			js.Queued++
+		case StateRunning:
+			js.Running++
+		case StateDone:
+			js.Done++
+		case StateFailed:
+			js.Failed++
+		case StateCanceled:
+			js.Canceled++
+		}
+	}
+	return Stats{
+		Cache: s.cache.Stats(),
+		Queue: s.queue.Stats(),
+		Jobs:  js,
+	}
+}

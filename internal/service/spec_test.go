@@ -1,0 +1,109 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestJobSpecValidate(t *testing.T) {
+	good := smallSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []JobSpec{
+		{Sizes: []int{8}, Trials: 1},
+		{Protocols: []string{"ppl"}, Trials: 1},
+		{Protocols: []string{"ppl"}, Sizes: []int{8}},
+		{Protocols: []string{"nope"}, Sizes: []int{8}, Trials: 1},
+		{Protocols: []string{"ppl"}, Sizes: []int{8}, Trials: 1, MaxSize: map[string]int{"nope": 8}},
+		{Protocols: []string{"ppl"}, Sizes: []int{8}, Trials: 1, Metrics: []MetricSpec{{Observable: "steps", Agg: "exotic"}}},
+		// The baselines reject non-random init classes.
+		{Protocols: []string{"angluin"}, Sizes: []int{8}, Trials: 1, Scenario: repro.Scenario{Init: repro.InitNoLeader}},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestJobSpecPlanDigests(t *testing.T) {
+	spec := smallSpec()
+	cells, err := spec.plan()
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("planned %d cells, want 4", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if c.Skipped || c.Key == "" {
+			t.Fatalf("unexpected skipped/keyless cell %+v", c)
+		}
+		if seen[c.Key] {
+			t.Fatalf("duplicate digest for cell %+v", c)
+		}
+		seen[c.Key] = true
+	}
+
+	// A scenario change must move every digest.
+	spec2 := spec
+	spec2.Scenario = repro.Scenario{Init: repro.InitRandom, Budget: repro.Budget{Scale: 0.5}}
+	cells2, err := spec2.plan()
+	if err != nil {
+		t.Fatalf("plan 2: %v", err)
+	}
+	for i := range cells2 {
+		if cells2[i].Key == cells[i].Key {
+			t.Fatalf("digest ignored the scenario for cell %+v", cells2[i])
+		}
+	}
+}
+
+func TestMaxSizeCapsCellsEndToEnd(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueDepth: 2})
+	spec := JobSpec{
+		Protocols: []string{"angluin", "chenchen"},
+		Sizes:     []int{8, 16},
+		Trials:    2,
+		MaxSize:   map[string]int{"chenchen": 8},
+	}
+	sub := submit(t, ts, spec)
+	data := fetchRecords(t, ts, sub.ID)
+	recs, err := repro.ReadTrialRecords(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// 3 live cells × 2 trials — the capped (chenchen, 16) cell runs
+	// nothing and streams nothing.
+	if len(recs) != 6 {
+		t.Fatalf("streamed %d records, want 6", len(recs))
+	}
+	st := waitDone(t, ts, sub.ID)
+	if st.State != StateDone || st.CellsDone != 4 {
+		t.Fatalf("status = %+v, want done with 4 cells (1 skipped)", st)
+	}
+	// The report still aligns the capped cell as a missing column.
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/report?format=md", ts.URL, sub.ID))
+	if err != nil {
+		t.Fatalf("GET report: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "—") {
+		t.Fatalf("report lacks the missing-cell marker:\n%s", body)
+	}
+}

@@ -1,0 +1,241 @@
+package repro
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testRecord returns a small distinguishable record for sink tests.
+func testRecord(trial int) TrialRecord {
+	return TrialRecord{
+		Protocol: "ppl", N: 16, Trial: trial, Seed: uint64(trial),
+		Steps: uint64(100 + trial), Stabilized: uint64(90 + trial), Converged: true,
+	}
+}
+
+// readSegment decodes one segment file (gzip-aware) into records.
+func readSegment(t *testing.T, path string) []TrialRecord {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			t.Fatalf("gzip reader for %s: %v", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	recs, err := ReadTrialRecords(r)
+	if err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+	return recs
+}
+
+func TestRotatingJSONLSinkRotatesOnSize(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "records.jsonl")
+	// Each encoded record is ~120 bytes; 300 bytes forces a rotation every
+	// couple of records.
+	sink, err := CreateRotatingJSONL(base, RotateOptions{MaxBytes: 300})
+	if err != nil {
+		t.Fatalf("CreateRotatingJSONL: %v", err)
+	}
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := sink.Record(testRecord(i)); err != nil {
+			t.Fatalf("Record %d: %v", i, err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs := sink.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected >=2 segments, got %v", segs)
+	}
+	if segs[0] != filepath.Join(dir, "records-00000.jsonl") {
+		t.Fatalf("unexpected first segment name %s", segs[0])
+	}
+	var got []TrialRecord
+	for _, seg := range segs {
+		got = append(got, readSegment(t, seg)...)
+	}
+	if len(got) != total {
+		t.Fatalf("decoded %d records across segments, want %d", len(got), total)
+	}
+	for i, rec := range got {
+		if rec.Trial != i {
+			t.Fatalf("segment concatenation out of order: record %d has trial %d", i, rec.Trial)
+		}
+	}
+	if sink.Count() != total {
+		t.Fatalf("Count = %d, want %d", sink.Count(), total)
+	}
+}
+
+func TestRotatingJSONLSinkGzipSegmentsIndependentlyValid(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := CreateRotatingJSONL(filepath.Join(dir, "records.jsonl"), RotateOptions{MaxBytes: 300, Compress: true})
+	if err != nil {
+		t.Fatalf("CreateRotatingJSONL: %v", err)
+	}
+	const total = 8
+	for i := 0; i < total; i++ {
+		if err := sink.Record(testRecord(i)); err != nil {
+			t.Fatalf("Record %d: %v", i, err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs := sink.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected >=2 gzip segments, got %v", segs)
+	}
+	n := 0
+	for _, seg := range segs {
+		if !strings.HasSuffix(seg, ".jsonl.gz") {
+			t.Fatalf("gzip segment %s lacks .jsonl.gz suffix", seg)
+		}
+		// readSegment opens each segment as an isolated gzip stream; a
+		// segment depending on a predecessor's stream state would fail here.
+		n += len(readSegment(t, seg))
+	}
+	if n != total {
+		t.Fatalf("decoded %d records, want %d", n, total)
+	}
+}
+
+// flakySegment wraps a real file and fails every write after a byte
+// budget, while still honoring Sync and Close — the disk-full / quota
+// shape of a mid-write error.
+type flakySegment struct {
+	f         *os.File
+	remaining int
+	synced    bool
+	closed    bool
+}
+
+func (fs *flakySegment) Write(p []byte) (int, error) {
+	if fs.remaining <= 0 {
+		return 0, fmt.Errorf("injected write failure")
+	}
+	if len(p) > fs.remaining {
+		n, _ := fs.f.Write(p[:fs.remaining])
+		fs.remaining = 0
+		return n, fmt.Errorf("injected write failure")
+	}
+	fs.remaining -= len(p)
+	return fs.f.Write(p)
+}
+
+func (fs *flakySegment) Sync() error {
+	fs.synced = true
+	return fs.f.Sync()
+}
+
+func (fs *flakySegment) Close() error {
+	fs.closed = true
+	return fs.f.Close()
+}
+
+func TestRotatingJSONLSinkCloseFinalizesAfterWriteError(t *testing.T) {
+	dir := t.TempDir()
+	// MaxBytes high enough that no rotation happens: the failure must
+	// strike while the segment is still open, so Close — not a rotation —
+	// is what finalizes it.
+	sink, err := CreateRotatingJSONL(filepath.Join(dir, "records.jsonl"), RotateOptions{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("CreateRotatingJSONL: %v", err)
+	}
+	// Re-point segment creation at a failing writer — the disk dies after
+	// 64 bytes — and restart segment 0 on it (the constructor already
+	// opened it with the default creator).
+	var flakes []*flakySegment
+	sink.create = func(path string) (segmentFile, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		fs := &flakySegment{f: f, remaining: 64}
+		flakes = append(flakes, fs)
+		return fs, nil
+	}
+	if err := sink.finalizeSegment(); err != nil {
+		t.Fatalf("finalize initial segment: %v", err)
+	}
+	if err := sink.openSegment(); err != nil {
+		t.Fatalf("reopen segment 0: %v", err)
+	}
+
+	// The sink buffers ~4 KiB, so the injected failure surfaces once the
+	// buffer first drains to the 64-byte "disk".
+	var firstErr error
+	for i := 0; i < 256 && firstErr == nil; i++ {
+		firstErr = sink.Record(testRecord(i))
+	}
+	if firstErr == nil {
+		t.Fatal("expected an injected write failure")
+	}
+	if !strings.Contains(firstErr.Error(), "injected write failure") {
+		t.Fatalf("unexpected error: %v", firstErr)
+	}
+	// The sink is inert after the failure…
+	if err := sink.Record(testRecord(999)); err == nil {
+		t.Fatal("Record after write error should keep failing")
+	}
+	// …but Close must still finalize the last segment: flush attempted,
+	// fsync issued, file closed, and the original error surfaced.
+	cerr := sink.Close()
+	if cerr == nil || !strings.Contains(cerr.Error(), "injected write failure") {
+		t.Fatalf("Close = %v, want the sticky write error", cerr)
+	}
+	if len(flakes) != 1 {
+		t.Fatalf("expected exactly the one failing segment, got %d", len(flakes))
+	}
+	if !flakes[0].synced {
+		t.Fatal("Close did not fsync the last segment after the write error")
+	}
+	if !flakes[0].closed {
+		t.Fatal("Close did not close the last segment after the write error")
+	}
+	// Close twice stays a no-op.
+	if err := sink.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestRotatingJSONLSinkWorksAsExperimentSink(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := CreateRotatingJSONL(filepath.Join(dir, "exp.jsonl"), RotateOptions{MaxBytes: 400, Compress: true})
+	if err != nil {
+		t.Fatalf("CreateRotatingJSONL: %v", err)
+	}
+	err = NewExperiment().
+		ProtocolNames("angluin").
+		Sizes(8).
+		Trials(4).
+		Sinks(sink).
+		Stream(t.Context())
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	var got []TrialRecord
+	for _, seg := range sink.Segments() {
+		got = append(got, readSegment(t, seg)...)
+	}
+	if len(got) != 4 {
+		t.Fatalf("streamed %d records, want 4", len(got))
+	}
+}
