@@ -104,6 +104,13 @@ func RunBenchmark(name string, n int, seed uint64, sc Scenario, mode BenchMode, 
 	if len(sc.Faults) > 0 {
 		return BenchResult{}, fmt.Errorf("repro: RunBenchmark does not support fault schedules")
 	}
+	if sc.Sched.hasChurn() {
+		// Same reason as faults: churn fires from the trial event loop,
+		// which the bench modes bypass, so a churn scenario would silently
+		// measure a static ring. Biased/eclipse schedulers and stuck agents
+		// live at the engine level and bench fine.
+		return BenchResult{}, fmt.Errorf("repro: RunBenchmark does not support churn schedules")
+	}
 	p, err := NewProtocol(name)
 	if err != nil {
 		return BenchResult{}, err

@@ -5,7 +5,10 @@
 // to convergence, the scan-era periodic-predicate run, and the interned
 // table-lookup run (the trial default) — plus a "recovery" mode that
 // injects a mid-run fault burst through the public Trial API and records
-// the exact number of steps the protocol needed to re-converge. CI uploads
+// the exact number of steps the protocol needed to re-converge, and an
+// "eclipse" mode that partitions the ring (an eclipse scheduler kills
+// n/4 arcs for 2n² steps) and records the steps from the window closing
+// to re-convergence. CI uploads
 // the file as an artifact on every push and gates regressions against the
 // committed BENCH_baseline.json, so the perf trajectory of the engine is
 // recorded and enforced from this change on.
@@ -13,7 +16,7 @@
 // Usage:
 //
 //	bench [-protocols ppl,yokota,...] [-sizes 16,32,64] [-scenarios random]
-//	      [-modes runbatch,tracked,scan,interned,recovery] [-trials 3]
+//	      [-modes runbatch,tracked,scan,interned,recovery,eclipse] [-trials 3]
 //	      [-bestof 3] [-seed 1] [-rawsteps 2000000] [-ccmax 8] [-quick]
 //	      [-o BENCH_ringsim.json] [-records FILE]
 //	bench -compare [-gate] [-max-tracked-regress 0.20] [-max-recovery-drift 0.05]
@@ -95,7 +98,7 @@ func main() {
 		protocols = flag.String("protocols", "ppl,yokota,angluin,fj,orient,chenchen", "comma-separated registered protocol names")
 		sizes     = flag.String("sizes", "16,32,64", "comma-separated ring sizes")
 		scenarios = flag.String("scenarios", "random", "comma-separated init classes (non-ppl protocols skip all but random)")
-		modes     = flag.String("modes", "runbatch,tracked,scan,interned", "comma-separated modes: runbatch, tracked, scan, interned, recovery")
+		modes     = flag.String("modes", "runbatch,tracked,scan,interned,recovery,eclipse", "comma-separated modes: runbatch, tracked, scan, interned, recovery, eclipse")
 		trials    = flag.Int("trials", 3, "measurements per cell (seeds seed..seed+trials-1)")
 		bestOf    = flag.Int("bestof", 3, "timings per measurement; the fastest is kept")
 		seed      = flag.Uint64("seed", 1, "first scheduler seed")
@@ -148,9 +151,12 @@ func measure(name string, n int, seed uint64, sc repro.Scenario, mode string, ra
 	for i := 0; i < bestOf; i++ {
 		var res repro.BenchResult
 		var err error
-		if mode == "recovery" {
+		switch mode {
+		case "recovery":
 			res, err = measureRecovery(name, n, seed, sc)
-		} else {
+		case "eclipse":
+			res, err = measureEclipse(name, n, seed, sc)
+		default:
 			res, err = repro.RunBenchmark(name, n, seed, sc, repro.BenchMode(mode), rawSteps)
 		}
 		if err != nil {
@@ -195,6 +201,52 @@ func measureRecovery(name string, n int, seed uint64, sc repro.Scenario) (repro.
 	}
 	out := repro.BenchResult{
 		Protocol: name, N: n, Scenario: sc.Init.String(), Mode: "recovery", Seed: seed,
+		Steps: recovery, Seconds: seconds, Converged: res.Converged,
+	}
+	if seconds > 0 {
+		out.StepsPerSec = float64(recovery) / seconds
+	}
+	return out, nil
+}
+
+// measureEclipse times a full trial under an eclipse scheduler — a dead
+// interval of n/4 arcs (at least one) opening at step 1 and lasting 2n²
+// steps, with a period beyond any budget so exactly one window fires —
+// and reports the eclipse_recovery_steps observable: the exact number of
+// steps from the window closing to convergence. Like recovery, the count
+// is deterministic in the seed and therefore machine-independent. Trials
+// that converge inside the window (possible at tiny sizes: the partition
+// only slows interactions on the surviving arcs) report zero steps.
+func measureEclipse(name string, n int, seed uint64, sc repro.Scenario) (repro.BenchResult, error) {
+	p, err := repro.NewProtocol(name)
+	if err != nil {
+		return repro.BenchResult{}, err
+	}
+	n = p.FixSize(n)
+	arcs := n / 4
+	if arcs < 1 {
+		arcs = 1
+	}
+	sc.Sched = &repro.SchedulerSpec{
+		Kind:     "eclipse",
+		Start:    1,
+		Period:   1 << 40,
+		Duration: 2 * uint64(n) * uint64(n),
+		Arcs:     arcs,
+	}
+	if err := p.Validate(sc); err != nil {
+		return repro.BenchResult{}, err
+	}
+	probe := &repro.RecordingProbe{}
+	start := time.Now()
+	res, err := repro.ProbeTrial(p, sc, n, seed, probe)
+	if err != nil {
+		return repro.BenchResult{}, err
+	}
+	seconds := time.Since(start).Seconds()
+	recovery := uint64(probe.Record().Observables["eclipse_recovery_steps"])
+	out := repro.BenchResult{
+		Protocol: name, N: n, Scenario: sc.Init.String(), Mode: "eclipse", Seed: seed,
 		Steps: recovery, Seconds: seconds, Converged: res.Converged,
 	}
 	if seconds > 0 {

@@ -7,12 +7,21 @@
 //	ringsim -proto ppl -n 64 -trials 32            # parallel repetitions
 //	ringsim -proto ppl -n 64 -faults 200@1000,100@5000
 //	ringsim -proto ppl -n 64 -faults 200@1000 -record trial.jsonl
+//	ringsim -proto ppl -n 64 -sched eclipse:period=100000,duration=20000,arcs=48
+//	ringsim -proto ppl -n 64 -sched hotspot:arcs=8,weight=16 -stuck 2
+//	ringsim -proto ppl -n 64 -churn del4@5000,add4@9000
 //
 // Protocols: any registered name — ppl (the paper's P_PL), yokota [28],
 // angluin [5], fj [15], chenchen [11], orient (Section 5 ring
 // orientation). Initial configurations (ppl only): random, noleader,
 // allleaders, corrupted, noleadercold. -faults injects mid-run bursts of
 // the form agents@step.
+//
+// -sched selects the arc scheduler (uniform | hotspot:arcs=K,weight=W |
+// ramp:weight=W | eclipse:period=P,duration=D,arcs=K[,offset=O][,start=S]);
+// -churn schedules mid-run ring re-splicing (del<K>@<step>, add<K>@<step>);
+// -stuck freezes K randomly chosen agents for the whole trial. Eclipse
+// trials report the post-partition recovery time (eclipse_recovery_steps).
 //
 // With -trials k > 1, the k repetitions use seeds seed, seed+1, ...,
 // seed+k-1 and fan out across all cores through internal/runner; the
@@ -54,6 +63,9 @@ func run() error {
 		c1      = flag.Int("c1", core.DefaultC1, "κ_max multiplier (ppl)")
 		slack   = flag.Int("slack", 0, "ψ slack (ppl)")
 		faults  = flag.String("faults", "", "fault schedule, comma-separated agents@step bursts")
+		sched   = flag.String("sched", "", "arc scheduler: uniform, hotspot:arcs=K,weight=W, ramp:weight=W, eclipse:period=P,duration=D,arcs=K[,offset=O][,start=S]")
+		churn   = flag.String("churn", "", "churn schedule, comma-separated del<K>@<step> / add<K>@<step> events")
+		stuck   = flag.Int("stuck", 0, "freeze this many randomly chosen agents for the whole trial")
 		verbose = flag.Bool("v", false, "print the final configuration (ppl)")
 		stat    = flag.Bool("stats", false, "print event counters and a final snapshot (ppl)")
 		trials  = flag.Int("trials", 1, "number of repetitions (seeds seed..seed+trials-1, run in parallel)")
@@ -62,15 +74,15 @@ func run() error {
 	)
 	flag.Parse()
 
-	sc, err := scenarioFor(*init, *faults)
+	sc, err := scenarioFor(*init, *faults, *sched, *churn, *stuck)
 	if err != nil {
 		return err
 	}
 	// The direction-printing single-run path only covers the default
-	// scenario; with -faults, a non-random -init or -record, orient goes
-	// through the generic Protocol path so the scenario (and the probe)
-	// actually applies.
-	if *proto == "orient" && *trials <= 1 && len(sc.Faults) == 0 && sc.Init == repro.InitRandom && *record == "" {
+	// scenario; with -faults, a scheduler spec, a non-random -init or
+	// -record, orient goes through the generic Protocol path so the
+	// scenario (and the probe) actually applies.
+	if *proto == "orient" && *trials <= 1 && len(sc.Faults) == 0 && sc.Init == repro.InitRandom && sc.Sched == nil && *record == "" {
 		return runOrient(*n, *seed)
 	}
 
@@ -119,6 +131,17 @@ func run() error {
 		if rc, ok := rec.Observables["recovery_steps"]; ok {
 			fmt.Printf("recovery    : %.0f steps after the last fault burst\n", rc)
 		}
+	}
+	if w, saw := rec.Observables["eclipse_windows"]; saw {
+		if rc, ok := rec.Observables["eclipse_recovery_steps"]; ok {
+			fmt.Printf("eclipse     : %.0f steps to re-converge after the last of %.0f window(s) closed\n", rc, w)
+		} else {
+			fmt.Printf("eclipse     : converged inside a window (%.0f window(s) entered)\n", w)
+		}
+	}
+	if ce, saw := rec.Observables["churn_events"]; saw {
+		fmt.Printf("churn       : %.0f splice(s), -%.0f/+%.0f agents, live minimum %.0f\n",
+			ce, rec.Observables["churn_removed"], rec.Observables["churn_inserted"], rec.Observables["live_agents_min"])
 	}
 	if (*stat || *verbose) && len(sc.Faults) > 0 {
 		fmt.Println("note: -v and -stats replay the fault-free trajectory; ignored with -faults")
@@ -225,13 +248,30 @@ func protocolFor(proto string, slack, c1 int) (repro.Protocol, error) {
 	return repro.NewProtocol(proto)
 }
 
-// scenarioFor builds the trial scenario from the -init and -faults flags.
-func scenarioFor(init, faults string) (repro.Scenario, error) {
+// scenarioFor builds the trial scenario from the -init, -faults, -sched,
+// -churn and -stuck flags.
+func scenarioFor(init, faults, sched, churn string, stuck int) (repro.Scenario, error) {
 	class, err := repro.ParseInitClass(init)
 	if err != nil {
 		return repro.Scenario{}, err
 	}
 	sc := repro.Scenario{Init: class}
+	spec, err := repro.ParseSchedulerSpec(sched)
+	if err != nil {
+		return repro.Scenario{}, err
+	}
+	churnEvents, err := repro.ParseChurnSpec(churn)
+	if err != nil {
+		return repro.Scenario{}, err
+	}
+	if spec == nil && (len(churnEvents) > 0 || stuck > 0) {
+		spec = &repro.SchedulerSpec{}
+	}
+	if spec != nil {
+		spec.Churn = churnEvents
+		spec.Stuck = stuck
+		sc.Sched = spec
+	}
 	if faults == "" {
 		return sc, nil
 	}

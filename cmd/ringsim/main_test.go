@@ -27,7 +27,7 @@ func TestProtocolForUnknownProtocol(t *testing.T) {
 
 func TestScenarioForClasses(t *testing.T) {
 	for _, init := range []string{"random", "noleader", "allleaders", "corrupted", "noleadercold"} {
-		sc, err := scenarioFor(init, "")
+		sc, err := scenarioFor(init, "", "", "", 0)
 		if err != nil {
 			t.Fatalf("%s: %v", init, err)
 		}
@@ -35,13 +35,13 @@ func TestScenarioForClasses(t *testing.T) {
 			t.Fatalf("round trip: %q -> %v", init, sc.Init)
 		}
 	}
-	if _, err := scenarioFor("bogus", ""); err == nil {
+	if _, err := scenarioFor("bogus", "", "", "", 0); err == nil {
 		t.Fatal("unknown init class accepted")
 	}
 }
 
 func TestScenarioForFaults(t *testing.T) {
-	sc, err := scenarioFor("random", "8@100, 4@50")
+	sc, err := scenarioFor("random", "8@100, 4@50", "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +55,50 @@ func TestScenarioForFaults(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{"8", "x@100", "8@y", "0@100", "@"} {
-		if _, err := scenarioFor("random", bad); err == nil {
+		if _, err := scenarioFor("random", bad, "", "", 0); err == nil {
 			t.Fatalf("bad schedule %q accepted", bad)
 		}
 		if err != nil && !strings.Contains(err.Error(), "fault burst") {
 			t.Fatalf("unexpected error for %q: %v", bad, err)
+		}
+	}
+}
+
+func TestScenarioForSchedulerFlags(t *testing.T) {
+	sc, err := scenarioFor("random", "", "eclipse:period=5000,duration=800,arcs=4", "del2@100,add2@900", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sc.Sched
+	if spec == nil || spec.Kind != "eclipse" || spec.Period != 5000 || spec.Duration != 800 || spec.Arcs != 4 {
+		t.Fatalf("scheduler spec = %+v", spec)
+	}
+	if len(spec.Churn) != 2 || spec.Churn[0].Remove != 2 || spec.Churn[1].Insert != 2 || spec.Stuck != 3 {
+		t.Fatalf("dynamics = churn %+v stuck %d", spec.Churn, spec.Stuck)
+	}
+	// Churn or stuck alone still produce a spec (with the default
+	// uniform distribution); no flags at all leave it nil.
+	sc, err = scenarioFor("random", "", "", "del1@50", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Sched == nil || sc.Sched.Kind != "" || len(sc.Sched.Churn) != 1 {
+		t.Fatalf("churn-only spec = %+v", sc.Sched)
+	}
+	sc, err = scenarioFor("random", "", "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Sched != nil {
+		t.Fatalf("flagless scenario grew a scheduler spec: %+v", sc.Sched)
+	}
+	for _, bad := range [][3]string{
+		{"volcano", "", ""},
+		{"eclipse:period=100", "", ""},
+		{"", "mul2@50", ""},
+	} {
+		if _, err := scenarioFor("random", "", bad[0], bad[1], 0); err == nil {
+			t.Fatalf("bad scheduler flags %v accepted", bad)
 		}
 	}
 }

@@ -19,8 +19,10 @@
 //   - Scenario — everything about a trial except the protocol and ring
 //     size: the interaction topology, the adversarial init class
 //     (including the cold-start and corrupted families), an optional
-//     mid-run fault-injection schedule, and the step-budget policy. The
-//     zero Scenario is the standard random-adversary experiment.
+//     mid-run fault-injection schedule, the step-budget policy, and the
+//     scheduler/ring-dynamics spec (SchedulerSpec). The zero Scenario is
+//     the standard random-adversary experiment: uniform-random scheduler
+//     on a static ring.
 //
 //   - Experiment — a builder that runs a protocol × size trial matrix and
 //     returns a structured Report (per-trial results, per-cell summaries,
@@ -147,6 +149,34 @@
 // the corruption itself rewrites the leader set, so Stabilized can no
 // longer report a pre-fault step.
 //
+// # Adversarial schedulers and ring dynamics
+//
+// The paper's guarantee is self-stabilization from any configuration
+// under the uniform-random scheduler; SchedulerSpec stresses the
+// protocols beyond that model while keeping the measurement pipeline
+// unchanged. A scenario may select a biased arc distribution ("biased":
+// hotspot or ramp weight families, sampled by the alias method in two
+// RNG draws per interaction), a periodic partition ("eclipse": a dead
+// interval of arcs opens every period for a fixed duration; draws
+// renormalize over the survivors and the exact window boundaries stream
+// as EventSchedPhase events), mid-run churn (agents leave and the ring
+// re-splices around them, newcomers join in corrupted states — rejected
+// up front by the fixed-ring protocols orient, fj and chenchen), and
+// stuck agents (frozen in both interaction roles for the whole trial).
+// Trials under these adversaries stream extra observables through the
+// same records: eclipse_windows, eclipse_recovery_steps (steps from the
+// last window closing to convergence), churn_events, churn_removed,
+// churn_inserted and live_agents_min.
+//
+// The explicit "uniform" kind draws the byte-identical RNG stream the
+// default fast path draws, through the full scheduler plumbing — the
+// subsystem's differential tests pin TrialResults, probe streams and
+// the committed bench baseline's hitting times across both engines, so
+// scheduler support provably costs the standard experiment nothing.
+// ParseSchedulerSpec and ParseChurnSpec parse the CLI grammar
+// (cmd/ringsim -sched/-churn/-stuck); the spec round-trips through
+// Scenario JSON and is covered by the service's cell digests.
+//
 // # Interned execution engine
 //
 // Trials run by default on an interned execution layer
@@ -178,7 +208,9 @@
 // (the trial default: the table-lookup layer, with its Fallback flag
 // recorded per row). cmd/bench additionally measures "recovery" rows —
 // exact steps from a deterministic mid-run fault burst back to
-// convergence — times every measurement best-of-k (-bestof, recorded in
+// convergence — and "eclipse" rows — exact steps from a deterministic
+// ring partition's window closing back to convergence — times every
+// measurement best-of-k (-bestof, recorded in
 // the envelope), and its -compare subcommand diffs two baseline files
 // and gates CI: tracked-mode throughput normalized by the same file's
 // runbatch rate (machine-portable) must not regress more than 20%, and

@@ -1,0 +1,210 @@
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestEclipseDelaysThenRecovers is the subsystem's headline acceptance
+// test: an eclipse window must demonstrably delay convergence past the
+// uniform-scheduler hitting time and then let the protocol recover,
+// with the recovery measured and exposed as observables.
+func TestEclipseDelaysThenRecovers(t *testing.T) {
+	p := PPL(0, 0)
+	n, seed := 32, uint64(1)
+	base, err := p.Trial(Scenario{}, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Converged {
+		t.Fatalf("baseline trial did not converge: %+v", base)
+	}
+	// Open a wide partition just before the baseline hitting time and
+	// hold it well past it: convergence must land after the window.
+	spec := &SchedulerSpec{
+		Kind:     "eclipse",
+		Start:    base.Steps / 2,
+		Period:   1 << 40,
+		Duration: base.Steps * 4,
+		Arcs:     3 * n / 4,
+	}
+	probe := &RecordingProbe{}
+	res, err := ProbeTrial(p, Scenario{Sched: spec}, n, seed, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("eclipsed trial did not converge: %+v", res)
+	}
+	close := spec.Start + spec.Duration
+	if res.Steps <= close {
+		t.Fatalf("eclipse did not delay convergence: hit at %d, window closed at %d", res.Steps, close)
+	}
+	rec := probe.Record()
+	if w := rec.Observables["eclipse_windows"]; w != 1 {
+		t.Fatalf("eclipse_windows = %v, want 1", w)
+	}
+	recovery, ok := rec.Observables["eclipse_recovery_steps"]
+	if !ok {
+		t.Fatalf("converged eclipsed trial has no eclipse_recovery_steps: %v", rec.Observables)
+	}
+	if want := float64(res.Steps - close); recovery != want {
+		t.Fatalf("eclipse_recovery_steps = %v, want steps-after-close %v", recovery, want)
+	}
+}
+
+// TestEclipsePhaseEventsMatchSchedule cross-checks the probe's
+// sched_phase events against the Eclipse schedule computed directly: the
+// boundary steps, epoch indices and eclipsed flags the trial streams
+// must be exactly what the scheduler's own Phase reports.
+func TestEclipsePhaseEventsMatchSchedule(t *testing.T) {
+	p := PPL(0, 0)
+	n := 16
+	spec := &SchedulerSpec{Kind: "eclipse", Start: 50, Period: 700, Duration: 200, Arcs: 4}
+	ec, err := sched.NewEclipse(n, spec.Start, spec.Period, spec.Duration, spec.Offset, spec.Arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &captureProbe{}
+	pp := p.(ProbedProtocol)
+	if _, err := pp.ProbedTrial(Scenario{Sched: spec}, n, 2, probe); err != nil {
+		t.Fatal(err)
+	}
+	phases := 0
+	var prevEpoch int
+	for _, ev := range probe.events {
+		if ev.Kind != EventSchedPhase {
+			continue
+		}
+		phases++
+		epoch, eclipsed := ec.Phase(ev.Step)
+		if ev.Epoch != epoch || ev.Eclipsed != eclipsed {
+			t.Fatalf("event at step %d reports epoch %d eclipsed %v; schedule says %d, %v",
+				ev.Step, ev.Epoch, ev.Eclipsed, epoch, eclipsed)
+		}
+		if ev.Epoch != prevEpoch+1 {
+			t.Fatalf("epoch jumped from %d to %d at step %d", prevEpoch, ev.Epoch, ev.Step)
+		}
+		prevEpoch = ev.Epoch
+	}
+	if phases == 0 {
+		t.Fatal("trial streamed no sched_phase events")
+	}
+}
+
+// TestChurnObservablesMatchEventStream runs a churn trial and pins the
+// record observables to the typed event stream: every churn event must
+// be streamed with its live count, and the aggregate counters must agree
+// with the per-event removals and insertions.
+func TestChurnObservablesMatchEventStream(t *testing.T) {
+	p := PPL(0, 0)
+	n := 32
+	spec := &SchedulerSpec{Churn: []ChurnEvent{
+		{AtStep: 1000, Remove: 4},
+		{AtStep: 3000, Insert: 2},
+		{AtStep: 5000, Remove: 1, Insert: 3},
+	}}
+	probe := &captureProbe{}
+	rec := &RecordingProbe{}
+	pp := p.(ProbedProtocol)
+	res, err := pp.ProbedTrial(Scenario{Sched: spec}, n, 5, Probes(probe, rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("churn trial did not converge: %+v", res)
+	}
+	var events, removed, inserted int
+	live, liveMin := n, n
+	for _, ev := range probe.events {
+		if ev.Kind != EventChurn {
+			continue
+		}
+		events++
+		removed += ev.Removed
+		inserted += ev.Inserted
+		live += ev.Inserted - ev.Removed
+		if ev.Live != live {
+			t.Fatalf("churn event at step %d reports %d live agents, replay says %d", ev.Step, ev.Live, live)
+		}
+		if live < liveMin {
+			liveMin = live
+		}
+	}
+	if events != 3 || removed != 5 || inserted != 5 {
+		t.Fatalf("event stream saw %d churn events (-%d/+%d), want 3 (-5/+5)", events, removed, inserted)
+	}
+	obs := rec.Record().Observables
+	for key, want := range map[string]float64{
+		"churn_events":    float64(events),
+		"churn_removed":   float64(removed),
+		"churn_inserted":  float64(inserted),
+		"live_agents_min": float64(liveMin),
+	} {
+		if got := obs[key]; got != want {
+			t.Fatalf("%s = %v, want %v", key, got, want)
+		}
+	}
+}
+
+// TestChurnRejectedByFixedSizeProtocols pins the validation boundary:
+// protocols whose construction is tied to a fixed ring size must refuse
+// churn scenarios up front instead of running them on a wrong-sized
+// ring.
+func TestChurnRejectedByFixedSizeProtocols(t *testing.T) {
+	sc := Scenario{Sched: &SchedulerSpec{Churn: []ChurnEvent{{AtStep: 100, Remove: 1}}}}
+	for _, name := range []string{"orient", "fj", "chenchen"} {
+		p, err := NewProtocol(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(sc); err == nil {
+			t.Fatalf("%s accepted a churn scenario", name)
+		}
+	}
+	for _, name := range []string{"ppl", "yokota", "angluin"} {
+		p, err := NewProtocol(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(sc); err != nil {
+			t.Fatalf("%s rejected a churn scenario: %v", name, err)
+		}
+	}
+	if _, err := RunBenchmark("ppl", 16, 1, sc, BenchTracked, 0); err == nil {
+		t.Fatal("RunBenchmark accepted a churn scenario")
+	}
+}
+
+// TestAdversarialTrialsRaceFree drives concurrent trials with per-trial
+// scheduler state — alias tables, eclipse phase tracking, churn
+// re-splicing, frozen masks — through the experiment worker pool. Under
+// -race this pins the subsystem's concurrency contract: schedulers are
+// per-engine, never shared.
+func TestAdversarialTrialsRaceFree(t *testing.T) {
+	scenarios := []Scenario{
+		{Sched: &SchedulerSpec{Kind: "biased", Family: "hotspot", HotArcs: 4, Weight: 8}},
+		{Sched: &SchedulerSpec{Kind: "eclipse", Start: 1, Period: 1 << 30, Duration: 1500, Arcs: 4}},
+		{Sched: &SchedulerSpec{
+			Churn: []ChurnEvent{{AtStep: 500, Remove: 2}, {AtStep: 1500, Insert: 2}},
+			Stuck: 1,
+		}, Budget: Budget{Scale: 0.05}},
+	}
+	for _, sc := range scenarios {
+		rep, err := NewExperiment().
+			ProtocolNames("ppl", "yokota", "angluin").
+			Sizes(16).
+			Trials(6).
+			Scenario(sc).
+			Workers(4).
+			Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Rows) != 3 {
+			t.Fatalf("experiment produced %d rows, want 3", len(rep.Rows))
+		}
+	}
+}

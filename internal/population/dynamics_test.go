@@ -1,0 +1,160 @@
+package population
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// maskSpec is a two-channel tracker spec over counterState for the
+// dynamics tests: agent channel 0 counts leaders, arc channel 0 counts
+// adjacent pairs with equal interaction parity.
+func maskSpec() RingSpec[counterState] {
+	return RingSpec[counterState]{
+		AgentMask: func(s counterState) uint8 {
+			if s.leader {
+				return 1
+			}
+			return 0
+		},
+		ArcMask: func(l, r counterState) uint8 {
+			if l.count%2 == r.count%2 {
+				return 1
+			}
+			return 0
+		},
+		Converged: func(c LocalCounts, _ []counterState) bool {
+			return c.Agent[0] == 1
+		},
+	}
+}
+
+// rescanCounts recomputes the tracker channels of maskSpec from scratch —
+// the brute-force baseline the incremental counts are pinned against.
+func rescanCounts(cfg []counterState) LocalCounts {
+	spec := maskSpec()
+	var c LocalCounts
+	n := len(cfg)
+	for i, s := range cfg {
+		if m := spec.AgentMask(s); m&1 != 0 {
+			c.Agent[0]++
+			c.AgentPos[0] += i
+		}
+		if m := spec.ArcMask(s, cfg[(i+1)%n]); m&1 != 0 {
+			c.Arc[0]++
+		}
+	}
+	return c
+}
+
+// splice removes agent victim from a ring configuration — the churn
+// re-splicing the trial layer performs, reproduced by hand.
+func splice(cfg []counterState, victim int) []counterState {
+	out := make([]counterState, 0, len(cfg)-1)
+	out = append(out, cfg[:victim]...)
+	return append(out, cfg[victim+1:]...)
+}
+
+// insert adds a fresh agent after position at.
+func insert(cfg []counterState, at int, s counterState) []counterState {
+	out := make([]counterState, 0, len(cfg)+1)
+	out = append(out, cfg[:at+1]...)
+	out = append(out, s)
+	return append(out, cfg[at+1:]...)
+}
+
+// TestTrackerCountsSurviveChurn pins the incremental tracker channels
+// against a brute-force rescan across a schedule of SetTopology splices
+// (the churn path): after every splice-and-run phase, the counts the
+// tracker maintained interaction-by-interaction must equal a fresh
+// recount of the live configuration, for rings up to 64 agents.
+func TestTrackerCountsSurviveChurn(t *testing.T) {
+	for _, n := range []int{8, 16, 33, 64} {
+		rng := xrand.New(uint64(n))
+		eng := NewEngine(DirectedRing(n), countTransition, xrand.New(7))
+		cfg := make([]counterState, n)
+		for i := range cfg {
+			cfg[i] = counterState{count: rng.Intn(5), leader: rng.Intn(3) == 0}
+		}
+		eng.SetStates(cfg)
+		tr := NewRingTracker(maskSpec())
+		eng.SetTracker(tr)
+		for phase := 0; phase < 6; phase++ {
+			eng.Run(500)
+			live := eng.Snapshot()
+			switch phase % 3 {
+			case 0: // shrink
+				live = splice(live, rng.Intn(len(live)))
+			case 1: // grow, newcomer in an arbitrary state
+				at := rng.Intn(len(live))
+				live = insert(live, at, counterState{count: rng.Intn(9), leader: rng.Intn(2) == 0})
+			default: // same-size reinstall (pure re-splice)
+				live[rng.Intn(len(live))].count++
+			}
+			eng.SetTopology(DirectedRing(len(live)), live)
+			eng.Run(500)
+			got := tr.Counts()
+			want := rescanCounts(eng.Config())
+			if got != want {
+				t.Fatalf("n=%d phase %d: tracker counts %+v, brute-force rescan %+v", n, phase, got, want)
+			}
+		}
+	}
+}
+
+// TestSetTopologyDropsSchedulerAndFrozen pins the install contract: a
+// topology swap clears the scheduler and the stuck-agent mask (both are
+// sized to the old topology) and the engine keeps running on the default
+// uniform distribution without touching stale state.
+func TestSetTopologyDropsSchedulerAndFrozen(t *testing.T) {
+	eng := NewEngine(DirectedRing(8), countTransition, xrand.New(3))
+	eng.SetStates(make([]counterState, 8))
+	eng.SetFrozen(make([]bool, 8))
+	eng.SetScheduler(constArcSched{})
+	eng.SetTopology(DirectedRing(7), make([]counterState, 7))
+	if eng.FrozenAgents() != nil {
+		t.Fatal("SetTopology kept the old frozen mask")
+	}
+	eng.Run(100) // would panic drawing arc 0 of the old scheduler's range if kept
+	if eng.Steps() != 100 {
+		t.Fatalf("Steps = %d, want 100", eng.Steps())
+	}
+}
+
+// constArcSched always schedules arc 0; NextTransition never fires.
+type constArcSched struct{}
+
+func (constArcSched) Fill(_ *xrand.RNG, _ uint64, out []int32) {
+	for i := range out {
+		out[i] = 0
+	}
+}
+func (constArcSched) NextTransition(uint64) uint64 { return ^uint64(0) }
+func (constArcSched) Phase(uint64) (int, bool)     { return 0, false }
+
+// TestFrozenAgentNeverChanges pins the stuck-agent semantics: a frozen
+// agent's state is restored after every interaction in both roles, while
+// its partners still update off its fixed state.
+func TestFrozenAgentNeverChanges(t *testing.T) {
+	n := 16
+	eng := NewEngine(DirectedRing(n), countTransition, xrand.New(11))
+	cfg := make([]counterState, n)
+	cfg[5] = counterState{count: 42, leader: true}
+	eng.SetStates(cfg)
+	frozen := make([]bool, n)
+	frozen[5] = true
+	eng.SetFrozen(frozen)
+	eng.Run(5000)
+	if got := eng.State(5); got != (counterState{count: 42, leader: true}) {
+		t.Fatalf("frozen agent mutated to %+v", got)
+	}
+	moved := 0
+	for i := 0; i < n; i++ {
+		if i != 5 && eng.State(i).count > 0 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no unfrozen agent ever interacted")
+	}
+}

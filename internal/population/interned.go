@@ -12,7 +12,10 @@ package population
 // loads.
 //
 // The layer is a pure accelerator: arc draws use the same batched RNG
-// stream (including the engine's pending-draw buffer), the step counter,
+// stream (including the engine's pending-draw buffer and any installed
+// ArcScheduler — biased and eclipse draws intern exactly like uniform
+// ones, since the distribution only picks arcs; stuck-agent masks are the
+// one dynamics feature that forces the generic path), the step counter,
 // leader accounting, leader hook, tracker counts, witness caching and
 // hitting times are bit-for-bit identical to the generic path, and when the
 // interner's capacity cap is exceeded mid-run the engine falls back to the
@@ -214,6 +217,14 @@ func (g *InternedEngine[S]) prepare() bool {
 	if e.observer != nil && g.env == nil {
 		return false
 	}
+	if e.frozen != nil {
+		// Stuck agents make the transition site-dependent — a frozen
+		// agent's successor is its pre-state regardless of the pair — and
+		// the memo tables are keyed on state pairs alone, so interning
+		// would replay the unfrozen dynamics. The generic path applies
+		// the freeze mask per interaction.
+		return false
+	}
 	if e.leaderDirty {
 		e.recountLeaders()
 	}
@@ -228,7 +239,8 @@ func (g *InternedEngine[S]) prepare() bool {
 // reintern rebuilds the per-agent ID mirror from the engine's states.
 func (g *InternedEngine[S]) reintern() bool {
 	e := g.Engine
-	if g.ids == nil {
+	if len(g.ids) != e.topo.N {
+		// First build, or a churn install changed the agent count.
 		g.ids = make([]uint32, e.topo.N)
 	}
 	for i, s := range e.states {
@@ -514,15 +526,9 @@ func (g *InternedEngine[S]) Run(steps uint64) {
 // stream), or 0 on completion.
 func (g *InternedEngine[S]) runSteps(steps uint64, mirror bool) uint64 {
 	e := g.Engine
-	nArcs := len(e.topo.Arcs)
 	for steps > 0 {
 		if e.pendStart == e.pendEnd {
-			batch := uint64(arcBatch)
-			if steps < batch {
-				batch = steps
-			}
-			e.rng.FillIntn(nArcs, e.pendBuf[:batch])
-			e.pendStart, e.pendEnd = 0, int(batch)
+			e.refillPending(steps)
 		}
 		arc := e.topo.Arcs[e.pendBuf[e.pendStart]]
 		e.pendStart++
@@ -553,15 +559,9 @@ func (g *InternedEngine[S]) RunUntilConverged(maxSteps uint64) (uint64, bool) {
 	if g.convergedNow() {
 		return e.step, true
 	}
-	nArcs := len(e.topo.Arcs)
 	for e.step < maxSteps {
 		if e.pendStart == e.pendEnd {
-			batch := uint64(arcBatch)
-			if rem := maxSteps - e.step; rem < batch {
-				batch = rem
-			}
-			e.rng.FillIntn(nArcs, e.pendBuf[:batch])
-			e.pendStart, e.pendEnd = 0, int(batch)
+			e.refillPending(maxSteps - e.step)
 		}
 		arc := e.topo.Arcs[e.pendBuf[e.pendStart]]
 		e.pendStart++

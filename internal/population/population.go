@@ -1,8 +1,9 @@
 // Package population implements the population protocol model used by the
 // paper: a fixed set of anonymous agents, a set of directed arcs describing
-// which ordered pairs may interact, and a uniformly random scheduler that
-// picks one arc per step. Protocols are deterministic pairwise transition
-// functions over an arbitrary state type.
+// which ordered pairs may interact, and a scheduler that picks one arc per
+// step — uniformly random by default, or any ArcScheduler (biased arc
+// distributions, periodic eclipses; see internal/sched). Protocols are
+// deterministic pairwise transition functions over an arbitrary state type.
 //
 // The engine is generic over the agent state type so each protocol gets a
 // monomorphized, allocation-free simulation loop. Time is measured in steps
@@ -58,6 +59,20 @@ func UndirectedRing(n int) Topology {
 // pair from their pre-interaction states. It must be deterministic.
 type Transition[S any] func(l, r S) (S, S)
 
+// ArcScheduler is the arc-draw distribution of an engine. The default
+// (no scheduler installed) is the uniform-random scheduler on the
+// engine's own RNG; installing one replaces the distribution while
+// keeping the batched-draw discipline. The contract (implemented by
+// internal/sched) is step-indexed and serial: Fill writes arc indices
+// for the consecutive steps [step, step+len(out)), consuming the RNG
+// serially so batch boundaries never change the stream, and the engine
+// clamps batches so no Fill straddles a NextTransition boundary.
+type ArcScheduler interface {
+	Fill(rng *xrand.RNG, step uint64, out []int32)
+	NextTransition(step uint64) uint64
+	Phase(step uint64) (epoch int, eclipsed bool)
+}
+
 // Observer is notified after each interaction with the index of a touched
 // agent and its states before and after the transition. It is invoked for
 // both participants of every interaction.
@@ -87,6 +102,23 @@ type Engine[S any] struct {
 	installGen uint64
 
 	leaderHook func(step uint64, leaders int)
+
+	// sched is the installed arc scheduler, nil for the default uniform
+	// distribution. Every draw path branches on nil exactly once per
+	// draw or batch, so the probe-less uniform hot path is unchanged.
+	// schedNext caches sched.NextTransition so batch clamping is a
+	// subtraction, not an interface call.
+	sched     ArcScheduler
+	schedNext uint64
+	// epochHook, when installed, fires once per scheduler phase
+	// transition (an eclipse opening or closing) with the boundary step
+	// and the new phase. It consumes no RNG draws.
+	epochHook func(step uint64, epoch int, eclipsed bool)
+
+	// frozen marks stuck agents: a frozen agent keeps its pre-interaction
+	// state in both the initiator and responder role (its partner still
+	// updates normally). nil when no agents are stuck.
+	frozen []bool
 
 	// pending holds arc draws made by RunUntilConverged's batched RNG
 	// calls but not yet executed (a run converges mid-batch). Every
@@ -206,6 +238,88 @@ func (e *Engine[S]) SetTracker(t ConvergenceTracker[S]) {
 // hot paths keep their throughput.
 func (e *Engine[S]) SetLeaderHook(fn func(step uint64, leaders int)) { e.leaderHook = fn }
 
+// SetScheduler installs an arc scheduler; pass nil to restore the
+// default uniform distribution. Draws already buffered from an earlier
+// batch still execute first (stream continuity); fresh draws follow the
+// new distribution. Schedulers hold per-trial state (alias tables,
+// phase caches) and must not be shared across engines running
+// concurrently.
+func (e *Engine[S]) SetScheduler(s ArcScheduler) {
+	e.sched = s
+	if s != nil {
+		e.schedNext = s.NextTransition(e.step)
+	}
+}
+
+// SetEpochHook installs fn, invoked at every scheduler phase transition
+// (an eclipse window opening or closing) with the boundary step index
+// and the phase that begins there. Transitions are detected when the
+// draw stream reaches the boundary, so a run that converges short of
+// one never fires it. Pass nil to remove. The hook costs nothing on the
+// uniform path: the default and Uniform schedulers have no transitions.
+func (e *Engine[S]) SetEpochHook(fn func(step uint64, epoch int, eclipsed bool)) {
+	e.epochHook = fn
+}
+
+// SetFrozen installs the stuck-agent mask: frozen[i] means agent i
+// never changes state, in either interaction role (a Byzantine agent
+// that answers with its fixed state; its partners still update). Pass
+// nil to unfreeze everyone. The mask is the caller's slice — it is not
+// copied — and must match the current agent count.
+func (e *Engine[S]) SetFrozen(frozen []bool) {
+	if frozen != nil && len(frozen) != e.topo.N {
+		panic(fmt.Sprintf("population: SetFrozen got %d flags for %d agents", len(frozen), e.topo.N))
+	}
+	e.frozen = frozen
+}
+
+// FrozenAgents returns the installed stuck-agent mask (nil when no
+// agents are stuck). Shared with the engine; treat as read-only.
+func (e *Engine[S]) FrozenAgents() []bool { return e.frozen }
+
+// Arcs returns the number of arcs in the current topology — the bound
+// scheduler draws are taken from.
+func (e *Engine[S]) Arcs() int { return len(e.topo.Arcs) }
+
+// SetTopology replaces the interaction graph and configuration in one
+// install — the churn path: agents joined or left, the ring was
+// re-spliced, and the new configuration has a different length. The
+// step counter, RNG position and leader-change history carry over.
+// Pending buffered draws are dropped (they index the old arc list), the
+// stuck-agent mask and scheduler are cleared (both are sized to the old
+// topology — the caller re-installs them against the new one), the
+// tracker is reset lazily against the new configuration, and installGen
+// is bumped so the interned layer re-interns. A leader-set change is
+// recorded when the install changes the leader count.
+func (e *Engine[S]) SetTopology(topo Topology, states []S) {
+	if len(states) != topo.N {
+		panic(fmt.Sprintf("population: SetTopology got %d states for %d agents", len(states), topo.N))
+	}
+	oldCount := 0
+	if e.isLeader != nil {
+		if e.leaderDirty {
+			e.recountLeaders()
+		}
+		oldCount = e.leaderCount
+	}
+	e.topo = topo
+	e.states = make([]S, topo.N)
+	copy(e.states, states)
+	e.pendStart, e.pendEnd = 0, 0
+	e.frozen = nil
+	e.sched = nil
+	e.trackerDirty = e.tracker != nil
+	e.installGen++
+	if e.isLeader != nil {
+		e.recountLeaders()
+		if e.leaderCount != oldCount {
+			e.recordLeaderChange()
+		}
+	} else {
+		e.leaderDirty = true
+	}
+}
+
 // TracksLeaders reports whether TrackLeaders has enabled leader-set
 // accounting on this engine.
 func (e *Engine[S]) TracksLeaders() bool { return e.isLeader != nil }
@@ -261,7 +375,51 @@ func (e *Engine[S]) drawArc() int {
 		e.pendStart++
 		return k
 	}
-	return e.rng.Intn(len(e.topo.Arcs))
+	if e.sched == nil {
+		return e.rng.Intn(len(e.topo.Arcs))
+	}
+	e.schedCross()
+	var one [1]int32
+	e.sched.Fill(e.rng, e.step, one[:])
+	return int(one[0])
+}
+
+// schedCross fires the epoch hook for every scheduler phase boundary at
+// or before the current step and advances the cached next-transition
+// step. Called only on scheduler-installed paths, right before drawing.
+func (e *Engine[S]) schedCross() {
+	for e.schedNext <= e.step {
+		boundary := e.schedNext
+		e.schedNext = e.sched.NextTransition(boundary)
+		if e.epochHook != nil {
+			epoch, eclipsed := e.sched.Phase(boundary)
+			e.epochHook(boundary, epoch, eclipsed)
+		}
+	}
+}
+
+// refillPending refills the pending-draw buffer with up to want draws
+// for the steps starting at the current step count. With no scheduler
+// installed this is the historical uniform batch — one FillIntn over
+// min(want, arcBatch) slots, byte-identical to the pre-scheduler
+// engine. With one installed, the batch is additionally clamped at the
+// scheduler's next phase boundary so a single Fill never spans two
+// distributions. want must be at least 1.
+func (e *Engine[S]) refillPending(want uint64) {
+	batch := uint64(arcBatch)
+	if want < batch {
+		batch = want
+	}
+	if e.sched == nil {
+		e.rng.FillIntn(len(e.topo.Arcs), e.pendBuf[:batch])
+	} else {
+		e.schedCross()
+		if lim := e.schedNext - e.step; lim < batch {
+			batch = lim
+		}
+		e.sched.Fill(e.rng, e.step, e.pendBuf[:batch])
+	}
+	e.pendStart, e.pendEnd = 0, int(batch)
 }
 
 // ApplyArc forces the interaction on arc k of the topology. It is used by
@@ -290,6 +448,15 @@ func (e *Engine[S]) applyArc(k int) {
 // and batched paths; callers handle the dirty check and observer dispatch.
 func (e *Engine[S]) applyPair(li, ri int32, lb, rb S) {
 	la, ra := e.trans(lb, rb)
+	if e.frozen != nil {
+		// Stuck agents keep their pre-state; the partner's update stands.
+		if e.frozen[li] {
+			la = lb
+		}
+		if e.frozen[ri] {
+			ra = rb
+		}
+	}
 	e.states[li], e.states[ri] = la, ra
 	e.step++
 	if e.tracker != nil {
@@ -373,6 +540,22 @@ func (e *Engine[S]) RunBatch(steps uint64) {
 		li, ri := arc[0], arc[1]
 		e.applyPair(li, ri, e.states[li], e.states[ri])
 		steps--
+	}
+	if e.sched != nil {
+		// Scheduler-aware batches go through the pending buffer so phase
+		// clamping and epoch events live in one place (refillPending).
+		for steps > 0 {
+			e.refillPending(steps)
+			drew := uint64(e.pendEnd)
+			for _, k := range e.pendBuf[:e.pendEnd] {
+				arc := e.topo.Arcs[k]
+				li, ri := arc[0], arc[1]
+				e.applyPair(li, ri, e.states[li], e.states[ri])
+			}
+			e.pendStart = e.pendEnd
+			steps -= drew
+		}
+		return
 	}
 	var buf [arcBatch]int32
 	nArcs := len(e.topo.Arcs)
@@ -458,15 +641,9 @@ func (e *Engine[S]) RunUntilConverged(maxSteps uint64) (uint64, bool) {
 	if e.leaderDirty {
 		e.recountLeaders()
 	}
-	nArcs := len(e.topo.Arcs)
 	for e.step < maxSteps {
 		if e.pendStart == e.pendEnd {
-			batch := uint64(arcBatch)
-			if rem := maxSteps - e.step; rem < batch {
-				batch = rem
-			}
-			e.rng.FillIntn(nArcs, e.pendBuf[:batch])
-			e.pendStart, e.pendEnd = 0, int(batch)
+			e.refillPending(maxSteps - e.step)
 		}
 		arc := e.topo.Arcs[e.pendBuf[e.pendStart]]
 		e.pendStart++

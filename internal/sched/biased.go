@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Biased draws arcs from a fixed non-uniform distribution using the
+// alias method (Vose 1991): O(n) table construction once per trial,
+// then exactly two RNG draws per sample — one uniform slot pick and one
+// coin — regardless of how skewed the weights are. Tables are built per
+// trial and never mutated afterwards, so concurrent trials share
+// nothing.
+type Biased struct {
+	prob  []float64 // accept probability of each slot
+	alias []int32   // fallback arc of each slot
+}
+
+// NewBiased builds an alias sampler over the given per-arc weights.
+// Weights must be finite and non-negative with a positive sum.
+func NewBiased(weights []float64) (*Biased, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sched: biased scheduler needs at least one arc")
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+			return nil, fmt.Errorf("sched: weight[%d] = %v is not a finite non-negative number", i, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("sched: biased weights sum to zero")
+	}
+	b := &Biased{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Vose's alias construction: partition slots into those under- and
+	// over-filled relative to the uniform share, then pair each
+	// under-filled slot with an over-filled donor.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		b.prob[s] = scaled[s]
+		b.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are numerically-exact unit slots.
+	for _, i := range append(small, large...) {
+		b.prob[i] = 1
+		b.alias[i] = i
+	}
+	return b, nil
+}
+
+// Fill draws len(out) arc indices: per element, one uniform slot draw
+// and one coin, consumed serially so batch size never affects the
+// stream.
+func (b *Biased) Fill(rng *xrand.RNG, _ uint64, out []int32) {
+	n := len(b.prob)
+	for i := range out {
+		j := rng.Intn(n)
+		if rng.Float64() < b.prob[j] {
+			out[i] = int32(j)
+		} else {
+			out[i] = b.alias[j]
+		}
+	}
+}
+
+// NextTransition reports that the distribution never changes.
+func (b *Biased) NextTransition(uint64) uint64 { return Never }
+
+// Phase reports the single everlasting epoch.
+func (b *Biased) Phase(uint64) (int, bool) { return 0, false }
+
+// HotspotWeights is the "hotspot" family: the hot leading arcs carry
+// weight times the unit weight of every other arc.
+func HotspotWeights(nArcs, hot int, weight float64) []float64 {
+	w := make([]float64, nArcs)
+	for i := range w {
+		if i < hot {
+			w[i] = weight
+		} else {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// RampWeights is the "ramp" family: weights rise linearly around the
+// ring from 1 at arc 0 to weight at the last arc.
+func RampWeights(nArcs int, weight float64) []float64 {
+	w := make([]float64, nArcs)
+	for i := range w {
+		if nArcs == 1 {
+			w[i] = 1
+			continue
+		}
+		w[i] = 1 + (weight-1)*float64(i)/float64(nArcs-1)
+	}
+	return w
+}

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Eclipse periodically partitions the ring: during each eclipse window
+// a contiguous interval of arcs is dead (never drawn) and draws are
+// renormalized uniformly over the surviving arcs; outside windows the
+// scheduler is uniform over all arcs. Windows are step-indexed —
+// [Start, Start+Duration), then every Period steps after Start — so the
+// phase schedule is a pure function of the step count and identical
+// across engines and replays.
+type Eclipse struct {
+	nArcs    int
+	start    uint64
+	period   uint64
+	duration uint64
+	lo       int // first dead arc index
+	width    int // dead arc count, < nArcs
+}
+
+// NewEclipse builds an eclipse scheduler over nArcs arcs. The dead
+// interval is the width arcs starting at offset (mod nArcs); width is
+// clamped to nArcs-1 so at least one arc always survives. Duration must
+// be positive and strictly less than period.
+func NewEclipse(nArcs int, start, period, duration uint64, offset, width int) (*Eclipse, error) {
+	if nArcs <= 1 {
+		return nil, fmt.Errorf("sched: eclipse needs at least two arcs, got %d", nArcs)
+	}
+	if period == 0 || duration == 0 || duration >= period {
+		return nil, fmt.Errorf("sched: eclipse needs 0 < duration < period, got duration=%d period=%d", duration, period)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("sched: eclipse needs at least one dead arc, got %d", width)
+	}
+	if width > nArcs-1 {
+		width = nArcs - 1
+	}
+	return &Eclipse{
+		nArcs:    nArcs,
+		start:    start,
+		period:   period,
+		duration: duration,
+		lo:       ((offset % nArcs) + nArcs) % nArcs,
+		width:    width,
+	}, nil
+}
+
+// eclipsedAt reports whether step falls inside an eclipse window.
+func (e *Eclipse) eclipsedAt(step uint64) bool {
+	if step < e.start {
+		return false
+	}
+	return (step-e.start)%e.period < e.duration
+}
+
+// Fill draws len(out) arc indices for the consecutive steps starting at
+// step. The engine clamps batches to one phase, so the whole batch is
+// either eclipsed or clear; eclipsed draws are uniform over the live
+// arcs and shifted past the dead interval.
+func (e *Eclipse) Fill(rng *xrand.RNG, step uint64, out []int32) {
+	if !e.eclipsedAt(step) {
+		rng.FillIntn(e.nArcs, out)
+		return
+	}
+	live := e.nArcs - e.width
+	rng.FillIntn(live, out)
+	// Live arc j maps to the j-th arc clockwise from the end of the dead
+	// interval, which both renormalizes and handles a wrapping interval.
+	base := e.lo + e.width
+	for i, v := range out {
+		out[i] = int32((base + int(v)) % e.nArcs)
+	}
+}
+
+// NextTransition returns the next step at which a window opens or
+// closes after step.
+func (e *Eclipse) NextTransition(step uint64) uint64 {
+	if step < e.start {
+		return e.start
+	}
+	k := (step - e.start) / e.period
+	base := e.start + k*e.period
+	if step < base+e.duration {
+		return base + e.duration
+	}
+	return base + e.period
+}
+
+// Phase numbers the alternating clear/eclipsed intervals: 0 before the
+// first window, 2k+1 inside window k, 2k+2 in the clear interval after
+// it.
+func (e *Eclipse) Phase(step uint64) (int, bool) {
+	if step < e.start {
+		return 0, false
+	}
+	k := (step - e.start) / e.period
+	if (step-e.start)%e.period < e.duration {
+		return int(2*k + 1), true
+	}
+	return int(2*k + 2), false
+}
+
+// Dead reports the dead arc interval as (first index, width). The first
+// live arc after an eclipse closes is (lo+width) mod nArcs.
+func (e *Eclipse) Dead() (lo, width int) { return e.lo, e.width }

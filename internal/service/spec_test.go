@@ -67,6 +67,44 @@ func TestJobSpecPlanDigests(t *testing.T) {
 	}
 }
 
+// TestCellDigestsCoverScheduler pins cache correctness for the scheduler
+// subsystem: a scheduler spec is part of the scenario and therefore of
+// every cell digest, so jobs differing only in scheduler (or in churn or
+// stuck dynamics) can never alias each other's cached records — while a
+// nil spec leaves the digests exactly where pre-scheduler jobs put them.
+func TestCellDigestsCoverScheduler(t *testing.T) {
+	variants := []*repro.SchedulerSpec{
+		nil,
+		{Kind: "uniform"},
+		{Kind: "biased", Family: "hotspot", HotArcs: 4, Weight: 8},
+		{Kind: "eclipse", Period: 5000, Duration: 800, Arcs: 4},
+		{Churn: []repro.ChurnEvent{{AtStep: 100, Remove: 1}}},
+		{Stuck: 2},
+	}
+	seen := map[string]int{}
+	for vi, sched := range variants {
+		spec := smallSpec()
+		// Election protocols that accept every variant (fj pins its census
+		// to a fixed ring size and would reject the churn spec up front).
+		spec.Protocols = []string{"ppl", "angluin"}
+		spec.Scenario.Sched = sched
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("variant %d rejected: %v", vi, err)
+		}
+		cells, err := spec.plan()
+		if err != nil {
+			t.Fatalf("variant %d plan: %v", vi, err)
+		}
+		for _, c := range cells {
+			if prev, dup := seen[c.Key]; dup {
+				t.Fatalf("scheduler variants %d and %d share digest %s for cell %+v",
+					prev, vi, c.Key, c)
+			}
+			seen[c.Key] = vi
+		}
+	}
+}
+
 func TestMaxSizeCapsCellsEndToEnd(t *testing.T) {
 	_, ts := startServer(t, Config{Workers: 1, QueueDepth: 2})
 	spec := JobSpec{

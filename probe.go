@@ -34,6 +34,16 @@ const (
 	// or at budget exhaustion, where the counts say how far from converged
 	// the ring still was.
 	EventChannels EventKind = "channels"
+	// EventSchedPhase marks a scheduler phase transition — an eclipse
+	// window opening (Eclipsed true) or closing (Eclipsed false) — at its
+	// exact boundary step. Emitted only for scenarios with a phased
+	// scheduler; a transition the trial converges short of is never
+	// reached and never emitted.
+	EventSchedPhase EventKind = "sched_phase"
+	// EventChurn reports a ring-dynamics splice right after the new
+	// topology installs: how many agents left and joined, and the live
+	// agent count afterwards.
+	EventChurn EventKind = "churn"
 )
 
 // TrialEvent is one typed observation inside a trial. Step is the engine
@@ -48,10 +58,19 @@ type TrialEvent struct {
 	Leaders int `json:"leaders,omitempty"`
 	// Agents is the number of corrupted agents of a fault event.
 	Agents int `json:"agents,omitempty"`
-	// Epoch is the fault-epoch index of an epoch event.
+	// Epoch is the fault-epoch index of an epoch event, or the scheduler
+	// phase ordinal of a sched_phase event.
 	Epoch int `json:"epoch,omitempty"`
 	// Counts holds the named tracker channel counts of a channels event.
 	Counts map[string]float64 `json:"counts,omitempty"`
+	// Eclipsed reports, for a sched_phase event, whether the phase that
+	// begins at Step is an eclipse (some arcs dead).
+	Eclipsed bool `json:"eclipsed,omitempty"`
+	// Removed and Inserted are the agent counts of a churn event's splice;
+	// Live is the ring size after it.
+	Removed  int `json:"removed,omitempty"`
+	Inserted int `json:"inserted,omitempty"`
+	Live     int `json:"live,omitempty"`
 }
 
 // Probe receives the typed event stream of one trial. A fresh Probe value
@@ -161,6 +180,15 @@ type SeriesPoint struct {
 //	                                    equals steps when no burst fired)
 //	chan_<name>                       — named tracker channel counts at
 //	                                    the end of the run phase
+//	eclipse_windows                   — eclipse windows the trial entered
+//	                                    (phased-scheduler scenarios only)
+//	eclipse_recovery_steps            — steps − the last observed eclipse
+//	                                    close, the recovery time after the
+//	                                    partition healed (converged trials
+//	                                    that saw a window close)
+//	churn_events, churn_removed,
+//	churn_inserted, live_agents_min   — ring-dynamics facts (when ≥1 churn
+//	                                    splice fired)
 //
 // and the series "leaders": the (step, count) leader trajectory.
 type TrialRecord struct {
@@ -199,23 +227,32 @@ type RecordingProbe struct {
 	// pathological trajectories while the step range stays covered.
 	MaxSeriesPoints int
 
-	rec          TrialRecord
-	haveLeaders  bool
-	initLeaders  float64
-	peakLeaders  float64
-	finalLeaders float64
-	changes      float64
-	bursts       float64
-	burstAgents  float64
-	lastFault    uint64
-	counts       map[string]float64
-	leaders      []SeriesPoint
-	stride       uint64
-	seen         uint64 // leader events seen, for stride sampling
+	rec           TrialRecord
+	haveLeaders   bool
+	initLeaders   float64
+	peakLeaders   float64
+	finalLeaders  float64
+	changes       float64
+	bursts        float64
+	burstAgents   float64
+	lastFault     uint64
+	eclipses      float64
+	eclipseClosed float64
+	eclipseEnd    uint64
+	haveEclipse   bool // a window close was observed
+	churns        float64
+	churnRemoved  float64
+	churnAdded    float64
+	liveMin       float64
+	counts        map[string]float64
+	leaders       []SeriesPoint
+	stride        uint64
+	seen          uint64 // leader events seen, for stride sampling
 }
 
 func (p *RecordingProbe) Begin(protocol string, n int, seed uint64) {
 	p.rec = TrialRecord{Protocol: protocol, N: n, Seed: seed}
+	p.liveMin = float64(n)
 }
 
 func (p *RecordingProbe) Observe(ev TrialEvent) {
@@ -241,6 +278,32 @@ func (p *RecordingProbe) Observe(ev TrialEvent) {
 		if p.haveLeaders && ev.Leaders >= 0 {
 			// The burst may rewrite the leader set without an interaction;
 			// keep the trajectory honest across the install.
+			count := float64(ev.Leaders)
+			if count > p.peakLeaders {
+				p.peakLeaders = count
+			}
+			p.finalLeaders = count
+			p.appendLeaderPoint(ev.Step, count)
+		}
+	case EventSchedPhase:
+		if ev.Eclipsed {
+			p.eclipses++
+		} else if ev.Epoch > 0 {
+			// A clear phase after at least one window: the partition just
+			// healed. Recovery is measured from the latest such close.
+			p.eclipseClosed++
+			p.eclipseEnd = ev.Step
+			p.haveEclipse = true
+		}
+	case EventChurn:
+		p.churns++
+		p.churnRemoved += float64(ev.Removed)
+		p.churnAdded += float64(ev.Inserted)
+		if live := float64(ev.Live); live < p.liveMin {
+			p.liveMin = live
+		}
+		if p.haveLeaders && ev.Leaders >= 0 {
+			// The splice may rewrite the leader set without an interaction.
 			count := float64(ev.Leaders)
 			if count > p.peakLeaders {
 				p.peakLeaders = count
@@ -309,6 +372,21 @@ func (p *RecordingProbe) End(res TrialResult) {
 		obs["fault_bursts"] = p.bursts
 		obs["fault_agents"] = p.burstAgents
 		obs["last_fault_step"] = float64(p.lastFault)
+	}
+	// A schedule starting inside a window (start 0) never streams the
+	// opening boundary, so the window count is whichever side of the
+	// phase events saw more transitions.
+	if windows := max(p.eclipses, p.eclipseClosed); windows > 0 {
+		obs["eclipse_windows"] = windows
+	}
+	if res.Converged && p.haveEclipse {
+		obs["eclipse_recovery_steps"] = float64(res.Steps - p.eclipseEnd)
+	}
+	if p.churns > 0 {
+		obs["churn_events"] = p.churns
+		obs["churn_removed"] = p.churnRemoved
+		obs["churn_inserted"] = p.churnAdded
+		obs["live_agents_min"] = p.liveMin
 	}
 	for name, v := range p.counts {
 		obs["chan_"+name] = v

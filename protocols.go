@@ -33,6 +33,13 @@ const initSeedSalt = core.InitSeedSalt
 // faultSeedSalt decorrelates the fault-injection RNG from both.
 const faultSeedSalt = 0xfa_17_5eed
 
+// stuckSeedSalt decorrelates the stuck-agent selection RNG from the
+// scheduler, init and fault streams of the same trial.
+const stuckSeedSalt = 0x57cc_a6e7
+
+// churnSeedSalt decorrelates the churn-splice RNG likewise.
+const churnSeedSalt = 0xc4c4_2a17
+
 // convergenceScanEvery is a test hook: when set to a positive value,
 // trialEngine.run bypasses the incremental tracker and judges convergence
 // with the scan-era RunUntil at that check cadence. Exactness regression
@@ -63,6 +70,87 @@ type trialEngine[S any] struct {
 	check   int
 }
 
+// applySched installs the scenario's arc scheduler and stuck-agent mask
+// on a freshly built engine; every newTrial calls it after the initial
+// configuration and trackers are in place. A nil or distribution-less
+// spec leaves the engine on the default uniform fast path. Stuck agents
+// are chosen without replacement from a salt-decorrelated RNG, clamped
+// to n-1 so at least one agent stays live.
+func applySched[S any](eng *population.Engine[S], sc Scenario, seed uint64) {
+	spec := sc.Sched
+	if spec == nil {
+		return
+	}
+	if s := spec.compileArcSched(eng.Arcs()); s != nil {
+		eng.SetScheduler(s)
+	}
+	if spec.Stuck > 0 {
+		n := eng.N()
+		k := spec.Stuck
+		if k > n-1 {
+			k = n - 1
+		}
+		rng := xrand.New(seed ^ stuckSeedSalt)
+		frozen := make([]bool, n)
+		for chosen := 0; chosen < k; {
+			if j := rng.Intn(n); !frozen[j] {
+				frozen[j] = true
+				chosen++
+			}
+		}
+		eng.SetFrozen(frozen)
+	}
+}
+
+// churnStep re-splices the ring for one churn event: Remove randomly
+// chosen agents leave (never shrinking below 3 agents), then Insert
+// newcomers join at random positions, each initialized by corrupting its
+// clockwise neighbor's state. The stuck-agent mask follows the surviving
+// agents; newcomers are never stuck. The new topology installs through
+// Engine.SetTopology (bumping installGen, so the interned layer
+// re-interns), and the caller re-installs the scenario's scheduler
+// against the new arc count. Returns how many agents actually left.
+func churnStep[S any](eng *population.Engine[S], rng *xrand.RNG, ev ChurnEvent, corrupt func(*xrand.RNG, S) S) int {
+	cfg := eng.Snapshot()
+	frozen := eng.FrozenAgents()
+	removed := 0
+	for i := 0; i < ev.Remove && len(cfg) > 3; i++ {
+		j := rng.Intn(len(cfg))
+		cfg = append(cfg[:j], cfg[j+1:]...)
+		if frozen != nil {
+			frozen = append(frozen[:j], frozen[j+1:]...)
+		}
+		removed++
+	}
+	for i := 0; i < ev.Insert; i++ {
+		j := rng.Intn(len(cfg) + 1)
+		s := corrupt(rng, cfg[j%len(cfg)])
+		cfg = append(cfg, s)
+		copy(cfg[j+1:], cfg[j:])
+		cfg[j] = s
+		if frozen != nil {
+			frozen = append(frozen, false)
+			copy(frozen[j+1:], frozen[j:])
+			frozen[j] = false
+		}
+	}
+	eng.SetTopology(population.DirectedRing(len(cfg)), cfg)
+	if frozen != nil {
+		eng.SetFrozen(frozen)
+	}
+	return removed
+}
+
+// rejectChurn is the validation shared by protocols whose construction
+// is pinned to a fixed ring size — P_OR's two-hop coloring and the
+// oracle-census baselines cannot re-splice mid-run.
+func rejectChurn(info ProtocolInfo, sc Scenario) error {
+	if sc.Sched.hasChurn() {
+		return fmt.Errorf("repro: %s is built for a fixed ring size and does not support churn", info.Name)
+	}
+	return nil
+}
+
 // interned returns the trial's interned execution layer, or nil when the
 // trial must run generically: the layer is absent, a test hook forces the
 // generic engine or the scan-era oracle, or the layer has already fallen
@@ -75,24 +163,30 @@ func (te trialEngine[S]) interned() population.Accelerator {
 	return te.accel
 }
 
-// run executes one trial under the scenario's fault schedule and budget:
-// each burst fires at its scheduled step (bursts past the budget never
-// fire), and convergence is judged on the run after the last burst — the
-// self-stabilization question "does the protocol recover from this fault
-// history within the budget". The trial runs on the interned table-lookup
-// layer by default (falling back to the generic engine transparently when
-// its guards trip) and judges convergence after every step, so Steps is
-// the exact hitting time of the protocol's convergence predicate, not a
-// checkEvery-quantized overestimate; the interned and generic paths are
-// pinned bit-identical by the differential regression tests.
+// run executes one trial under the scenario's fault and churn schedules
+// and budget: each event fires at its scheduled step (events past the
+// budget never fire; faults hit the pre-splice ring when both land on
+// one step), and convergence is judged on the run after the last event —
+// the self-stabilization question "does the protocol recover from this
+// adversarial history within the budget". The trial runs on the interned
+// table-lookup layer by default (falling back to the generic engine
+// transparently when its guards trip) and judges convergence after every
+// step, so Steps is the exact hitting time of the protocol's convergence
+// predicate, not a checkEvery-quantized overestimate; the interned and
+// generic paths are pinned bit-identical by the differential regression
+// tests. Churn splices re-install the scenario's scheduler against the
+// new arc count; TrialResult.N stays the starting size (the seed-derivation
+// key), with the live count streaming through churn events.
 //
 // A non-nil probe receives the trial's typed event stream (see Probe):
 // the initial leader count and every interaction-driven leader-set change
 // through the engine's O(1) leader hook, each fault burst and the epoch it
-// opens, the convergence step, and the named tracker channel counts at
-// the end of the run phase. name labels the events' protocol. Probing
-// changes nothing about the trial itself — the RNG stream, hitting time
-// and TrialResult are identical with probe == nil.
+// opens, each churn splice, each scheduler phase transition (eclipse
+// windows opening and closing, through the engine's epoch hook), the
+// convergence step, and the named tracker channel counts at the end of
+// the run phase. name labels the events' protocol. Probing changes
+// nothing about the trial itself — the RNG stream, hitting time and
+// TrialResult are identical with probe == nil.
 func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64, name string, probe Probe) TrialResult {
 	if probe != nil {
 		probe.Begin(name, n, seed)
@@ -102,43 +196,81 @@ func (te trialEngine[S]) run(sc Scenario, n int, seed uint64, maxSteps uint64, n
 				probe.Observe(TrialEvent{Kind: EventLeaderChange, Step: step, Leaders: leaders})
 			})
 		}
+		te.eng.SetEpochHook(func(step uint64, epoch int, eclipsed bool) {
+			probe.Observe(TrialEvent{Kind: EventSchedPhase, Step: step, Epoch: epoch, Eclipsed: eclipsed})
+		})
 		probe.Observe(TrialEvent{Kind: EventEpoch, Step: te.eng.Steps()})
 	}
 	acc := te.interned()
-	var frng *xrand.RNG
+	var frng, crng *xrand.RNG
 	epoch := 0
-	for _, f := range sc.sortedFaults() {
-		if f.AtStep >= maxSteps {
-			break // bursts past the budget never fire
-		}
-		if f.AtStep > te.eng.Steps() {
+	faults := sc.sortedFaults()
+	churns := sc.Sched.sortedChurn()
+	advance := func(to uint64) {
+		if to > te.eng.Steps() {
 			if acc != nil {
-				acc.Run(f.AtStep - te.eng.Steps())
+				acc.Run(to - te.eng.Steps())
 			} else {
-				te.eng.Run(f.AtStep - te.eng.Steps())
+				te.eng.Run(to - te.eng.Steps())
 			}
 		}
-		if frng == nil {
-			frng = xrand.New(seed ^ faultSeedSalt)
-		}
-		cfg := te.eng.Snapshot()
-		for i := 0; i < f.Agents; i++ {
-			j := frng.Intn(n)
-			cfg[j] = te.corrupt(frng, cfg[j])
-		}
-		if te.install != nil {
-			te.install(cfg)
+	}
+	for len(faults) > 0 || len(churns) > 0 {
+		doFault := len(faults) > 0 && (len(churns) == 0 || faults[0].AtStep <= churns[0].AtStep)
+		var at uint64
+		if doFault {
+			at = faults[0].AtStep
 		} else {
-			te.eng.SetStates(cfg)
+			at = churns[0].AtStep
+		}
+		if at >= maxSteps {
+			break // events past the budget never fire
+		}
+		advance(at)
+		if doFault {
+			f := faults[0]
+			faults = faults[1:]
+			if frng == nil {
+				frng = xrand.New(seed ^ faultSeedSalt)
+			}
+			cfg := te.eng.Snapshot()
+			for i := 0; i < f.Agents; i++ {
+				j := frng.Intn(len(cfg))
+				cfg[j] = te.corrupt(frng, cfg[j])
+			}
+			if te.install != nil {
+				te.install(cfg)
+			} else {
+				te.eng.SetStates(cfg)
+			}
+			if probe != nil {
+				epoch++
+				ev := TrialEvent{Kind: EventFault, Step: te.eng.Steps(), Agents: f.Agents, Leaders: -1}
+				if te.eng.TracksLeaders() {
+					ev.Leaders = te.eng.LeaderCount()
+				}
+				probe.Observe(ev)
+				probe.Observe(TrialEvent{Kind: EventEpoch, Step: te.eng.Steps(), Epoch: epoch})
+			}
+			continue
+		}
+		ev := churns[0]
+		churns = churns[1:]
+		if crng == nil {
+			crng = xrand.New(seed ^ churnSeedSalt)
+		}
+		removed := churnStep(te.eng, crng, ev, te.corrupt)
+		// SetTopology cleared the scheduler (it was sized to the old arc
+		// count); rebuild it against the spliced ring.
+		if s := sc.Sched.compileArcSched(te.eng.Arcs()); s != nil {
+			te.eng.SetScheduler(s)
 		}
 		if probe != nil {
-			epoch++
-			ev := TrialEvent{Kind: EventFault, Step: te.eng.Steps(), Agents: f.Agents, Leaders: -1}
+			cev := TrialEvent{Kind: EventChurn, Step: te.eng.Steps(), Removed: removed, Inserted: ev.Insert, Live: te.eng.N(), Leaders: -1}
 			if te.eng.TracksLeaders() {
-				ev.Leaders = te.eng.LeaderCount()
+				cev.Leaders = te.eng.LeaderCount()
 			}
-			probe.Observe(ev)
-			probe.Observe(TrialEvent{Kind: EventEpoch, Step: te.eng.Steps(), Epoch: epoch})
+			probe.Observe(cev)
 		}
 	}
 	var steps uint64
@@ -307,6 +439,7 @@ func (p pplProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[core.
 	eng.TrackLeaders(core.IsLeader)
 	spec := par.SafetySpec()
 	tracker := population.NewRingTracker(spec)
+	applySched(eng, sc, seed)
 	return trialEngine[core.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ core.State) core.State { return par.RandomState(rng) },
@@ -368,7 +501,7 @@ func (orientProtocol) Validate(sc Scenario) error {
 	if sc.Init != InitRandom {
 		return fmt.Errorf("repro: P_OR supports the random init class only, not %v", sc.Init)
 	}
-	return nil
+	return rejectChurn(orientProtocol{}.Info(), sc)
 }
 
 func (p orientProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[orient.State] {
@@ -384,6 +517,7 @@ func (p orientProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[or
 	eng.SetStates(orient.InitialConfig(colors, xrand.New(seed^initSeedSalt)))
 	spec := orient.OrientedSpec()
 	tracker := population.NewRingTracker(spec)
+	applySched(eng, sc, seed)
 	return trialEngine[orient.State]{
 		eng: eng,
 		// Corruption scrambles the evolving registers but preserves the
@@ -445,6 +579,7 @@ func (p yokotaProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[yo
 	eng.TrackLeaders(yokota.IsLeader)
 	spec := pr.StableSpec()
 	tracker := population.NewRingTracker(spec)
+	applySched(eng, sc, seed)
 	return trialEngine[yokota.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ yokota.State) yokota.State { return pr.RandomState(rng) },
@@ -504,6 +639,7 @@ func (p angluinProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[a
 	eng.TrackLeaders(angluin.IsLeader)
 	spec := pr.StableSpec()
 	tracker := population.NewRingTracker(spec)
+	applySched(eng, sc, seed)
 	return trialEngine[angluin.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ angluin.State) angluin.State { return pr.RandomState(rng) },
@@ -548,13 +684,19 @@ func (fjProtocol) MaxSteps(n int) uint64 {
 	return 400 * uint64(n) * uint64(n) * uint64(n)
 }
 
-func (p fjProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
+func (p fjProtocol) Validate(sc Scenario) error {
+	if err := validateElection(p.Info(), sc); err != nil {
+		return err
+	}
+	return rejectChurn(p.Info(), sc)
+}
 
 func (p fjProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[fj.State] {
 	ru := fj.NewRunner(n, xrand.New(seed))
 	ru.SetStates(fj.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
 	spec := fj.New().StableSpec()
 	tracker := population.NewRingTracker(spec)
+	applySched(ru.Engine(), sc, seed)
 	return trialEngine[fj.State]{
 		eng:     ru.Engine(),
 		install: ru.SetStates, // keep the oracle census in sync
@@ -603,13 +745,19 @@ func (chenchenProtocol) MaxSteps(n int) uint64 {
 	return 2000 * uint64(n) * uint64(n) * uint64(n)
 }
 
-func (p chenchenProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
+func (p chenchenProtocol) Validate(sc Scenario) error {
+	if err := validateElection(p.Info(), sc); err != nil {
+		return err
+	}
+	return rejectChurn(p.Info(), sc)
+}
 
 func (p chenchenProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[chenchen.State] {
 	ru := chenchen.NewRunner(n, xrand.New(seed))
 	ru.SetStates(chenchen.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
 	spec := chenchen.New().StableSpec()
 	tracker := population.NewRingTracker(spec)
+	applySched(ru.Engine(), sc, seed)
 	return trialEngine[chenchen.State]{
 		eng:     ru.Engine(),
 		install: ru.SetStates, // keep the flag census in sync

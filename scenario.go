@@ -204,14 +204,18 @@ func (b Budget) steps(def uint64) uint64 {
 
 // Scenario describes everything about a trial except the protocol and the
 // ring size: the interaction topology, the adversarial initial
-// configuration class, an optional mid-run fault-injection schedule, and
-// the step-budget policy. The zero Scenario is the standard experiment:
-// native topology, random adversarial start, no faults, default budget.
+// configuration class, an optional mid-run fault-injection schedule, the
+// step-budget policy, and the scheduler/ring-dynamics spec (biased arc
+// distributions, eclipses, churn, stuck agents — see SchedulerSpec). The
+// zero Scenario is the standard experiment: native topology, random
+// adversarial start, no faults, default budget, uniform-random scheduler
+// on a static ring.
 type Scenario struct {
-	Topology Topology  `json:"topology,omitempty"`
-	Init     InitClass `json:"init,omitempty"`
-	Faults   []Fault   `json:"faults,omitempty"`
-	Budget   Budget    `json:"budget,omitempty"`
+	Topology Topology       `json:"topology,omitempty"`
+	Init     InitClass      `json:"init,omitempty"`
+	Faults   []Fault        `json:"faults,omitempty"`
+	Budget   Budget         `json:"budget,omitempty"`
+	Sched    *SchedulerSpec `json:"scheduler,omitempty"`
 }
 
 // Validate reports whether the scenario is well-formed independent of any
@@ -229,7 +233,7 @@ func (sc Scenario) Validate() error {
 	if sc.Budget.Scale < 0 || math.IsNaN(sc.Budget.Scale) || math.IsInf(sc.Budget.Scale, 0) {
 		return fmt.Errorf("repro: invalid budget scale %v", sc.Budget.Scale)
 	}
-	return nil
+	return sc.Sched.Validate()
 }
 
 // MaxSteps resolves the scenario's budget policy for protocol p at ring
