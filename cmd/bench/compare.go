@@ -104,7 +104,8 @@ func runCompare(stdout io.Writer, oldPath, newPath string, gate bool, maxTracked
 	for _, k := range missing {
 		fmt.Fprintf(stdout, "## baseline cell missing from %s: %s n=%d %s %s\n",
 			newPath, k.Protocol, k.N, k.Scenario, k.Mode)
-		if k.Mode == string(repro.BenchTracked) || k.Mode == "recovery" {
+		switch k.Mode {
+		case string(repro.BenchTracked), string(repro.BenchInterned), string(repro.BenchLanes), "recovery":
 			lostGated = true
 		}
 	}
@@ -139,39 +140,50 @@ func runCompare(stdout io.Writer, oldPath, newPath string, gate bool, maxTracked
 
 	ok := true
 	if gate && lostGated {
-		fmt.Fprintln(stdout, "GATE FAIL: gated baseline cells (tracked/recovery) missing from the new measurement")
+		fmt.Fprintln(stdout, "GATE FAIL: gated baseline cells (tracked/interned/lanes/recovery) missing from the new measurement")
 		ok = false
 	}
-	// Gate 1: normalized tracked-mode throughput. Geometric mean across
-	// every cell with both a tracked and a runbatch row in both files, so a
+	// Gate 1: normalized engine throughput, once per convergence-engine
+	// mode — tracked, interned and lanes each carry their own envelope, so
+	// a regression in the table-lookup layer cannot hide behind the
+	// tracked engine (or vice versa). Geometric mean across every cell
+	// with both the mode's row and a runbatch row in both files, so a
 	// single noisy cell cannot fail the build on its own while a broad
 	// regression cannot hide behind one improved cell either.
-	logSum, cells := 0.0, 0
-	for _, k := range keys {
-		if k.Mode != string(repro.BenchTracked) {
+	fmt.Fprintln(stdout)
+	for _, mode := range []string{string(repro.BenchTracked), string(repro.BenchInterned), string(repro.BenchLanes)} {
+		logSum, cells := 0.0, 0
+		for _, k := range keys {
+			if k.Mode != mode {
+				continue
+			}
+			rawKey := cellKey{k.Protocol, k.N, k.Scenario, string(repro.BenchRaw)}
+			oRaw, okO := oldCells[rawKey]
+			nRaw, okN := newCells[rawKey]
+			if !okO || !okN || oRaw.meanSPS <= 0 || nRaw.meanSPS <= 0 || oldCells[k].meanSPS <= 0 || newCells[k].meanSPS <= 0 {
+				continue
+			}
+			oldNorm := oldCells[k].meanSPS / oRaw.meanSPS
+			newNorm := newCells[k].meanSPS / nRaw.meanSPS
+			logSum += math.Log(newNorm / oldNorm)
+			cells++
+		}
+		if cells == 0 {
+			// Only the tracked mode is mandatory: the seed baseline predates
+			// the interned and lanes modes, and -compare must keep working
+			// against it.
+			if gate && mode == string(repro.BenchTracked) {
+				fmt.Fprintf(stdout, "GATE WARN: no common %s+runbatch cells; %s gate not evaluated\n", mode, mode)
+			}
 			continue
 		}
-		rawKey := cellKey{k.Protocol, k.N, k.Scenario, string(repro.BenchRaw)}
-		oRaw, okO := oldCells[rawKey]
-		nRaw, okN := newCells[rawKey]
-		if !okO || !okN || oRaw.meanSPS <= 0 || nRaw.meanSPS <= 0 || oldCells[k].meanSPS <= 0 || newCells[k].meanSPS <= 0 {
-			continue
-		}
-		oldNorm := oldCells[k].meanSPS / oRaw.meanSPS
-		newNorm := newCells[k].meanSPS / nRaw.meanSPS
-		logSum += math.Log(newNorm / oldNorm)
-		cells++
-	}
-	if cells > 0 {
 		geo := math.Exp(logSum / float64(cells))
-		fmt.Fprintf(stdout, "\ntracked-mode efficiency (tracked/runbatch, geomean over %d cells): %.3f× the old baseline\n", cells, geo)
+		fmt.Fprintf(stdout, "%s-mode efficiency (%s/runbatch, geomean over %d cells): %.3f× the old baseline\n", mode, mode, cells, geo)
 		if gate && geo < 1-maxTrackedRegress {
-			fmt.Fprintf(stdout, "GATE FAIL: tracked-mode throughput regressed %.1f%% (> %.0f%% allowed)\n",
-				(1-geo)*100, maxTrackedRegress*100)
+			fmt.Fprintf(stdout, "GATE FAIL: %s-mode throughput regressed %.1f%% (> %.0f%% allowed)\n",
+				mode, (1-geo)*100, maxTrackedRegress*100)
 			ok = false
 		}
-	} else if gate {
-		fmt.Fprintln(stdout, "\nGATE WARN: no common tracked+runbatch cells; tracked gate not evaluated")
 	}
 
 	// Gate 2: mean recovery steps, a deterministic machine-independent

@@ -2,8 +2,11 @@
 // BENCH_ringsim.json: steps per second for every requested protocol ×
 // ring size × scenario cell, in four engine modes — the raw RunBatch
 // transition loop (no convergence judgement), the incremental-tracker run
-// to convergence, the scan-era periodic-predicate run, and the interned
-// table-lookup run (the trial default) — plus a "recovery" mode that
+// to convergence, the scan-era periodic-predicate run, the interned
+// table-lookup run (the trial default), and the "lanes" mode — a batch of
+// -lanes same-cell trials run as lockstep lanes over one shared
+// transition-table set, whose steps/sec aggregates the batch — plus a
+// "recovery" mode that
 // injects a mid-run fault burst through the public Trial API and records
 // the exact number of steps the protocol needed to re-converge, and an
 // "eclipse" mode that partitions the ring (an eclipse scheduler kills
@@ -16,8 +19,9 @@
 // Usage:
 //
 //	bench [-protocols ppl,yokota,...] [-sizes 16,32,64] [-scenarios random]
-//	      [-modes runbatch,tracked,scan,interned,recovery,eclipse] [-trials 3]
-//	      [-bestof 3] [-seed 1] [-rawsteps 2000000] [-ccmax 8] [-quick]
+//	      [-modes runbatch,tracked,scan,interned,lanes,recovery,eclipse]
+//	      [-trials 3] [-bestof 3] [-seed 1] [-rawsteps 2000000] [-ccmax 8]
+//	      [-lanes 8] [-maxstates 0] [-quick]
 //	      [-o BENCH_ringsim.json] [-records FILE]
 //	bench -compare [-gate] [-max-tracked-regress 0.20] [-max-recovery-drift 0.05]
 //	      old.json new.json
@@ -31,11 +35,13 @@
 // share one consumer pipeline.
 //
 // -compare reads two baseline files and prints per-cell steps/sec ratios
-// (new/old). With -gate it exits non-zero when the tracked-mode throughput
-// — normalized by the same file's runbatch throughput, so baselines
-// recorded on different machines stay comparable — regresses by more than
-// -max-tracked-regress, or when mean recovery steps (a machine-independent,
-// deterministic count) drift by more than -max-recovery-drift.
+// (new/old). With -gate it exits non-zero when the tracked-, interned- or
+// lanes-mode throughput — each normalized by the same file's runbatch
+// throughput, so baselines recorded on different machines stay comparable,
+// and each gated by its own geomean so the table-lookup layer cannot hide
+// behind the tracked engine — regresses by more than -max-tracked-regress,
+// or when mean recovery steps (a machine-independent, deterministic count)
+// drift by more than -max-recovery-drift.
 //
 // The schema of the emitted file is stable ("repro.bench/v1"): an
 // envelope with the Go/OS/arch/CPU provenance and a flat results array,
@@ -49,6 +55,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -83,31 +90,66 @@ type config struct {
 	seed      uint64
 	rawSteps  uint64
 	ccmax     int
+	lanes     int
+	maxStates int
 	out       string
 	records   string
 }
 
 func main() {
 	var (
-		cfg       config
-		compare   = flag.Bool("compare", false, "compare two baseline files (positional args: old.json new.json) instead of emitting one")
-		gate      = flag.Bool("gate", false, "with -compare: exit non-zero on threshold violations")
-		maxTrack  = flag.Float64("max-tracked-regress", 0.20, "with -gate: max allowed regression of normalized tracked-mode steps/sec")
-		maxRecov  = flag.Float64("max-recovery-drift", 0.05, "with -gate: max allowed drift of mean recovery steps")
-		quick     = flag.Bool("quick", false, "CI smoke preset: sizes 8,16, one trial, bestof 2, 200k raw steps")
-		protocols = flag.String("protocols", "ppl,yokota,angluin,fj,orient,chenchen", "comma-separated registered protocol names")
-		sizes     = flag.String("sizes", "16,32,64", "comma-separated ring sizes")
-		scenarios = flag.String("scenarios", "random", "comma-separated init classes (non-ppl protocols skip all but random)")
-		modes     = flag.String("modes", "runbatch,tracked,scan,interned,recovery,eclipse", "comma-separated modes: runbatch, tracked, scan, interned, recovery, eclipse")
-		trials    = flag.Int("trials", 3, "measurements per cell (seeds seed..seed+trials-1)")
-		bestOf    = flag.Int("bestof", 3, "timings per measurement; the fastest is kept")
-		seed      = flag.Uint64("seed", 1, "first scheduler seed")
-		rawSteps  = flag.Uint64("rawsteps", 2_000_000, "step budget of the runbatch mode")
-		ccmax     = flag.Int("ccmax", 8, "largest size for the [11]-style baseline (exponential class)")
-		out       = flag.String("o", "", "output path (default: stdout)")
-		records   = flag.String("records", "", "also stream each measurement as a TrialRecord JSONL line to this file")
+		cfg        config
+		compare    = flag.Bool("compare", false, "compare two baseline files (positional args: old.json new.json) instead of emitting one")
+		gate       = flag.Bool("gate", false, "with -compare: exit non-zero on threshold violations")
+		maxTrack   = flag.Float64("max-tracked-regress", 0.20, "with -gate: max allowed regression of normalized tracked-mode steps/sec")
+		maxRecov   = flag.Float64("max-recovery-drift", 0.05, "with -gate: max allowed drift of mean recovery steps")
+		quick      = flag.Bool("quick", false, "CI smoke preset: sizes 8,16, one trial, bestof 2, 200k raw steps")
+		protocols  = flag.String("protocols", "ppl,yokota,angluin,fj,orient,chenchen", "comma-separated registered protocol names")
+		sizes      = flag.String("sizes", "16,32,64", "comma-separated ring sizes")
+		scenarios  = flag.String("scenarios", "random", "comma-separated init classes (non-ppl protocols skip all but random)")
+		modes      = flag.String("modes", "runbatch,tracked,scan,interned,lanes,recovery,eclipse", "comma-separated modes: runbatch, tracked, scan, interned, lanes, recovery, eclipse")
+		trials     = flag.Int("trials", 3, "measurements per cell (seeds seed..seed+trials-1)")
+		bestOf     = flag.Int("bestof", 3, "timings per measurement; the fastest is kept")
+		seed       = flag.Uint64("seed", 1, "first scheduler seed")
+		rawSteps   = flag.Uint64("rawsteps", 2_000_000, "step budget of the runbatch mode")
+		ccmax      = flag.Int("ccmax", 8, "largest size for the [11]-style baseline (exponential class)")
+		lanes      = flag.Int("lanes", 8, "batch width of the lanes mode")
+		maxStates  = flag.Int("maxstates", 0, "interner capacity cap for every cell (0: engine default)")
+		out        = flag.String("o", "", "output path (default: stdout)")
+		records    = flag.String("records", "", "also stream each measurement as a TrialRecord JSONL line to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the measurement loop to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (taken after all measurements) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+			}
+		}()
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -134,7 +176,7 @@ func main() {
 	cfg = config{
 		protocols: *protocols, sizes: *sizes, scenarios: *scenarios, modes: *modes,
 		trials: *trials, bestOf: *bestOf, seed: *seed, rawSteps: *rawSteps,
-		ccmax: *ccmax, out: *out, records: *records,
+		ccmax: *ccmax, lanes: *lanes, maxStates: *maxStates, out: *out, records: *records,
 	}
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -146,7 +188,7 @@ func main() {
 // times and returns the fastest row (the row whose timing is least
 // polluted by scheduler noise; steps are identical across repeats because
 // the seed pins the trajectory).
-func measure(name string, n int, seed uint64, sc repro.Scenario, mode string, rawSteps uint64, bestOf int) (repro.BenchResult, error) {
+func measure(name string, n int, seed uint64, sc repro.Scenario, mode string, rawSteps uint64, bestOf, lanes int) (repro.BenchResult, error) {
 	var best repro.BenchResult
 	for i := 0; i < bestOf; i++ {
 		var res repro.BenchResult
@@ -156,6 +198,8 @@ func measure(name string, n int, seed uint64, sc repro.Scenario, mode string, ra
 			res, err = measureRecovery(name, n, seed, sc)
 		case "eclipse":
 			res, err = measureEclipse(name, n, seed, sc)
+		case "lanes":
+			res, err = repro.RunBenchmarkLanes(name, n, seed, sc, lanes)
 		default:
 			res, err = repro.RunBenchmark(name, n, seed, sc, repro.BenchMode(mode), rawSteps)
 		}
@@ -293,7 +337,7 @@ func run(stdout io.Writer, cfg config) error {
 			if err != nil {
 				return err
 			}
-			sc := repro.Scenario{Init: init}
+			sc := repro.Scenario{Init: init, MaxStates: cfg.maxStates}
 			if err := p.Validate(sc); err != nil {
 				// Scenario unsupported by this protocol (e.g. noleader on
 				// a baseline): skip the cell, not the run.
@@ -307,7 +351,7 @@ func run(stdout io.Writer, cfg config) error {
 				}
 				for _, mode := range split(cfg.modes) {
 					for t := 0; t < cfg.trials; t++ {
-						res, err := measure(name, n, cfg.seed+uint64(t), sc, mode, cfg.rawSteps, cfg.bestOf)
+						res, err := measure(name, n, cfg.seed+uint64(t), sc, mode, cfg.rawSteps, cfg.bestOf, cfg.lanes)
 						if err != nil {
 							return err
 						}

@@ -66,6 +66,7 @@ func run() error {
 		sched   = flag.String("sched", "", "arc scheduler: uniform, hotspot:arcs=K,weight=W, ramp:weight=W, eclipse:period=P,duration=D,arcs=K[,offset=O][,start=S]")
 		churn   = flag.String("churn", "", "churn schedule, comma-separated del<K>@<step> / add<K>@<step> events")
 		stuck   = flag.Int("stuck", 0, "freeze this many randomly chosen agents for the whole trial")
+		maxst   = flag.Int("maxstates", 0, "interner capacity cap (0 = engine default; interned runs fall back to the generic engine past it)")
 		verbose = flag.Bool("v", false, "print the final configuration (ppl)")
 		stat    = flag.Bool("stats", false, "print event counters and a final snapshot (ppl)")
 		trials  = flag.Int("trials", 1, "number of repetitions (seeds seed..seed+trials-1, run in parallel)")
@@ -75,6 +76,9 @@ func run() error {
 	flag.Parse()
 
 	sc, err := scenarioFor(*init, *faults, *sched, *churn, *stuck)
+	if err == nil {
+		sc.MaxStates = *maxst
+	}
 	if err != nil {
 		return err
 	}

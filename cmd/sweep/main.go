@@ -16,6 +16,7 @@
 //	sweep -json FILE      also write the E1 Table 1 report as JSON
 //	sweep -csv FILE       also write the E1 Table 1 report as CSV
 //	sweep -record FILE    also stream the E1 per-trial records as JSONL
+//	sweep -maxstates K    cap the interned engine's state interner at K
 package main
 
 import (
@@ -59,6 +60,10 @@ var table1Report *repro.Report
 // there as trials finish.
 var recordPath string
 
+// maxInternStates is the -maxstates interner-capacity override applied to
+// every section's scenarios (0 = engine default).
+var maxInternStates int
+
 // recordCount is the number of records E1 streamed to -record, -1 until
 // the section runs.
 var recordCount int64 = -1
@@ -70,9 +75,11 @@ func main() {
 	jsonPath := flag.String("json", "", "write the E1 Table 1 report as JSON to this file")
 	csvPath := flag.String("csv", "", "write the E1 Table 1 report as CSV to this file")
 	record := flag.String("record", "", "stream the E1 per-trial records as JSONL to this file")
+	maxStates := flag.Int("maxstates", 0, "interner capacity cap per trial (0 = engine default; interned runs fall back to the generic engine past it)")
 	flag.Parse()
 	pool = runner.Options{Workers: *workers}
 	recordPath = *record
+	maxInternStates = *maxStates
 
 	prof := profile{
 		table1Sizes:  []int{16, 32, 64, 128},
@@ -155,6 +162,7 @@ func check(err error) {
 // sweepRow runs one protocol through the public Experiment API and returns
 // its report row (cells in size order plus the fitted exponent).
 func sweepRow(p repro.Protocol, sc repro.Scenario, sizes []int, trials int) repro.ReportRow {
+	sc.MaxStates = maxInternStates
 	rep, err := repro.NewExperiment().
 		Protocols(p).
 		Sizes(sizes...).
@@ -503,7 +511,7 @@ func e12Elimination(p profile) {
 					}
 					return 0
 				},
-				Converged: func(c population.LocalCounts, _ []core.State) bool {
+				Converged: func(c *population.LocalCounts, _ []core.State) bool {
 					return c.Agent[0] == 1
 				},
 			}))

@@ -187,34 +187,52 @@
 // replays as a handful of array loads instead of the full transition
 // cascade plus mask closures. Oracle protocols (fj's Ω?, chenchen's flag
 // census) keep one table per environment key and maintain their global
-// counters through precomputed per-entry deltas. The layer is a pure
-// accelerator: the RNG stream, step counts, leader accounting, hitting
-// times and probe event streams are bit-identical to the generic engine
-// (pinned by differential tests across all six protocols, fuzzed seeds
-// and mid-run fault bursts), and it falls back to the generic path
-// transparently when the run wanders past the interner's capacity cap or
-// keeps missing the tables (the adaptive reuse guard) — table lookups
-// only beat recomputation while the tables stay cache-resident, which is
-// precisely the poly-log/O(1)-state regime the paper's protocols live in.
+// counters through precomputed per-entry deltas.
+//
+// The packed-state core carries the layer into the O(n)-state regime:
+// each protocol ships a fixed-width PackedCodec (an injective ≤63-bit
+// encoding of its state struct, pinned by round-trip and fuzz tests)
+// that keys the interner through an open-addressed table instead of a
+// Go map; pair memos live in a dense array while the state count is
+// small and migrate to an open-addressed hashed slab — interleaved
+// key/value words, fronted by a small direct-mapped cache and a software
+// prefetch of the next pair's lookup line — when it grows; the
+// interner's default capacity cap is the full ID space (a memory
+// backstop, adjustable via Scenario.MaxStates); and LaneTrials runs a
+// batch of same-cell trials as lockstep lanes over one shared table set
+// so minting and table fills amortize across the batch.
+//
+// The layer is a pure accelerator: the RNG stream, step counts, leader
+// accounting, hitting times and probe event streams are bit-identical to
+// the generic engine (pinned by differential tests across all six
+// protocols, fuzzed seeds, adversarial schedulers and mid-run fault
+// bursts — the lane path included), and it falls back to the generic
+// path transparently when the run exceeds the interner's capacity cap or
+// keeps missing the tables without minting new states (the adaptive
+// reuse guard).
 //
 // # Performance baseline (BENCH_ringsim.json)
 //
 // RunBenchmark (and the cmd/bench command wrapping it) measures steps per
-// second of every built-in protocol × ring size × scenario in four
+// second of every built-in protocol × ring size × scenario in five
 // modes: "runbatch" (the raw batched transition loop, no convergence
 // judgement — the ceiling), "tracked" (run-to-convergence through the
 // incremental tracker with exact hitting times), "scan" (the pre-tracker
-// periodic polling loop, kept as the comparison baseline) and "interned"
-// (the trial default: the table-lookup layer, with its Fallback flag
-// recorded per row). cmd/bench additionally measures "recovery" rows —
+// periodic polling loop, kept as the comparison baseline), "interned"
+// (the trial default: the table-lookup layer timed steady-state against
+// tables pre-filled by an untimed warmup run, with its Fallback flag
+// recorded per row) and "lanes" (a batch of same-cell trials as lockstep
+// lanes over one shared table set — the cold fill paid once, amortized).
+// cmd/bench additionally measures "recovery" rows —
 // exact steps from a deterministic mid-run fault burst back to
 // convergence — and "eclipse" rows — exact steps from a deterministic
 // ring partition's window closing back to convergence — times every
 // measurement best-of-k (-bestof, recorded in
 // the envelope), and its -compare subcommand diffs two baseline files
-// and gates CI: tracked-mode throughput normalized by the same file's
-// runbatch rate (machine-portable) must not regress more than 20%, and
-// mean recovery steps (deterministic counts) must not drift more than 5%
+// and gates CI: tracked-, interned- and lanes-mode throughput, each
+// normalized by the same file's runbatch rate (machine-portable) and
+// gated on its own geomean, must not regress more than 20%, and mean
+// recovery steps (deterministic counts) must not drift more than 5%
 // against the committed BENCH_baseline.json. CI uploads the resulting
 // BENCH_ringsim.json — schema "repro.bench/v1", an envelope of
 // Go/OS/arch/CPU provenance plus a flat results array — as an artifact on

@@ -74,6 +74,33 @@ func (p *Protocol) Step(l, r State) (State, State) {
 // IsLeader is the output function.
 func IsLeader(s State) bool { return s.Leader }
 
+// Codec is the fixed-width state codec for the interned engine's packed
+// interner: the mod-k label in the low byte, then the leader and repair
+// bits, then the four war bits — 14 bits.
+func Codec() population.PackedCodec[State] {
+	return population.PackedCodec[State]{
+		Bits: 8 + 2 + war.PackBits,
+		Enc: func(s State) uint64 {
+			v := uint64(s.C) | war.Pack(s.War)<<10
+			if s.Leader {
+				v |= 1 << 8
+			}
+			if s.Repair {
+				v |= 1 << 9
+			}
+			return v
+		},
+		Dec: func(v uint64) State {
+			return State{
+				C:      uint8(v),
+				Leader: v&(1<<8) != 0,
+				Repair: v&(1<<9) != 0,
+				War:    war.Unpack(v >> 10),
+			}
+		},
+	}
+}
+
 // StateCount returns |Q| = k·2·2·12 — constant in n.
 func (p *Protocol) StateCount() uint64 {
 	return uint64(p.K) * 2 * 2 * 3 * 2 * 2
@@ -210,10 +237,10 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 			}
 			return m
 		},
-		Gate: func(c population.LocalCounts) bool {
+		Gate: func(c *population.LocalCounts) bool {
 			return c.Agent[0] == 1 && c.Agent[1] == 0 && c.Arc[0] == 1 && c.Arc[1] == 0
 		},
-		Residual: func(c population.LocalCounts, cfg []State) (bool, population.Witness) {
+		Residual: func(c *population.LocalCounts, cfg []State) (bool, population.Witness) {
 			if c.Agent[2] == 0 {
 				return true, population.Witness{} // no live bullets: C_PB holds trivially
 			}
@@ -227,7 +254,7 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 			}
 			return true, population.Witness{}
 		},
-		Converged: func(c population.LocalCounts, cfg []State) bool {
+		Converged: func(c *population.LocalCounts, cfg []State) bool {
 			if c.Agent[0] != 1 || c.Agent[1] != 0 || c.Arc[0] != 1 || c.Arc[1] != 0 {
 				return false
 			}

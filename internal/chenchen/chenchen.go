@@ -144,6 +144,39 @@ func (p *Protocol) Step(l, r State, env Census) (State, State) {
 // IsLeader is the output function.
 func IsLeader(s State) bool { return s.Leader }
 
+// Codec is the fixed-width state codec for the interned engine's packed
+// interner: the four flag bits, then the four war bits — 8 bits.
+func Codec() population.PackedCodec[State] {
+	return population.PackedCodec[State]{
+		Bits: 4 + war.PackBits,
+		Enc: func(s State) uint64 {
+			v := war.Pack(s.War) << 4
+			if s.Leader {
+				v |= 1
+			}
+			if s.Anchor {
+				v |= 1 << 1
+			}
+			if s.Walker {
+				v |= 1 << 2
+			}
+			if s.Retract {
+				v |= 1 << 3
+			}
+			return v
+		},
+		Dec: func(v uint64) State {
+			return State{
+				Leader:  v&1 != 0,
+				Anchor:  v&(1<<1) != 0,
+				Walker:  v&(1<<2) != 0,
+				Retract: v&(1<<3) != 0,
+				War:     war.Unpack(v >> 4),
+			}
+		},
+	}
+}
+
 // StateCount returns |Q| = 2⁴·12 = 192 — constant in n.
 func (p *Protocol) StateCount() uint64 { return 2 * 2 * 2 * 2 * 3 * 2 * 2 }
 
@@ -355,14 +388,14 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 			}
 			return m
 		},
-		Gate: func(c population.LocalCounts) bool {
+		Gate: func(c *population.LocalCounts) bool {
 			if c.Agent[0] != 1 || c.Agent[1] > 1 {
 				return false
 			}
 			walkers, retractors := c.Agent[2], c.Agent[3]
 			return (walkers == 1 && retractors == 0) || (walkers == 0 && retractors <= 1)
 		},
-		Residual: func(c population.LocalCounts, cfg []State) (bool, population.Witness) {
+		Residual: func(c *population.LocalCounts, cfg []State) (bool, population.Witness) {
 			n := len(cfg)
 			k := c.AgentPos[0] // the unique leader's index
 			if c.Agent[2] == 1 && c.Agent[3] == 0 && c.Agent[1] == 1 {
@@ -384,7 +417,7 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 			}
 			return true, population.Witness{}
 		},
-		Converged: func(c population.LocalCounts, cfg []State) bool {
+		Converged: func(c *population.LocalCounts, cfg []State) bool {
 			if c.Agent[0] != 1 || c.Agent[1] > 1 {
 				return false
 			}

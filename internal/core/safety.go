@@ -315,7 +315,7 @@ func (p Params) SafetySpec() population.RingSpec[State] {
 	if expectLast < 0 {
 		expectLast = 0
 	}
-	return population.RingSpec[State]{
+	spec := population.RingSpec[State]{
 		ArcMask: func(l, r State) uint8 {
 			var m uint8
 			if r.Leader {
@@ -349,13 +349,13 @@ func (p Params) SafetySpec() population.RingSpec[State] {
 			}
 			return m
 		},
-		Gate: func(c population.LocalCounts) bool {
+		Gate: func(c *population.LocalCounts) bool {
 			// With exactly one leader, an intact distance chain and a single
 			// correctly sized last-flag block ending at the leader, the
 			// configuration is in C_DL up to peacefulness.
 			return c.Agent[0] == 1 && c.Arc[0] == 0 && c.Arc[1] == 0 && c.Agent[1] == expectLast
 		},
-		Residual: func(c population.LocalCounts, cfg []State) (bool, population.Witness) {
+		Residual: func(c *population.LocalCounts, cfg []State) (bool, population.Witness) {
 			// c.AgentPos[0] names the unique leader in O(1).
 			k := c.AgentPos[0]
 			if c.Agent[2] > 0 {
@@ -367,7 +367,7 @@ func (p Params) SafetySpec() population.RingSpec[State] {
 			}
 			return p.safeTailWitness(cfg, k)
 		},
-		Converged: func(c population.LocalCounts, cfg []State) bool {
+		Converged: func(c *population.LocalCounts, cfg []State) bool {
 			if c.Agent[0] != 1 || c.Arc[0] != 0 || c.Arc[1] != 0 || c.Agent[1] != expectLast {
 				return false
 			}
@@ -380,4 +380,9 @@ func (p Params) SafetySpec() population.RingSpec[State] {
 		ArcNames:   []string{"dist_violations", "lastdrop_violations"},
 		AgentNames: []string{"leaders", "last_flags", "live_bullets"},
 	}
+	// The interned engine's per-ID acceleration: a meta-word projection of
+	// the mask- and residual-relevant fields (packed.go), strictly
+	// equivalent to the closures above.
+	p.attachMeta(&spec)
+	return spec
 }

@@ -103,6 +103,36 @@ func (p *Protocol) Step(l, r State, env Oracle) (State, State) {
 // IsLeader is the output function.
 func IsLeader(s State) bool { return s.Leader }
 
+// Codec is the fixed-width state codec for the interned engine's packed
+// interner: leader, waiting and shield bits, then the two bullet bits —
+// 5 bits.
+func Codec() population.PackedCodec[State] {
+	return population.PackedCodec[State]{
+		Bits: 5,
+		Enc: func(s State) uint64 {
+			v := uint64(s.Bullet) << 3
+			if s.Leader {
+				v |= 1
+			}
+			if s.Waiting {
+				v |= 1 << 1
+			}
+			if s.Shield {
+				v |= 1 << 2
+			}
+			return v
+		},
+		Dec: func(v uint64) State {
+			return State{
+				Leader:  v&1 != 0,
+				Waiting: v&(1<<1) != 0,
+				Shield:  v&(1<<2) != 0,
+				Bullet:  war.Bullet(v >> 3 & 3),
+			}
+		},
+	}
+}
+
 // StateCount returns |Q| = 2·2·2·3 = 24 — constant.
 func (p *Protocol) StateCount() uint64 { return 2 * 2 * 2 * 3 }
 
@@ -286,7 +316,7 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 			}
 			return m
 		},
-		Converged: func(c population.LocalCounts, _ []State) bool {
+		Converged: func(c *population.LocalCounts, _ []State) bool {
 			if c.Agent[0] != 1 {
 				return false
 			}

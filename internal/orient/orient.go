@@ -44,6 +44,31 @@ type Protocol struct{}
 // New returns the protocol.
 func New() *Protocol { return &Protocol{} }
 
+// Codec is the fixed-width state codec for the interned engine's packed
+// interner: the four color bytes (Color, Dir, M1, M2 — NoColor is just
+// 0xff) and the momentum bit — 33 bits.
+func Codec() population.PackedCodec[State] {
+	return population.PackedCodec[State]{
+		Bits: 33,
+		Enc: func(s State) uint64 {
+			v := uint64(s.Color) | uint64(s.Dir)<<8 | uint64(s.M1)<<16 | uint64(s.M2)<<24
+			if s.Strong {
+				v |= 1 << 32
+			}
+			return v
+		},
+		Dec: func(v uint64) State {
+			return State{
+				Color:  uint8(v),
+				Dir:    uint8(v >> 8),
+				M1:     uint8(v >> 16),
+				M2:     uint8(v >> 24),
+				Strong: v&(1<<32) != 0,
+			}
+		},
+	}
+}
+
 // Step is the transition function for an interaction between two adjacent
 // agents u (initiator) and v (responder) of an undirected ring.
 func (p *Protocol) Step(u, v State) (State, State) {
@@ -207,7 +232,7 @@ func OrientedSpec() population.RingSpec[State] {
 			}
 			return m
 		},
-		Converged: func(c population.LocalCounts, _ []State) bool {
+		Converged: func(c *population.LocalCounts, _ []State) bool {
 			return c.Arc[0] == 0 || c.Arc[1] == 0
 		},
 		ArcNames: []string{"cw_disagreements", "ccw_disagreements"},

@@ -23,7 +23,7 @@ func maskSpec() RingSpec[counterState] {
 			}
 			return 0
 		},
-		Converged: func(c LocalCounts, _ []counterState) bool {
+		Converged: func(c *LocalCounts, _ []counterState) bool {
 			return c.Agent[0] == 1
 		},
 	}

@@ -8,27 +8,75 @@ package population
 // memoizing the pairwise transition per (state, state) pair and replaying
 // it as table loads amortizes the full branchy transition cascade away.
 
+// PackedCodec encodes a protocol's state into a fixed-width integer. The
+// contract is a bijection between reachable states and their packed forms:
+// Enc must be injective over every state the protocol can reach (so two
+// distinct states never collide in the packed key space — the property the
+// round-trip and collision tests pin per protocol) and Dec(Enc(s)) == s.
+// Bits is the width of the packed form; it must be at most 63, because the
+// interner reserves the all-ones word as its empty-slot sentinel. A spec
+// package whose state cannot fit 63 bits returns no codec and the interner
+// falls back to its generic map-keyed mode.
+type PackedCodec[S any] struct {
+	// Bits is the packed width: Enc(s) < 1<<Bits for every reachable s.
+	Bits int
+	// Enc packs a state; injective over reachable states.
+	Enc func(S) uint64
+	// Dec unpacks; Dec(Enc(s)) == s for every reachable s.
+	Dec func(uint64) S
+}
+
 // Interner assigns dense uint32 IDs to distinct states in order of first
 // appearance. It is capacity-capped: protocols whose executions wander
-// through more distinct states than the cap (P_PL at large n, whose state
-// space is poly-log in theory but a large product space in practice) make
-// Intern report failure, and the interned engine falls back to the generic
-// path instead of growing tables without bound.
+// through more distinct states than the cap make Intern report failure,
+// and the interned engine falls back to the generic path instead of
+// growing tables without bound.
+//
+// With a PackedCodec the interner keys an open-addressed power-of-two
+// table by the fixed-width packed form — one multiplicative hash and a
+// linear probe over a flat uint64 array, no runtime map hashing of the
+// state struct — and additionally records each ID's packed form. Without
+// one it falls back to a Go map keyed by the state value.
 type Interner[S comparable] struct {
-	ids  map[S]uint32
+	ids map[S]uint32 // generic mode; nil in packed mode
+
+	// Packed mode: tkeys[i] is the packed state of the ID in slot i
+	// (emptyKey when free), tids[i] that ID. packed[id] is the packed form
+	// of id, in mint order — the codec-level mirror of vals.
+	enc    func(S) uint64
+	tkeys  []uint64
+	tids   []uint32
+	packed []uint64
+
 	vals []S
 	max  int
 }
 
-// NewInterner returns an interner capped at max distinct states.
+// NewInterner returns an interner capped at max distinct states, keyed by
+// a Go map over the state value.
 func NewInterner[S comparable](max int) *Interner[S] {
 	return &Interner[S]{ids: make(map[S]uint32), max: max}
+}
+
+// NewPackedInterner returns an interner capped at max distinct states,
+// keyed by codec.Enc through an open-addressed table. It panics when the
+// codec's width collides with the empty-slot sentinel.
+func NewPackedInterner[S comparable](codec PackedCodec[S], max int) *Interner[S] {
+	if codec.Enc == nil || codec.Bits < 1 || codec.Bits > 63 {
+		panic("population: PackedCodec needs Enc and 1 <= Bits <= 63")
+	}
+	in := &Interner[S]{enc: codec.Enc, max: max}
+	in.growPacked(1024)
+	return in
 }
 
 // Intern returns the dense ID of s, minting one on first sight. ok is
 // false when minting would exceed the cap; the interner is unchanged in
 // that case.
 func (in *Interner[S]) Intern(s S) (uint32, bool) {
+	if in.ids == nil {
+		return in.internPacked(in.enc(s), s)
+	}
 	if id, ok := in.ids[s]; ok {
 		return id, true
 	}
@@ -40,6 +88,54 @@ func (in *Interner[S]) Intern(s S) (uint32, bool) {
 	in.vals = append(in.vals, s)
 	return id, true
 }
+
+// internPacked is the packed-mode Intern: probe the open table for key,
+// minting a fresh ID into the first empty slot on a miss.
+func (in *Interner[S]) internPacked(key uint64, s S) (uint32, bool) {
+	mask := uint64(len(in.tkeys) - 1)
+	i := pairHash(key) & mask
+	for {
+		switch in.tkeys[i] {
+		case key:
+			return in.tids[i], true
+		case emptyKey:
+			if len(in.vals) >= in.max {
+				return 0, false
+			}
+			id := uint32(len(in.vals))
+			in.vals = append(in.vals, s)
+			in.packed = append(in.packed, key)
+			in.tkeys[i], in.tids[i] = key, id
+			if (len(in.vals)+1)*4 > len(in.tkeys)*3 {
+				in.growPacked(len(in.tkeys) * 2)
+			}
+			return id, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// growPacked re-lays the packed-mode table out at the given power-of-two
+// capacity, reinserting every minted ID.
+func (in *Interner[S]) growPacked(cap int) {
+	in.tkeys = make([]uint64, cap)
+	in.tids = make([]uint32, cap)
+	for i := range in.tkeys {
+		in.tkeys[i] = emptyKey
+	}
+	mask := uint64(cap - 1)
+	for id, key := range in.packed {
+		i := pairHash(key) & mask
+		for in.tkeys[i] != emptyKey {
+			i = (i + 1) & mask
+		}
+		in.tkeys[i], in.tids[i] = key, uint32(id)
+	}
+}
+
+// Packed returns the packed form of the state with the given ID. Valid in
+// packed mode only.
+func (in *Interner[S]) Packed(id uint32) uint64 { return in.packed[id] }
 
 // Value returns the state with the given ID.
 func (in *Interner[S]) Value(id uint32) S { return in.vals[id] }
@@ -63,10 +159,30 @@ type pairTable struct {
 	denseMax int
 	stride   int // dense tier: current stride (power of two); 0 once hashed
 	dense    []uint64
-	keys     []uint64 // hashed tier: packed (l<<32 | r), emptyKey when free
-	hvals    []uint64
-	used     int
+	// Hashed tier: slot i is the adjacent word pair slab[2i] (the packed
+	// l<<32|r key, emptyKey when free) and slab[2i+1] (the value), so one
+	// cache line serves both the probe compare and the hit load — the
+	// table far outgrows cache on O(n)-state protocols, where split
+	// key/value arrays would cost two DRAM misses per lookup.
+	slab  []uint64
+	slots int // len(slab)/2, a power of two
+	used  int
+	// front is a direct-mapped cache over the hashed tier (key/value word
+	// pairs, frontSlots entries). The slab on a large-state protocol is
+	// tens of MB of DRAM, but the pair stream is temporally clustered, so
+	// a small always-in-cache front table absorbs most probes. Entries
+	// are immutable once memoized, so the front needs no invalidation.
+	front []uint64
+	// pfSink absorbs prefetch loads so they cannot be dead-code-eliminated.
+	pfSink uint64
 }
+
+// frontSlots sizes the front cache: 1<<17 slots × 16 B = 2 MiB, small
+// enough to stay cache-resident yet wide enough that the hot pair set of
+// an O(n)-state protocol at n=1024 mostly fits (halving it measurably
+// raises the slab-miss rate on the ppl benchmark, and a two-way
+// set-associative variant measured no better than this direct map).
+const frontSlots = 1 << 17
 
 const (
 	pairPresent = uint64(1) << 63
@@ -79,9 +195,12 @@ func newPairTable(denseMax int) pairTable {
 	return pairTable{denseMax: denseMax}
 }
 
-// get returns the memoized value for (l, r), if present.
+// get returns the memoized value for (l, r), if present. The interned hot
+// loop (applyInterned) inlines the hashed tier's front-cache fast path by
+// hand and calls getHashed directly on a front miss; this method is the
+// complete lookup for every other caller.
 func (t *pairTable) get(l, r uint32) (uint64, bool) {
-	if t.stride != 0 || t.keys == nil {
+	if t.stride != 0 || t.slab == nil {
 		if int(l) >= t.stride || int(r) >= t.stride {
 			return 0, false
 		}
@@ -89,15 +208,48 @@ func (t *pairTable) get(l, r uint32) (uint64, bool) {
 		return v, v&pairPresent != 0
 	}
 	key := uint64(l)<<32 | uint64(r)
-	mask := uint64(len(t.keys) - 1)
-	for i := pairHash(key) & mask; ; i = (i + 1) & mask {
-		switch t.keys[i] {
+	h := pairHash(key)
+	if ci := 2 * (h & (frontSlots - 1)); t.front[ci] == key {
+		return t.front[ci+1], true
+	}
+	return t.getHashed(key, h)
+}
+
+// getHashed is the front-miss path: probe the hashed tier and install any
+// hit into the front cache slot the key maps to.
+func (t *pairTable) getHashed(key, h uint64) (uint64, bool) {
+	mask := uint64(t.slots - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		switch t.slab[2*i] {
 		case key:
-			return t.hvals[i], true
+			v := t.slab[2*i+1]
+			ci := 2 * (h & (frontSlots - 1))
+			t.front[ci] = key
+			t.front[ci+1] = v
+			return v, true
 		case emptyKey:
 			return 0, false
 		}
 	}
+}
+
+// prefetch pulls the lookup path of (l, r) toward the cache by issuing its
+// loads early, discarding values into a sink the compiler cannot eliminate.
+// It probes the front cache first — warming that line is enough when the
+// entry is already front-resident, and touching the slab too would evict
+// useful lines for nothing — and falls through to the slab home line only
+// on a front miss, mirroring exactly the lines get will need. A no-op on
+// the dense tier, which is small enough to stay cached.
+func (t *pairTable) prefetch(l, r uint32) {
+	if t.slab == nil {
+		return
+	}
+	key := uint64(l)<<32 | uint64(r)
+	h := pairHash(key)
+	if t.front[2*(h&(frontSlots-1))] == key {
+		return
+	}
+	t.pfSink = t.slab[2*(h&uint64(t.slots-1))]
 }
 
 // pairHash mixes both halves of the packed pair key down into the low bits
@@ -114,7 +266,7 @@ func pairHash(key uint64) uint64 {
 // 63 set — put owns the present flag.
 func (t *pairTable) put(l, r uint32, v uint64, nStates int) {
 	v |= pairPresent
-	if t.keys == nil {
+	if t.slab == nil {
 		if nStates <= t.denseMax {
 			if need := max(int(l), int(r)) + 1; need > t.stride || t.stride == 0 {
 				t.growDense(nStates)
@@ -125,10 +277,14 @@ func (t *pairTable) put(l, r uint32, v uint64, nStates int) {
 		}
 		t.migrate()
 	}
-	if t.used >= len(t.keys)*3/4 {
-		t.growHash(len(t.keys) * 2)
+	if t.used >= t.slots*3/4 {
+		t.growHash(t.slots * 2)
 	}
-	t.insertHash(uint64(l)<<32|uint64(r), v)
+	key := uint64(l)<<32 | uint64(r)
+	t.insertHash(key, v)
+	ci := 2 * (pairHash(key) & (frontSlots - 1))
+	t.front[ci] = key
+	t.front[ci+1] = v
 	t.used++
 }
 
@@ -155,11 +311,7 @@ func (t *pairTable) migrate() {
 	for cap < t.used*2 {
 		cap *= 2
 	}
-	t.keys = make([]uint64, cap)
-	t.hvals = make([]uint64, cap)
-	for i := range t.keys {
-		t.keys[i] = emptyKey
-	}
+	t.allocSlab(cap)
 	for l := 0; l < t.stride; l++ {
 		for r := 0; r < t.stride; r++ {
 			if v := t.dense[l*t.stride+r]; v&pairPresent != 0 {
@@ -171,25 +323,35 @@ func (t *pairTable) migrate() {
 }
 
 func (t *pairTable) growHash(cap int) {
-	oldKeys, oldVals := t.keys, t.hvals
-	t.keys = make([]uint64, cap)
-	t.hvals = make([]uint64, cap)
-	for i := range t.keys {
-		t.keys[i] = emptyKey
+	old := t.slab
+	t.allocSlab(cap)
+	for i := 0; i+1 < len(old); i += 2 {
+		if k := old[i]; k != emptyKey {
+			t.insertHash(k, old[i+1])
+		}
 	}
-	for i, k := range oldKeys {
-		if k != emptyKey {
-			t.insertHash(k, oldVals[i])
+}
+
+func (t *pairTable) allocSlab(cap int) {
+	t.slab = make([]uint64, 2*cap)
+	t.slots = cap
+	for i := 0; i < cap; i++ {
+		t.slab[2*i] = emptyKey
+	}
+	if t.front == nil {
+		t.front = make([]uint64, 2*frontSlots)
+		for i := 0; i < frontSlots; i++ {
+			t.front[2*i] = emptyKey
 		}
 	}
 }
 
 func (t *pairTable) insertHash(key, v uint64) {
-	mask := uint64(len(t.keys) - 1)
+	mask := uint64(t.slots - 1)
 	for i := pairHash(key) & mask; ; i = (i + 1) & mask {
-		if t.keys[i] == emptyKey || t.keys[i] == key {
-			t.keys[i] = key
-			t.hvals[i] = v
+		if k := t.slab[2*i]; k == emptyKey || k == key {
+			t.slab[2*i] = key
+			t.slab[2*i+1] = v
 			return
 		}
 	}

@@ -55,7 +55,7 @@ func TestPairTableTiers(t *testing.T) {
 		put(i, (i*7+3)%100, uint64(i)+1)
 	}
 	// 100 states > denseMax: the table must have migrated to hashing.
-	if tab.stride != 0 || tab.keys == nil {
+	if tab.stride != 0 || tab.slab == nil {
 		t.Fatalf("table still dense at %d states (stride %d)", states, tab.stride)
 	}
 	// Keep inserting through hash growth.
@@ -94,7 +94,7 @@ func toySpec() RingSpec[uint16] {
 			}
 			return 0
 		},
-		Converged: func(c LocalCounts, cfg []uint16) bool {
+		Converged: func(c *LocalCounts, cfg []uint16) bool {
 			return c.Agent[0] == len(cfg)
 		},
 		ArcNames:   []string{"equal_pairs"},
@@ -114,6 +114,16 @@ func toyTrans(l, r uint16) (uint16, uint16) {
 // stays interned.
 func toyReuseTrans(l, r uint16) (uint16, uint16) {
 	return (l + 1) % 23, (r + l*3 + 7) % 23
+}
+
+// toyBailTrans cycles within 251 states but mixes through its ~63k ordered
+// pairs nearly uniformly, so once every state has been minted the pair
+// tables keep missing with no new states to show for it — the regime the
+// adaptive reuse guard bails on (unlike toyTrans's endless minting, which
+// the guard must treat as productive cold fill and leave alone until the
+// capacity cap has its say).
+func toyBailTrans(l, r uint16) (uint16, uint16) {
+	return (l*5 + r*3 + 1) % 251, (r*7 + l + 2) % 251
 }
 
 func toyLeader(s uint16) bool { return s%5 == 0 }
@@ -160,9 +170,10 @@ func assertEnginesEqual(t *testing.T, gen *Engine[uint16], ie *Engine[uint16], c
 // TestInternedRunMatchesGenericRun pins the interned Run loop to the
 // generic engine on the same seed, across every fallback flavor — tiny cap
 // (capacity fallback mid-run, including mid-batch), roomy cap with a
-// wandering state space (adaptive reuse bail-out), and a reusing state
-// space (stays interned): no flavor may lose, repeat or reorder a single
-// drawn arc.
+// state space still being minted (cold fill: the guard must not bail),
+// roomy cap with a bounded state space whose pairs never warm up
+// (adaptive reuse bail-out), and a reusing state space (stays interned):
+// no flavor may lose, repeat or reorder a single drawn arc.
 func TestInternedRunMatchesGenericRun(t *testing.T) {
 	cases := []struct {
 		name       string
@@ -172,7 +183,8 @@ func TestInternedRunMatchesGenericRun(t *testing.T) {
 	}{
 		{"capacity-fallback", 8, toyTrans, false},
 		{"mid-cap", 64, toyTrans, false},
-		{"reuse-bail", 1 << 20, toyTrans, false},
+		{"cold-fill", 1 << 20, toyTrans, true},
+		{"reuse-bail", 1 << 20, toyBailTrans, false},
 		{"stays-interned", 1 << 20, toyReuseTrans, true},
 	}
 	for _, tc := range cases {

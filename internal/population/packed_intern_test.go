@@ -1,0 +1,120 @@
+package population
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// identCodec packs a uint32 state by value: trivially injective, so any
+// divergence between the packed and generic interners below is the
+// interner's own fault, not the codec's.
+func identCodec() PackedCodec[uint32] {
+	return PackedCodec[uint32]{
+		Bits: 32,
+		Enc:  func(s uint32) uint64 { return uint64(s) },
+		Dec:  func(v uint64) uint32 { return uint32(v) },
+	}
+}
+
+// TestPackedInternerMatchesGeneric pins the packed interner to the
+// map-keyed one on an identical stream with repeats: same IDs in the same
+// mint order, same cap-overflow refusals, and a Packed mirror that
+// round-trips through the codec.
+func TestPackedInternerMatchesGeneric(t *testing.T) {
+	const cap = 500
+	c := identCodec()
+	packed := NewPackedInterner(c, cap)
+	generic := NewInterner[uint32](cap)
+	rng := xrand.New(3)
+	for i := 0; i < 20000; i++ {
+		// A skewed stream: repeats dominate, fresh states trickle in until
+		// both interners hit the cap together.
+		s := uint32(rng.Intn(cap + cap/4))
+		pid, pok := packed.Intern(s)
+		gid, gok := generic.Intern(s)
+		if pid != gid || pok != gok {
+			t.Fatalf("step %d state %d: packed (%d, %v) vs generic (%d, %v)", i, s, pid, pok, gid, gok)
+		}
+		if !pok {
+			continue
+		}
+		if packed.Value(pid) != s {
+			t.Fatalf("Value(%d) = %d, want %d", pid, packed.Value(pid), s)
+		}
+		if c.Dec(packed.Packed(pid)) != s {
+			t.Fatalf("Packed(%d) = %#x does not decode to %d", pid, packed.Packed(pid), s)
+		}
+	}
+	if packed.Len() != generic.Len() || packed.Len() != cap {
+		t.Fatalf("lengths diverged: packed %d generic %d cap %d", packed.Len(), generic.Len(), cap)
+	}
+	if packed.Cap() != generic.Cap() {
+		t.Fatalf("caps diverged: packed %d generic %d", packed.Cap(), generic.Cap())
+	}
+}
+
+// TestPackedInternerGrowth mints well past the initial open-table
+// capacity, forcing several re-layouts, and checks every ID survives each
+// one.
+func TestPackedInternerGrowth(t *testing.T) {
+	in := NewPackedInterner(identCodec(), 1<<16)
+	const n = 10000
+	for i := uint32(0); i < n; i++ {
+		id, ok := in.Intern(i)
+		if !ok || id != i {
+			t.Fatalf("mint %d: got (%d, %v)", i, id, ok)
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		if id, ok := in.Intern(i); !ok || id != i {
+			t.Fatalf("post-growth lookup %d: got (%d, %v)", i, id, ok)
+		}
+		if in.Value(i) != i || in.Packed(i) != uint64(i) {
+			t.Fatalf("mint %d mirrors diverged: Value %d Packed %#x", i, in.Value(i), in.Packed(i))
+		}
+	}
+}
+
+// TestNewPackedInternerRejectsBadWidths pins the constructor's contract:
+// widths that collide with the empty-slot sentinel (or lack an encoder)
+// panic instead of corrupting lookups later.
+func TestNewPackedInternerRejectsBadWidths(t *testing.T) {
+	for _, c := range []PackedCodec[uint32]{
+		{Bits: 0, Enc: func(uint32) uint64 { return 0 }},
+		{Bits: 64, Enc: func(uint32) uint64 { return 0 }},
+		{Bits: 32},
+	} {
+		c := c
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewPackedInterner(Bits=%d, Enc nil=%v) did not panic", c.Bits, c.Enc == nil)
+				}
+			}()
+			NewPackedInterner(c, 16)
+		}()
+	}
+}
+
+// FuzzPackedInternerParity fuzzes an intern stream against the generic
+// interner, including cap overflow.
+func FuzzPackedInternerParity(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 0}, uint8(4))
+	f.Add([]byte{255, 255, 0, 7, 7, 7, 9}, uint8(2))
+	f.Fuzz(func(t *testing.T, stream []byte, capRaw uint8) {
+		cap := int(capRaw)%64 + 1
+		packed := NewPackedInterner(identCodec(), cap)
+		generic := NewInterner[uint32](cap)
+		for i, b := range stream {
+			pid, pok := packed.Intern(uint32(b))
+			gid, gok := generic.Intern(uint32(b))
+			if pid != gid || pok != gok {
+				t.Fatalf("step %d state %d: packed (%d, %v) vs generic (%d, %v)", i, b, pid, pok, gid, gok)
+			}
+		}
+		if packed.Len() != generic.Len() {
+			t.Fatalf("lengths diverged: packed %d generic %d", packed.Len(), generic.Len())
+		}
+	})
+}

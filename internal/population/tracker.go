@@ -58,7 +58,7 @@ type RingSpec[S any] struct {
 	// counts pass; implementations must treat it as read-only. Converged
 	// must be exact: it returns true at precisely the steps where the
 	// protocol's scan predicate would.
-	Converged func(c LocalCounts, cfg []S) bool
+	Converged func(c *LocalCounts, cfg []S) bool
 	// Gate and Residual, when both non-nil, split Converged for the
 	// witness-cached hot path: Gate is the pure counter part of the verdict
 	// (O(1), no configuration access) and Residual the non-local remainder,
@@ -73,8 +73,46 @@ type RingSpec[S any] struct {
 	// scan cost away (for P_PL the local gate is open for most of the long
 	// construction phase, so an unconditional per-step residual scan costs
 	// O(n) per interaction; witness caching reduces it to O(1) amortized).
-	Gate     func(c LocalCounts) bool
-	Residual func(c LocalCounts, cfg []S) (bool, Witness)
+	Gate     func(c *LocalCounts) bool
+	Residual func(c *LocalCounts, cfg []S) (bool, Witness)
+	// MetaID, ArcMaskMeta and ResidualMeta are the optional meta-word
+	// acceleration of the spec for the interned engine (interned.go): when
+	// MetaID is non-nil, the engine maintains a per-agent slice of
+	// MetaID(state) words alongside the configuration and evaluates
+	// ArcMaskMeta/ResidualMeta over those words instead of calling the
+	// state-level closures — one flat uint64 load per agent instead of a
+	// struct read and a closure dispatch, which is what keeps the residual
+	// scans of large-state protocols (P_PL) off the interned hot path. The
+	// contract is strict equivalence:
+	//
+	//	ArcMaskMeta(MetaID(l), MetaID(r)) == ArcMask(l, r)
+	//	ResidualMeta(c, meta)             == Residual(c, cfg)
+	//
+	// at every reachable configuration, where meta[i] == MetaID(cfg[i]).
+	// The verdicts must match exactly; the Witness on a false verdict must
+	// pin a genuinely failing check of THIS configuration (witness caching
+	// stays sound under any such choice), though it need not be the same
+	// check Residual would witness. ArcMaskMeta and ResidualMeta are each
+	// optional on their own; the generic closures serve wherever a meta
+	// form is absent. The generic RingTracker ignores all three.
+	// ResidualMeta may keep internal memoization (e.g. a last-failing-check
+	// hint) as long as its verdict stays exact for ANY meta slice it is
+	// handed — engines sharing one spec instance across lockstep lanes
+	// interleave calls with different meta slices, so a hint must be
+	// advisory, never load-bearing.
+	MetaID      func(s S) uint64
+	ArcMaskMeta func(l, r uint64) uint8
+	// AgentMaskMeta is the meta form of AgentMask, under the same
+	// equivalence contract: AgentMaskMeta(MetaID(s)) == AgentMask(s) at
+	// every reachable state. The interned engine's mirror refreshes a
+	// touched agent's condition bits from the meta word it just wrote
+	// instead of loading the per-ID mask table — on O(n)-state protocols
+	// that table is hundreds of KB of randomly indexed bytes, so the meta
+	// form removes two cache misses per applied interaction.
+	AgentMaskMeta func(m uint64) uint8
+	// ResidualMeta receives the per-agent meta words: meta[i] is
+	// MetaID(cfg[i]) for ring position i.
+	ResidualMeta func(c *LocalCounts, meta []uint64) (bool, Witness)
 	// ArcNames and AgentNames label the condition channels for
 	// diagnostics: entry b names channel bit b of the arc (respectively
 	// agent) counts. Named channels are surfaced by SampleCounts as
@@ -163,7 +201,7 @@ func (c *witnessCache) note(a, b, n int) {
 // exactness-critical caching logic behind both RingTracker.Converged and
 // the interned engine's convergedNow (a free function because methods
 // cannot introduce type parameters).
-func witnessVerdict[S any](c *witnessCache, spec *RingSpec[S], counts LocalCounts, cfg []S) bool {
+func witnessVerdict[S any](c *witnessCache, spec *RingSpec[S], counts *LocalCounts, cfg []S) bool {
 	if spec.Gate == nil || spec.Residual == nil {
 		return spec.Converged(counts, cfg)
 	}
@@ -174,6 +212,27 @@ func witnessVerdict[S any](c *witnessCache, spec *RingSpec[S], counts LocalCount
 		return false
 	}
 	ok, w := spec.Residual(counts, cfg)
+	if ok {
+		c.armed = false
+		return true
+	}
+	c.armed, c.dirty, c.w = true, false, w
+	return false
+}
+
+// witnessVerdictMeta is witnessVerdict with the residual evaluated over
+// the per-agent meta words through spec.ResidualMeta — same witness-caching
+// protocol, same exactness contract, for interned engines whose spec
+// carries the meta acceleration. Callers guarantee Gate and ResidualMeta
+// are non-nil.
+func witnessVerdictMeta[S any](c *witnessCache, spec *RingSpec[S], counts *LocalCounts, meta []uint64) bool {
+	if !spec.Gate(counts) {
+		return false
+	}
+	if c.armed && !c.dirty {
+		return false
+	}
+	ok, w := spec.ResidualMeta(counts, meta)
 	if ok {
 		c.armed = false
 		return true
@@ -293,7 +352,7 @@ func (t *RingTracker[S]) Update(li, ri int32) {
 // touches its witness; specs without the split pay their full Converged
 // verdict every call, exactly as before.
 func (t *RingTracker[S]) Converged() bool {
-	return witnessVerdict(&t.wc, &t.spec, t.counts, t.cfg)
+	return witnessVerdict(&t.wc, &t.spec, &t.counts, t.cfg)
 }
 
 func (t *RingTracker[S]) refreshAgent(i int) {

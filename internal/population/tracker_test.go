@@ -28,7 +28,7 @@ func touchSpec() RingSpec[counterState] {
 			}
 			return m
 		},
-		Converged: func(c LocalCounts, _ []counterState) bool {
+		Converged: func(c *LocalCounts, _ []counterState) bool {
 			return c.Agent[0] == 0
 		},
 	}
@@ -117,7 +117,7 @@ func TestRunUntilConvergedMatchesPerStepScan(t *testing.T) {
 func TestRunUntilConvergedRespectsMaxSteps(t *testing.T) {
 	e := NewEngine(DirectedRing(4), countTransition, xrand.New(5))
 	spec := touchSpec()
-	spec.Converged = func(LocalCounts, []counterState) bool { return false }
+	spec.Converged = func(*LocalCounts, []counterState) bool { return false }
 	e.SetTracker(NewRingTracker(spec))
 	step, ok := e.RunUntilConverged(123)
 	if ok || step != 123 || e.Steps() != 123 {
@@ -128,7 +128,7 @@ func TestRunUntilConvergedRespectsMaxSteps(t *testing.T) {
 func TestRunUntilConvergedImmediate(t *testing.T) {
 	e := NewEngine(DirectedRing(4), countTransition, xrand.New(6))
 	spec := touchSpec()
-	spec.Converged = func(LocalCounts, []counterState) bool { return true }
+	spec.Converged = func(*LocalCounts, []counterState) bool { return true }
 	e.SetTracker(NewRingTracker(spec))
 	if step, ok := e.RunUntilConverged(100); !ok || step != 0 {
 		t.Fatalf("immediate verdict: step=%d ok=%v", step, ok)

@@ -48,6 +48,32 @@ func Arm() State {
 	return State{Bullet: Live, Shield: true}
 }
 
+// PackBits is the width of Pack's encoding.
+const PackBits = 4
+
+// Pack encodes the war state into PackBits bits: bullet in the low two,
+// then shield, then signalB. It is a bijection on valid states, used by
+// the spec packages' fixed-width state codecs.
+func Pack(s State) uint64 {
+	v := uint64(s.Bullet)
+	if s.Shield {
+		v |= 1 << 2
+	}
+	if s.Signal {
+		v |= 1 << 3
+	}
+	return v
+}
+
+// Unpack inverts Pack.
+func Unpack(v uint64) State {
+	return State{
+		Bullet: Bullet(v & 3),
+		Shield: v&(1<<2) != 0,
+		Signal: v&(1<<3) != 0,
+	}
+}
+
 // Step applies EliminateLeaders (Algorithm 5, lines 51–62) to an
 // interaction with initiator l and responder r. Leader bits are passed by
 // pointer because a live bullet may kill the responder. Statements execute

@@ -12,6 +12,7 @@ package yokota
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/population"
 	"repro/internal/war"
@@ -66,6 +67,32 @@ func (p *Protocol) Step(l, r State) (State, State) {
 
 // IsLeader is the output function.
 func IsLeader(s State) bool { return s.Leader }
+
+// Codec is the fixed-width state codec for the interned engine's packed
+// interner: the leader bit, then the distance counter (its domain is
+// [0, UpperBound] — RandomState draws the closed interval), then the four
+// war bits. 1 + ⌈log₂(N+1)⌉ + 4 bits, far below the packed layer's 63-bit
+// ceiling for any realistic N.
+func (p *Protocol) Codec() population.PackedCodec[State] {
+	distBits := bits.Len(uint(p.UpperBound))
+	return population.PackedCodec[State]{
+		Bits: 1 + distBits + war.PackBits,
+		Enc: func(s State) uint64 {
+			v := uint64(s.Dist)<<1 | war.Pack(s.War)<<(1+distBits)
+			if s.Leader {
+				v |= 1
+			}
+			return v
+		},
+		Dec: func(v uint64) State {
+			return State{
+				Leader: v&1 != 0,
+				Dist:   uint32(v>>1) & (1<<distBits - 1),
+				War:    war.Unpack(v >> (1 + distBits)),
+			}
+		},
+	}
+}
 
 // StateCount returns |Q| = 2·(N+1)·12: linear in the knowledge N.
 func (p *Protocol) StateCount() uint64 {
@@ -167,10 +194,10 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 			}
 			return m
 		},
-		Gate: func(c population.LocalCounts) bool {
+		Gate: func(c *population.LocalCounts) bool {
 			return c.Agent[0] == 1 && c.Arc[0] == 0
 		},
-		Residual: func(c population.LocalCounts, cfg []State) (bool, population.Witness) {
+		Residual: func(c *population.LocalCounts, cfg []State) (bool, population.Witness) {
 			if c.Agent[1] == 0 {
 				return true, population.Witness{} // no live bullets: C_PB holds trivially
 			}
@@ -181,7 +208,7 @@ func (p *Protocol) StableSpec() population.RingSpec[State] {
 			}
 			return true, population.Witness{}
 		},
-		Converged: func(c population.LocalCounts, cfg []State) bool {
+		Converged: func(c *population.LocalCounts, cfg []State) bool {
 			if c.Agent[0] != 1 || c.Arc[0] != 0 {
 				return false
 			}

@@ -367,6 +367,89 @@ func newBenchFor[S any](p Protocol, newTrial func(Scenario, int, uint64) trialEn
 	return newTrial(sc, n, seed), nil
 }
 
+// newBenchPairFor is the shared newBenchPair body: two trial engines for
+// the same cell and seed attached to one shared table set — the same
+// multi-engine table sharing the lane sets use — so RunBenchmark can fill
+// the tables with an untimed run and then time the identical trajectory
+// through them warm.
+func newBenchPairFor[S comparable](p Protocol, sc Scenario, n int, seed uint64,
+	newTables func(Scenario, int) *population.Tables[S],
+	newTrialT func(Scenario, int, uint64, *population.Tables[S]) trialEngine[S],
+) (benchRunner, benchRunner, error) {
+	if err := p.Validate(sc); err != nil {
+		return nil, nil, err
+	}
+	tab := newTables(sc, n)
+	return newTrialT(sc, n, seed, tab), newTrialT(sc, n, seed, tab), nil
+}
+
+// internOpts maps the scenario's interner-capacity knob onto the interned
+// layer's options. Scenario.Validate bounds the knob, so every table
+// construction site routes through here.
+func internOpts(sc Scenario) population.InternOptions {
+	return population.InternOptions{MaxStates: sc.MaxStates}
+}
+
+// laneable is implemented by the built-in protocols: run a batch of
+// same-cell trials as lockstep lanes sharing one warm transition-table
+// set (population.LaneSet). Results are bit-identical to calling Trial
+// per seed — lanes only amortize table fills — so callers may freely
+// switch between the two paths.
+type laneable interface {
+	LaneTrials(sc Scenario, n int, seeds []uint64) ([]TrialResult, error)
+}
+
+// laneTrials is the one copy of the LaneTrials body: build one shared
+// table set, attach each seed's trial engine to it as a lane, and drive
+// the lane set to convergence. Scenarios whose trials need the event
+// machinery of trialEngine.run (faults, churn) and the test hooks that
+// force the generic or scan paths run each seed solo instead — the
+// results are identical either way, the lanes are purely a throughput
+// device. Stuck-agent scenarios stay on the lane path: prepare() routes
+// each lane to its generic engine up front and the lane set completes
+// them there.
+func laneTrials[S comparable](p Protocol, sc Scenario, n int, seeds []uint64,
+	newTables func(Scenario, int) *population.Tables[S],
+	newTrialT func(Scenario, int, uint64, *population.Tables[S]) trialEngine[S],
+) ([]TrialResult, error) {
+	if err := p.Validate(sc); err != nil {
+		return nil, err
+	}
+	newTrial := func(sc Scenario, n int, seed uint64) trialEngine[S] {
+		return newTrialT(sc, n, seed, newTables(sc, n))
+	}
+	solo := len(sc.Faults) > 0 || sc.Sched.hasChurn() ||
+		internedOff.Load() || convergenceScanEvery.Load() > 0
+	if solo || len(seeds) < 2 {
+		out := make([]TrialResult, len(seeds))
+		for i, seed := range seeds {
+			r, err := probedTrial(p, newTrial, sc, n, seed, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	maxSteps := sc.MaxSteps(p, n)
+	tab := newTables(sc, n)
+	tes := make([]trialEngine[S], len(seeds))
+	lanes := make([]*population.InternedEngine[S], len(seeds))
+	for i, seed := range seeds {
+		tes[i] = newTrialT(sc, n, seed, tab)
+		lanes[i] = tes[i].accel.(*population.InternedEngine[S])
+	}
+	steps, conv := population.NewLaneSet(lanes).RunUntilConverged(maxSteps)
+	out := make([]TrialResult, len(seeds))
+	for i, seed := range seeds {
+		out[i] = TrialResult{
+			N: n, Seed: seed, Steps: steps[i],
+			Stabilized: tes[i].eng.LastLeaderChange(), Converged: conv[i],
+		}
+	}
+	return out, nil
+}
+
 // validateElection is the scenario check shared by the four baselines:
 // directed ring only, random starts only (their hand-crafted hard
 // instances are not defined), any fault schedule and budget.
@@ -431,27 +514,49 @@ func (p pplProtocol) Validate(sc Scenario) error {
 	return nil
 }
 
-func (p pplProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[core.State] {
+// newTables builds the shared interned table set for one (scenario, n)
+// cell: the packed codec keys the interner by the fixed-width state
+// encoding (falling back to the map mode in parameterizations too wide to
+// pack).
+func (p pplProtocol) newTables(sc Scenario, n int) *population.Tables[core.State] {
+	par := p.params(n)
+	var cp *population.PackedCodec[core.State]
+	if codec, ok := par.Codec(); ok {
+		cp = &codec
+	}
+	return population.NewTables(par.SafetySpec(), core.IsLeader, cp, nil, internOpts(sc))
+}
+
+func (p pplProtocol) newTrialT(sc Scenario, n int, seed uint64, tab *population.Tables[core.State]) trialEngine[core.State] {
 	par := p.params(n)
 	pr := core.New(par)
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(par.InitConfig(sc.Init.String(), seed))
 	eng.TrackLeaders(core.IsLeader)
-	spec := par.SafetySpec()
-	tracker := population.NewRingTracker(spec)
+	tracker := population.NewRingTracker(par.SafetySpec())
 	applySched(eng, sc, seed)
 	return trialEngine[core.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ core.State) core.State { return par.RandomState(rng) },
 		tracker: tracker,
-		accel:   population.NewInterned(eng, spec, nil, tracker, population.InternOptions{}),
+		accel:   population.AttachInterned(eng, tab, nil, tracker),
 		pred:    func(cfg []core.State) bool { return par.IsSafe(cfg) },
 		check:   n/2 + 1,
 	}
 }
 
+func (p pplProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[core.State] {
+	return p.newTrialT(sc, n, seed, p.newTables(sc, n))
+}
+
 func (p pplProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
 	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// LaneTrials implements laneable: same-cell trials as lockstep lanes over
+// one shared table set.
+func (p pplProtocol) LaneTrials(sc Scenario, n int, seeds []uint64) ([]TrialResult, error) {
+	return laneTrials(p, sc, n, seeds, p.newTables, p.newTrialT)
 }
 
 // ProbedTrial implements ProbedProtocol: Trial with the typed event
@@ -462,6 +567,10 @@ func (p pplProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Probe) (
 
 func (p pplProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
 	return newBenchFor(p, p.newTrial, sc, n, seed)
+}
+
+func (p pplProtocol) newBenchPair(sc Scenario, n int, seed uint64) (benchRunner, benchRunner, error) {
+	return newBenchPairFor(p, sc, n, seed, p.newTables, p.newTrialT)
 }
 
 // orientProtocol is the paper's Section 5 orientation protocol P_OR.
@@ -504,7 +613,12 @@ func (orientProtocol) Validate(sc Scenario) error {
 	return rejectChurn(orientProtocol{}.Info(), sc)
 }
 
-func (p orientProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[orient.State] {
+func (p orientProtocol) newTables(sc Scenario, n int) *population.Tables[orient.State] {
+	codec := orient.Codec()
+	return population.NewTables(orient.OrientedSpec(), nil, &codec, nil, internOpts(sc))
+}
+
+func (p orientProtocol) newTrialT(sc Scenario, n int, seed uint64, tab *population.Tables[orient.State]) trialEngine[orient.State] {
 	colors := twohop.Coloring(n)
 	maxColor := 0
 	for _, c := range colors {
@@ -515,8 +629,7 @@ func (p orientProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[or
 	pr := orient.New()
 	eng := population.NewEngine(population.UndirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(orient.InitialConfig(colors, xrand.New(seed^initSeedSalt)))
-	spec := orient.OrientedSpec()
-	tracker := population.NewRingTracker(spec)
+	tracker := population.NewRingTracker(orient.OrientedSpec())
 	applySched(eng, sc, seed)
 	return trialEngine[orient.State]{
 		eng: eng,
@@ -532,14 +645,23 @@ func (p orientProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[or
 			}
 		},
 		tracker: tracker,
-		accel:   population.NewInterned(eng, spec, nil, tracker, population.InternOptions{}),
+		accel:   population.AttachInterned(eng, tab, nil, tracker),
 		pred:    orient.Oriented,
 		check:   n,
 	}
 }
 
+func (p orientProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[orient.State] {
+	return p.newTrialT(sc, n, seed, p.newTables(sc, n))
+}
+
 func (p orientProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
 	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// LaneTrials implements laneable.
+func (p orientProtocol) LaneTrials(sc Scenario, n int, seeds []uint64) ([]TrialResult, error) {
+	return laneTrials(p, sc, n, seeds, p.newTables, p.newTrialT)
 }
 
 // ProbedTrial implements ProbedProtocol: Trial with the typed event
@@ -550,6 +672,10 @@ func (p orientProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Probe
 
 func (p orientProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
 	return newBenchFor(p, p.newTrial, sc, n, seed)
+}
+
+func (p orientProtocol) newBenchPair(sc Scenario, n int, seed uint64) (benchRunner, benchRunner, error) {
+	return newBenchPairFor(p, sc, n, seed, p.newTables, p.newTrialT)
 }
 
 // yokotaProtocol is the [28] baseline with knowledge N = 2n.
@@ -572,26 +698,40 @@ func (yokotaProtocol) MaxSteps(n int) uint64 { return 800 * uint64(n) * uint64(n
 
 func (p yokotaProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
 
-func (p yokotaProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[yokota.State] {
+func (p yokotaProtocol) newTables(sc Scenario, n int) *population.Tables[yokota.State] {
+	pr := yokota.New(2 * n)
+	codec := pr.Codec()
+	return population.NewTables(pr.StableSpec(), yokota.IsLeader, &codec, nil, internOpts(sc))
+}
+
+func (p yokotaProtocol) newTrialT(sc Scenario, n int, seed uint64, tab *population.Tables[yokota.State]) trialEngine[yokota.State] {
 	pr := yokota.New(2 * n)
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(pr.RandomConfig(xrand.New(seed^initSeedSalt), n))
 	eng.TrackLeaders(yokota.IsLeader)
-	spec := pr.StableSpec()
-	tracker := population.NewRingTracker(spec)
+	tracker := population.NewRingTracker(pr.StableSpec())
 	applySched(eng, sc, seed)
 	return trialEngine[yokota.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ yokota.State) yokota.State { return pr.RandomState(rng) },
 		tracker: tracker,
-		accel:   population.NewInterned(eng, spec, nil, tracker, population.InternOptions{}),
+		accel:   population.AttachInterned(eng, tab, nil, tracker),
 		pred:    pr.Stable,
 		check:   n/2 + 1,
 	}
 }
 
+func (p yokotaProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[yokota.State] {
+	return p.newTrialT(sc, n, seed, p.newTables(sc, n))
+}
+
 func (p yokotaProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
 	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// LaneTrials implements laneable.
+func (p yokotaProtocol) LaneTrials(sc Scenario, n int, seeds []uint64) ([]TrialResult, error) {
+	return laneTrials(p, sc, n, seeds, p.newTables, p.newTrialT)
 }
 
 // ProbedTrial implements ProbedProtocol: Trial with the typed event
@@ -602,6 +742,10 @@ func (p yokotaProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Probe
 
 func (p yokotaProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
 	return newBenchFor(p, p.newTrial, sc, n, seed)
+}
+
+func (p yokotaProtocol) newBenchPair(sc Scenario, n int, seed uint64) (benchRunner, benchRunner, error) {
+	return newBenchPairFor(p, sc, n, seed, p.newTables, p.newTrialT)
 }
 
 // angluinProtocol is the [5]-style mod-k baseline with k = 2; requested
@@ -632,26 +776,39 @@ func (angluinProtocol) MaxSteps(n int) uint64 {
 
 func (p angluinProtocol) Validate(sc Scenario) error { return validateElection(p.Info(), sc) }
 
-func (p angluinProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[angluin.State] {
+func (p angluinProtocol) newTables(sc Scenario, n int) *population.Tables[angluin.State] {
+	codec := angluin.Codec()
+	return population.NewTables(angluin.New(2).StableSpec(), angluin.IsLeader, &codec, nil, internOpts(sc))
+}
+
+func (p angluinProtocol) newTrialT(sc Scenario, n int, seed uint64, tab *population.Tables[angluin.State]) trialEngine[angluin.State] {
 	pr := angluin.New(2)
 	eng := population.NewEngine(population.DirectedRing(n), pr.Step, xrand.New(seed))
 	eng.SetStates(pr.RandomConfig(xrand.New(seed^initSeedSalt), n))
 	eng.TrackLeaders(angluin.IsLeader)
-	spec := pr.StableSpec()
-	tracker := population.NewRingTracker(spec)
+	tracker := population.NewRingTracker(pr.StableSpec())
 	applySched(eng, sc, seed)
 	return trialEngine[angluin.State]{
 		eng:     eng,
 		corrupt: func(rng *xrand.RNG, _ angluin.State) angluin.State { return pr.RandomState(rng) },
 		tracker: tracker,
-		accel:   population.NewInterned(eng, spec, nil, tracker, population.InternOptions{}),
+		accel:   population.AttachInterned(eng, tab, nil, tracker),
 		pred:    pr.Stable,
 		check:   n/2 + 1,
 	}
 }
 
+func (p angluinProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[angluin.State] {
+	return p.newTrialT(sc, n, seed, p.newTables(sc, n))
+}
+
 func (p angluinProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
 	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// LaneTrials implements laneable.
+func (p angluinProtocol) LaneTrials(sc Scenario, n int, seeds []uint64) ([]TrialResult, error) {
+	return laneTrials(p, sc, n, seeds, p.newTables, p.newTrialT)
 }
 
 // ProbedTrial implements ProbedProtocol: Trial with the typed event
@@ -662,6 +819,10 @@ func (p angluinProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Prob
 
 func (p angluinProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
 	return newBenchFor(p, p.newTrial, sc, n, seed)
+}
+
+func (p angluinProtocol) newBenchPair(sc Scenario, n int, seed uint64) (benchRunner, benchRunner, error) {
+	return newBenchPairFor(p, sc, n, seed, p.newTables, p.newTrialT)
 }
 
 // fjProtocol is the [15]-style oracle baseline.
@@ -691,25 +852,41 @@ func (p fjProtocol) Validate(sc Scenario) error {
 	return rejectChurn(p.Info(), sc)
 }
 
-func (p fjProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[fj.State] {
+func (p fjProtocol) newTables(sc Scenario, n int) *population.Tables[fj.State] {
+	codec := fj.Codec()
+	// Tables only read the env's shape (Keys, the pure Delta); any runner's
+	// EnvSpec supplies them.
+	env := fj.NewRunner(3, xrand.New(1)).InternEnv()
+	return population.NewTables(fj.New().StableSpec(), fj.IsLeader, &codec, env, internOpts(sc))
+}
+
+func (p fjProtocol) newTrialT(sc Scenario, n int, seed uint64, tab *population.Tables[fj.State]) trialEngine[fj.State] {
 	ru := fj.NewRunner(n, xrand.New(seed))
 	ru.SetStates(fj.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
-	spec := fj.New().StableSpec()
-	tracker := population.NewRingTracker(spec)
+	tracker := population.NewRingTracker(fj.New().StableSpec())
 	applySched(ru.Engine(), sc, seed)
 	return trialEngine[fj.State]{
 		eng:     ru.Engine(),
 		install: ru.SetStates, // keep the oracle census in sync
 		corrupt: func(rng *xrand.RNG, _ fj.State) fj.State { return fj.New().RandomState(rng) },
 		tracker: tracker,
-		accel:   population.NewInterned(ru.Engine(), spec, ru.InternEnv(), tracker, population.InternOptions{}),
+		accel:   population.AttachInterned(ru.Engine(), tab, ru.InternEnv(), tracker),
 		pred:    fj.Stable,
 		check:   n/2 + 1,
 	}
 }
 
+func (p fjProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[fj.State] {
+	return p.newTrialT(sc, n, seed, p.newTables(sc, n))
+}
+
 func (p fjProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
 	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// LaneTrials implements laneable.
+func (p fjProtocol) LaneTrials(sc Scenario, n int, seeds []uint64) ([]TrialResult, error) {
+	return laneTrials(p, sc, n, seeds, p.newTables, p.newTrialT)
 }
 
 // ProbedTrial implements ProbedProtocol: Trial with the typed event
@@ -720,6 +897,10 @@ func (p fjProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Probe) (T
 
 func (p fjProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
 	return newBenchFor(p, p.newTrial, sc, n, seed)
+}
+
+func (p fjProtocol) newBenchPair(sc Scenario, n int, seed uint64) (benchRunner, benchRunner, error) {
+	return newBenchPairFor(p, sc, n, seed, p.newTables, p.newTrialT)
 }
 
 // chenchenProtocol is the [11]-style baseline. The reconstruction
@@ -752,25 +933,39 @@ func (p chenchenProtocol) Validate(sc Scenario) error {
 	return rejectChurn(p.Info(), sc)
 }
 
-func (p chenchenProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[chenchen.State] {
+func (p chenchenProtocol) newTables(sc Scenario, n int) *population.Tables[chenchen.State] {
+	codec := chenchen.Codec()
+	env := chenchen.NewRunner(3, xrand.New(1)).InternEnv()
+	return population.NewTables(chenchen.New().StableSpec(), chenchen.IsLeader, &codec, env, internOpts(sc))
+}
+
+func (p chenchenProtocol) newTrialT(sc Scenario, n int, seed uint64, tab *population.Tables[chenchen.State]) trialEngine[chenchen.State] {
 	ru := chenchen.NewRunner(n, xrand.New(seed))
 	ru.SetStates(chenchen.New().RandomConfig(xrand.New(seed^initSeedSalt), n))
-	spec := chenchen.New().StableSpec()
-	tracker := population.NewRingTracker(spec)
+	tracker := population.NewRingTracker(chenchen.New().StableSpec())
 	applySched(ru.Engine(), sc, seed)
 	return trialEngine[chenchen.State]{
 		eng:     ru.Engine(),
 		install: ru.SetStates, // keep the flag census in sync
 		corrupt: func(rng *xrand.RNG, _ chenchen.State) chenchen.State { return chenchen.New().RandomState(rng) },
 		tracker: tracker,
-		accel:   population.NewInterned(ru.Engine(), spec, ru.InternEnv(), tracker, population.InternOptions{}),
+		accel:   population.AttachInterned(ru.Engine(), tab, ru.InternEnv(), tracker),
 		pred:    chenchen.Stable,
 		check:   n/2 + 1,
 	}
 }
 
+func (p chenchenProtocol) newTrial(sc Scenario, n int, seed uint64) trialEngine[chenchen.State] {
+	return p.newTrialT(sc, n, seed, p.newTables(sc, n))
+}
+
 func (p chenchenProtocol) Trial(sc Scenario, n int, seed uint64) (TrialResult, error) {
 	return p.ProbedTrial(sc, n, seed, nil)
+}
+
+// LaneTrials implements laneable.
+func (p chenchenProtocol) LaneTrials(sc Scenario, n int, seeds []uint64) ([]TrialResult, error) {
+	return laneTrials(p, sc, n, seeds, p.newTables, p.newTrialT)
 }
 
 // ProbedTrial implements ProbedProtocol: Trial with the typed event
@@ -781,4 +976,8 @@ func (p chenchenProtocol) ProbedTrial(sc Scenario, n int, seed uint64, probe Pro
 
 func (p chenchenProtocol) newBench(sc Scenario, n int, seed uint64) (benchRunner, error) {
 	return newBenchFor(p, p.newTrial, sc, n, seed)
+}
+
+func (p chenchenProtocol) newBenchPair(sc Scenario, n int, seed uint64) (benchRunner, benchRunner, error) {
+	return newBenchPairFor(p, sc, n, seed, p.newTables, p.newTrialT)
 }
