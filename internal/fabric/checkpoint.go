@@ -1,0 +1,197 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/plan"
+)
+
+// sweepMeta is the checkpoint's identity file (sweep.json): the spec,
+// the shard width it was planned with, and the digest binding the two.
+// A coordinator reopening a checkpoint directory refuses to resume when
+// the digest disagrees — completed shards from a different sweep (or
+// the same sweep planned at a different width) must never be counted.
+type sweepMeta struct {
+	Digest      string    `json:"digest"`
+	Spec        plan.Spec `json:"spec"`
+	ShardTrials int       `json:"shard_trials"`
+}
+
+// journalEntry is one line of journal.jsonl: a shard completion, with
+// the SHA-256 of the shard's canonical (uncompressed) record bytes and
+// its record count. The journal is append-only and replay-idempotent.
+type journalEntry struct {
+	Shard   string `json:"shard"`
+	SHA256  string `json:"sha256"`
+	Records int    `json:"records"`
+	Worker  string `json:"worker,omitempty"`
+}
+
+// Checkpoint is the coordinator's durable state: a directory holding
+//
+//	sweep.json    — identity (see sweepMeta)
+//	journal.jsonl — one entry per completed shard, appended + fsynced
+//	shards/<id>.jsonl.gz — the shard's canonical record bytes, gzipped,
+//	                       written temp+rename before the journal entry
+//
+// The write order (shard file durable, then journal line) makes the
+// journal the source of truth: an entry is only ever appended for bytes
+// already on disk, so replay after a kill — at any point — either sees
+// a completed shard in full or not at all, never a torn one.
+type Checkpoint struct {
+	dir     string
+	journal *os.File
+}
+
+// OpenCheckpoint creates or reopens the checkpoint at dir for the sweep
+// identified by digest, returning the completed shards recovered from
+// the journal. A fresh directory is initialized; an existing one is
+// validated against the digest.
+func OpenCheckpoint(dir, digest string, spec plan.Spec, shardTrials int) (*Checkpoint, map[string]journalEntry, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "shards"), 0o755); err != nil {
+		return nil, nil, err
+	}
+	metaPath := filepath.Join(dir, "sweep.json")
+	if data, err := os.ReadFile(metaPath); err == nil {
+		var meta sweepMeta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return nil, nil, fmt.Errorf("fabric: corrupt checkpoint %s: %w", metaPath, err)
+		}
+		if meta.Digest != digest {
+			return nil, nil, fmt.Errorf("fabric: checkpoint %s belongs to a different sweep (digest %.12s…, want %.12s…)", dir, meta.Digest, digest)
+		}
+	} else if os.IsNotExist(err) {
+		meta := sweepMeta{Digest: digest, Spec: spec, ShardTrials: shardTrials}
+		data, err := json.MarshalIndent(meta, "", "  ")
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := writeFileAtomic(metaPath, data); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		return nil, nil, err
+	}
+
+	ck := &Checkpoint{dir: dir}
+	done, err := ck.replayJournal()
+	if err != nil {
+		return nil, nil, err
+	}
+	j, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	ck.journal = j
+	return ck, done, nil
+}
+
+// replayJournal recovers completed shards: journal entries whose shard
+// file exists count as done (duplicate entries are idempotent); entries
+// whose file is missing are dropped — that shard simply re-runs.
+func (ck *Checkpoint) replayJournal() (map[string]journalEntry, error) {
+	done := make(map[string]journalEntry)
+	f, err := os.Open(filepath.Join(ck.dir, "journal.jsonl"))
+	if os.IsNotExist(err) {
+		return done, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			// A torn final line (killed mid-append) is expected; its shard
+			// file write already completed or the shard re-runs. Stop here.
+			break
+		}
+		if _, err := os.Stat(ck.ShardPath(e.Shard)); err != nil {
+			continue
+		}
+		done[e.Shard] = e
+	}
+	return done, sc.Err()
+}
+
+// ShardPath returns the on-disk path of a shard's record file.
+func (ck *Checkpoint) ShardPath(id string) string {
+	return filepath.Join(ck.dir, "shards", id+".jsonl.gz")
+}
+
+// WriteShard persists a shard's canonical record bytes (plain JSONL in,
+// gzip on disk) and journals the completion, in that order, both
+// durable before returning.
+func (ck *Checkpoint) WriteShard(e journalEntry, canonical []byte) error {
+	gz, err := gzipBytes(canonical)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(ck.ShardPath(e.Shard), gz); err != nil {
+		return err
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := ck.journal.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return ck.journal.Sync()
+}
+
+// Close releases the journal handle.
+func (ck *Checkpoint) Close() error {
+	if ck.journal != nil {
+		return ck.journal.Close()
+	}
+	return nil
+}
+
+// writeFileAtomic writes data via a temp file + rename, fsyncing before
+// the rename so a crash never leaves a torn file under the final name.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// gzipBytes compresses data at the default level — a deterministic
+// function of the input (the header carries no timestamp), so
+// checkpoint shard files are byte-stable across re-runs.
+func gzipBytes(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

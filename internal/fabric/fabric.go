@@ -1,0 +1,189 @@
+// Package fabric is the distributed sweep tier: a coordinator that
+// plans one experiment Spec into (cell, seed-range) shard leases and
+// hands them to worker processes over HTTP, and a worker loop that runs
+// leased shards through the engine and uploads canonical record bytes.
+//
+// The whole design leans on one property of the platform: every trial
+// is a pure function of (protocol, scenario, n, trial) — seeds derive
+// from repro.TrialSeed(n, t), never from wall clock or placement — so
+// shard boundaries, shard assignment and worker failure carry no
+// information. A sweep sharded across any number of workers, with any
+// number of leases expiring and being re-issued along the way, merges
+// (repro.MergeShards) into a record stream and Report byte-identical to
+// the single-process Experiment.Run.
+//
+// Fault tolerance is lease-shaped, not consensus-shaped. Workers hold a
+// shard only through a TTL lease renewed by heartbeat; a worker that
+// dies (or stalls past its TTL) simply stops renewing and the
+// coordinator re-issues the shard to the next worker that asks. Because
+// re-running a shard reproduces its records bit-for-bit, duplicate
+// completions are idempotent: a straggler finishing after its lease was
+// re-issued is accepted when its bytes match what the sweep already has
+// and is a loud determinism-violation failure when they do not.
+//
+// The coordinator journals shard completions to an on-disk checkpoint
+// (content-addressed to the Spec, see Checkpoint) as they arrive, so a
+// killed coordinator resumes without re-running finished shards.
+//
+// Identities are shared with the serving tier via internal/plan: a
+// shard's CellKey is the same plan.CellDigest the service cache uses,
+// and the canonical bytes a worker uploads for a full cell are the
+// bytes a service cold run would have cached for it.
+package fabric
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/plan"
+	"repro/internal/service"
+)
+
+// Shard is one leased unit of work: the trial range [Lo, Hi) of one
+// (protocol, size) cell.
+type Shard struct {
+	// ID is the deterministic shard name "s-<cellIndex>-<lo>"; it doubles
+	// as the checkpoint filename, so planning the same Spec always maps
+	// completed work back onto the same shards.
+	ID string `json:"id"`
+	// Protocol is the registry name (the Spec namespace, not the display
+	// name records carry).
+	Protocol string `json:"protocol"`
+	// RawN is the requested ring size, N the FixSize-adjusted one the
+	// engine actually runs (and records carry).
+	RawN int `json:"raw_n"`
+	N    int `json:"n"`
+	// Lo, Hi bound the shard's trial range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// CellKey is the plan.CellDigest of the full parent cell — the same
+	// identity the service cache uses.
+	CellKey string `json:"cell_key"`
+}
+
+// Trials returns the shard's trial count.
+func (s Shard) Trials() int { return s.Hi - s.Lo }
+
+// PlanShards expands a validated Spec into its shard list: every
+// non-skipped cell, in the canonical cell order plan.Cells emits, split
+// into consecutive trial ranges of width shardTrials (0 or anything
+// larger than the trial count selects whole-cell shards). Cells whose
+// digests collide — two requested sizes FixSize-ing to the same n — are
+// planned once: their records are identical, so running both would only
+// manufacture duplicate uploads.
+func PlanShards(spec plan.Spec, shardTrials int) ([]Shard, error) {
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	if shardTrials <= 0 || shardTrials > spec.Trials {
+		shardTrials = spec.Trials
+	}
+	var shards []Shard
+	seen := make(map[string]bool)
+	for ci, cell := range cells {
+		if cell.Skipped || seen[cell.Key] {
+			continue
+		}
+		seen[cell.Key] = true
+		for lo := 0; lo < spec.Trials; lo += shardTrials {
+			hi := lo + shardTrials
+			if hi > spec.Trials {
+				hi = spec.Trials
+			}
+			shards = append(shards, Shard{
+				ID:       fmt.Sprintf("s-%d-%d", ci, lo),
+				Protocol: cell.Protocol,
+				RawN:     cell.RawN,
+				N:        cell.N,
+				Lo:       lo,
+				Hi:       hi,
+				CellKey:  cell.Key,
+			})
+		}
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("fabric: spec plans no runnable shards (every cell skipped?)")
+	}
+	return shards, nil
+}
+
+// Lease statuses returned by POST /v1/lease.
+const (
+	// StatusShard carries a lease on a shard.
+	StatusShard = "shard"
+	// StatusWait means every pending shard is currently leased; poll again.
+	StatusWait = "wait"
+	// StatusDone means every shard is complete; workers exit.
+	StatusDone = "done"
+	// StatusFailed means the sweep failed hard (a determinism violation);
+	// workers exit with an error.
+	StatusFailed = "failed"
+)
+
+// LeaseRequest is the POST /v1/lease body.
+type LeaseRequest struct {
+	// Worker names the requester, for attribution in stats and logs.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse is the POST /v1/lease reply.
+type LeaseResponse struct {
+	Status string `json:"status"`
+	// Error explains a failed sweep (Status == StatusFailed).
+	Error string `json:"error,omitempty"`
+	// LeaseID names the lease for renew/complete; set when Status is
+	// StatusShard.
+	LeaseID string `json:"lease_id,omitempty"`
+	// TTLMillis is the lease TTL; the worker must renew well inside it.
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+	// Shard is the leased work.
+	Shard *Shard `json:"shard,omitempty"`
+	// Scenario is the sweep-wide trial scenario the shard must run under.
+	Scenario repro.Scenario `json:"scenario,omitempty"`
+	// SpecDigest content-addresses the sweep (plan.Spec.Digest with the
+	// shard width as extra), so a worker can detect it wandered to the
+	// wrong coordinator between polls.
+	SpecDigest string `json:"spec_digest,omitempty"`
+}
+
+// RenewRequest is the POST /v1/renew body; the reply is RenewResponse
+// or HTTP 410 when the lease is no longer live (expired and re-issued,
+// or its shard already completed).
+type RenewRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// RenewResponse acknowledges a heartbeat with the refreshed TTL.
+type RenewResponse struct {
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// LeaseStats counts lease-protocol traffic.
+type LeaseStats struct {
+	Issued   uint64 `json:"issued"`
+	Renewed  uint64 `json:"renewed"`
+	Expired  uint64 `json:"expired"`
+	Reissued uint64 `json:"reissued"`
+}
+
+// ShardStats counts shard completion.
+type ShardStats struct {
+	Total      int    `json:"total"`
+	Done       int    `json:"done"`
+	Duplicates uint64 `json:"duplicates"`
+}
+
+// Stats is the coordinator's GET /v1/stats payload, mirroring the
+// service's: counters per subsystem plus the shared work-unit gauges
+// (service.WorkGauges — queue depth counts unleased pending shards,
+// in-flight counts live leases).
+type Stats struct {
+	SpecDigest    string             `json:"spec_digest"`
+	Leases        LeaseStats         `json:"leases"`
+	Shards        ShardStats         `json:"shards"`
+	RecordsMerged uint64             `json:"records_merged"`
+	Work          service.WorkGauges `json:"work"`
+	Done          bool               `json:"done"`
+	Error         string             `json:"error,omitempty"`
+}

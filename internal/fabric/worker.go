@@ -1,0 +1,316 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/plan"
+	"repro/internal/runner"
+)
+
+// WorkerConfig sizes one worker process.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Name attributes the worker in coordinator stats and logs.
+	Name string
+	// TrialWorkers caps the shard-internal trial pool; 0 selects one per
+	// core.
+	TrialWorkers int
+	// Poll is the wait between lease polls when no shard is free; 0
+	// selects 200ms.
+	Poll time.Duration
+	// MaxFailures bounds consecutive coordinator errors before the worker
+	// gives up (a dead coordinator, a persistently failing upload); 0
+	// selects 30.
+	MaxFailures int
+	// Client substitutes the HTTP client; nil selects a default with sane
+	// timeouts.
+	Client *http.Client
+	// Log, when non-nil, receives one line per worker event.
+	Log func(format string, args ...any)
+}
+
+func (cfg *WorkerConfig) fill() {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.MaxFailures <= 0 {
+		cfg.MaxFailures = 30
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+}
+
+// Work is the resumable worker loop: lease a shard, run it through the
+// engine under a heartbeat, upload the canonical bytes, repeat — until
+// the coordinator reports the sweep done (nil), failed (error), the
+// context is cancelled, or the coordinator stays unreachable past the
+// failure budget. Losing a lease mid-run is not an error: the worker
+// abandons the shard (someone else holds it now) and asks for the next.
+func Work(ctx context.Context, cfg WorkerConfig) error {
+	cfg.fill()
+	if cfg.Coordinator == "" {
+		return fmt.Errorf("fabric: worker needs a coordinator URL")
+	}
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := postLease(ctx, cfg)
+		if err != nil {
+			failures++
+			if failures >= cfg.MaxFailures {
+				return fmt.Errorf("fabric: coordinator unreachable after %d attempts: %w", failures, err)
+			}
+			sleep(ctx, cfg.Poll)
+			continue
+		}
+		failures = 0
+		switch lease.Status {
+		case StatusDone:
+			cfg.Log("sweep done")
+			return nil
+		case StatusFailed:
+			return fmt.Errorf("fabric: sweep failed: %s", lease.Error)
+		case StatusWait:
+			sleep(ctx, cfg.Poll)
+		case StatusShard:
+			if err := runLease(ctx, cfg, lease); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				failures++
+				if failures >= cfg.MaxFailures {
+					return err
+				}
+				cfg.Log("shard %s: %v (continuing)", lease.Shard.ID, err)
+				sleep(ctx, cfg.Poll)
+			}
+		default:
+			return fmt.Errorf("fabric: coordinator answered unknown lease status %q", lease.Status)
+		}
+	}
+}
+
+// runLease executes one leased shard under a heartbeat and uploads its
+// bytes. A lost lease (heartbeat answered 410) cancels the run and
+// returns nil — abandonment, not failure.
+func runLease(ctx context.Context, cfg WorkerConfig, lease LeaseResponse) error {
+	sh := *lease.Shard
+	cfg.Log("leased shard %s (%s n=%d trials [%d,%d))", sh.ID, sh.Protocol, sh.N, sh.Lo, sh.Hi)
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var lost bool
+	var mu sync.Mutex
+	stopHeartbeat := heartbeat(runCtx, cfg, lease, func() {
+		mu.Lock()
+		lost = true
+		mu.Unlock()
+		cancelRun()
+	})
+
+	canonical, err := RunShard(runCtx, sh, lease.Scenario, cfg.TrialWorkers)
+	stopHeartbeat()
+	mu.Lock()
+	abandoned := lost
+	mu.Unlock()
+	if err != nil {
+		if abandoned && ctx.Err() == nil {
+			cfg.Log("shard %s: lease lost, abandoning", sh.ID)
+			return nil
+		}
+		return err
+	}
+
+	// The lease may have lapsed during a long trial; upload anyway — late
+	// completions with identical bytes are merged idempotently.
+	if err := postComplete(ctx, cfg, lease.LeaseID, canonical); err != nil {
+		return err
+	}
+	cfg.Log("shard %s complete (%d records)", sh.ID, sh.Trials())
+	return nil
+}
+
+// heartbeat renews the lease at TTL/3 until stopped; onLost fires when
+// the coordinator answers 410 (the lease lapsed or was superseded).
+// Transient network errors are ignored — the run continues and a late
+// completion is still acceptable.
+func heartbeat(ctx context.Context, cfg WorkerConfig, lease LeaseResponse, onLost func()) (stop func()) {
+	interval := time.Duration(lease.TTLMillis) * time.Millisecond / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	hbCtx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				code, err := postJSON(hbCtx, cfg.Client, cfg.Coordinator+"/v1/renew", RenewRequest{LeaseID: lease.LeaseID}, nil)
+				if err == nil && code == http.StatusGone {
+					onLost()
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// RunShard executes one shard's trial range through the engine,
+// returning the canonical record bytes — exactly the bytes the
+// Experiment's probed path produces for those trials, re-serialized in
+// trial order. Seeds are repro.TrialSeed(n, t) as everywhere else, so
+// the bytes are a pure function of the shard, whatever worker runs it
+// and at whatever parallelism.
+func RunShard(ctx context.Context, sh Shard, sc repro.Scenario, workers int) ([]byte, error) {
+	p, err := repro.NewProtocol(sh.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	if sh.Hi <= sh.Lo {
+		return nil, fmt.Errorf("fabric: shard %s has empty trial range [%d,%d)", sh.ID, sh.Lo, sh.Hi)
+	}
+	col := plan.NewCollector(sh.Lo, sh.Hi)
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	ferr := runner.ForEach(ctx, sh.Trials(), func(i int) {
+		t := sh.Lo + i
+		seed := repro.TrialSeed(sh.N, t)
+		// Mirror Experiment.runCell's probed path bit for bit: the
+		// recording probe distills the same observables a service or
+		// library run records, so shard bytes equal cell-slice bytes.
+		rp := &repro.RecordingProbe{}
+		if _, err := repro.ProbeTrial(p, sc, sh.N, seed, rp); err != nil {
+			fail(err)
+			return
+		}
+		rec := rp.Record()
+		rec.Trial = t
+		if err := col.Record(rec); err != nil {
+			fail(err)
+		}
+	}, runner.Options{Workers: workers})
+	if ferr != nil {
+		return nil, ferr
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return col.Encode()
+}
+
+// postLease asks the coordinator for work.
+func postLease(ctx context.Context, cfg WorkerConfig) (LeaseResponse, error) {
+	var resp LeaseResponse
+	code, err := postJSON(ctx, cfg.Client, cfg.Coordinator+"/v1/lease", LeaseRequest{Worker: cfg.Name}, &resp)
+	if err != nil {
+		return resp, err
+	}
+	if code != http.StatusOK {
+		return resp, fmt.Errorf("fabric: lease request answered %d", code)
+	}
+	return resp, nil
+}
+
+// postComplete uploads a shard's canonical bytes, gzipped, retrying
+// transient failures. A 409 (determinism violation) is terminal.
+func postComplete(ctx context.Context, cfg WorkerConfig, leaseID string, canonical []byte) error {
+	gz, err := gzipBytes(canonical)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/v1/complete?lease_id=%s", cfg.Coordinator, leaseID)
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(gz))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/gzip")
+		resp, err := cfg.Client.Do(req)
+		if err != nil {
+			lastErr = err
+			sleep(ctx, cfg.Poll)
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusConflict:
+			return fmt.Errorf("fabric: upload rejected: %s", bytes.TrimSpace(body))
+		default:
+			lastErr = fmt.Errorf("fabric: upload answered %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+			sleep(ctx, cfg.Poll)
+		}
+	}
+	return lastErr
+}
+
+// postJSON posts v as JSON and decodes a 200 reply into out (when
+// non-nil), returning the status code.
+func postJSON(ctx context.Context, client *http.Client, url string, v, out any) (int, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	return resp.StatusCode, nil
+}
+
+// sleep waits d or until ctx is cancelled.
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"testing"
+
+	"repro/internal/plan"
 )
 
 // entry returns deterministic JSONL-shaped payloads for cache tests.
@@ -100,15 +102,15 @@ func TestCellCachePutIsIdempotent(t *testing.T) {
 }
 
 func TestCellDigestProperties(t *testing.T) {
-	a := cellDigest("ppl", []byte(`{}`), 16, 3)
-	if b := cellDigest("ppl", []byte(`{}`), 16, 3); b != a {
+	a := plan.CellDigest("ppl", []byte(`{}`), 16, 3)
+	if b := plan.CellDigest("ppl", []byte(`{}`), 16, 3); b != a {
 		t.Fatal("digest is not deterministic")
 	}
 	for name, other := range map[string]string{
-		"protocol": cellDigest("yokota", []byte(`{}`), 16, 3),
-		"scenario": cellDigest("ppl", []byte(`{"init":"noleader"}`), 16, 3),
-		"size":     cellDigest("ppl", []byte(`{}`), 32, 3),
-		"trials":   cellDigest("ppl", []byte(`{}`), 16, 4),
+		"protocol": plan.CellDigest("yokota", []byte(`{}`), 16, 3),
+		"scenario": plan.CellDigest("ppl", []byte(`{"init":"noleader"}`), 16, 3),
+		"size":     plan.CellDigest("ppl", []byte(`{}`), 32, 3),
+		"trials":   plan.CellDigest("ppl", []byte(`{}`), 16, 4),
 	} {
 		if other == a {
 			t.Fatalf("digest ignores the %s input", name)

@@ -2,12 +2,11 @@ package service
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"path/filepath"
-	"sync"
 
 	"repro"
+	"repro/internal/plan"
 )
 
 // executeJob runs one job cell by cell in deterministic order — protocol
@@ -70,7 +69,7 @@ func (s *Server) runCells(j *Job) error {
 				return fmt.Errorf("artifact sink: %w", err)
 			}
 		}
-		j.appendCell(data, countLines(data), hit)
+		j.appendCell(data, plan.CountLines(data), hit)
 	}
 	if art != nil {
 		if err := art.Close(); err != nil {
@@ -81,12 +80,13 @@ func (s *Server) runCells(j *Job) error {
 }
 
 // runCell executes one cold cell through the Experiment streaming path
-// and encodes its records canonically: trial order, one compact JSON
-// object per line. json.Marshal sorts map keys, so the bytes are a pure
-// function of the records — the property the content-addressed cache
+// and encodes its records canonically via the shared plan.Collector:
+// trial order, one compact JSON object per line. json.Marshal sorts map
+// keys, so the bytes are a pure function of the records — the property
+// the content-addressed cache (and the fabric's byte-identical merge)
 // leans on.
 func (s *Server) runCell(j *Job, cell cellPlan) ([]byte, error) {
-	col := newCollector(j.Spec.Trials)
+	col := plan.NewCollector(0, j.Spec.Trials)
 	err := repro.NewExperiment().
 		ProtocolNames(cell.Protocol).
 		Sizes(cell.RawN).
@@ -98,55 +98,5 @@ func (s *Server) runCell(j *Job, cell cellPlan) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return col.encode()
-}
-
-// collector buffers one cell's records by trial index; records arrive in
-// completion order from the worker pool, encode re-serializes them in
-// trial order.
-type collector struct {
-	mu   sync.Mutex
-	recs []*repro.TrialRecord
-}
-
-func newCollector(trials int) *collector {
-	return &collector{recs: make([]*repro.TrialRecord, trials)}
-}
-
-// Record implements repro.Sink.
-func (c *collector) Record(rec repro.TrialRecord) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if rec.Trial < 0 || rec.Trial >= len(c.recs) {
-		return fmt.Errorf("record trial %d out of range [0,%d)", rec.Trial, len(c.recs))
-	}
-	c.recs[rec.Trial] = &rec
-	return nil
-}
-
-// Close implements repro.Sink.
-func (c *collector) Close() error { return nil }
-
-// encode emits the canonical JSONL bytes of the cell.
-func (c *collector) encode() ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var buf bytes.Buffer
-	for t, rec := range c.recs {
-		if rec == nil {
-			return nil, fmt.Errorf("cell finished without a record for trial %d", t)
-		}
-		data, err := json.Marshal(rec)
-		if err != nil {
-			return nil, err
-		}
-		buf.Write(data)
-		buf.WriteByte('\n')
-	}
-	return buf.Bytes(), nil
-}
-
-// countLines counts the records in a JSONL byte block.
-func countLines(data []byte) int {
-	return bytes.Count(data, []byte{'\n'})
+	return col.Encode()
 }

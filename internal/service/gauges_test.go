@@ -1,0 +1,67 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitStats polls the service counters until cond holds or the deadline
+// passes, returning the last snapshot.
+func waitStats(t *testing.T, svc *Server, what string, cond func(Stats) bool) Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := svc.Stats()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never reached %s; last: %+v", what, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestWorkGauges(t *testing.T) {
+	// A blocking executor pins one job mid-execution so the gauges are
+	// deterministic: the running job holds one cell in flight and queues
+	// the rest, the queued job queues all of its cells.
+	block := make(chan struct{})
+	svc := newServer(Config{Workers: 1, QueueDepth: 2}, func(j *Job) {
+		j.start()
+		<-block
+		j.finish(nil)
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	submit(t, ts, smallSpec()) // 4 cells, picked up and blocked
+	submit(t, ts, smallSpec()) // 4 cells, waiting in the queue
+
+	st := waitStats(t, svc, "1 in flight", func(st Stats) bool {
+		return st.Work.InFlight == 1
+	})
+	if st.Work.QueueDepth != 7 {
+		t.Fatalf("Work = %+v, want QueueDepth 7 (3 remaining + 4 queued)", st.Work)
+	}
+
+	// The /v1/stats JSON surface carries the gauges.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"queue_depth"`) || !strings.Contains(string(body), `"in_flight"`) {
+		t.Fatalf("stats JSON missing work gauges: %s", body)
+	}
+
+	close(block)
+	waitStats(t, svc, "drained", func(st Stats) bool {
+		return st.Jobs.Done == 2 && st.Work.InFlight == 0 && st.Work.QueueDepth == 0
+	})
+}

@@ -93,7 +93,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	cells, err := spec.plan()
+	cells, err := spec.Cells()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
@@ -212,7 +212,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "decode records: %v", err)
 		return
 	}
-	rep, err := j.Spec.experiment().ReportFromRecords(recs)
+	rep, err := j.Spec.Experiment().ReportFromRecords(recs)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "rebuild report: %v", err)
 		return

@@ -94,6 +94,18 @@ type Stats struct {
 	Cache CacheStats `json:"cache"`
 	Queue QueueStats `json:"queue"`
 	Jobs  JobsStats  `json:"jobs"`
+	Work  WorkGauges `json:"work"`
+}
+
+// WorkGauges are instantaneous work-unit gauges, one granularity below
+// the job/lease counters: QueueDepth counts units planned but not yet
+// started, InFlight counts units executing right now. The service
+// measures cells; the fabric coordinator reuses the type for shards on
+// its own stats endpoint, so fleet dashboards read one shape at every
+// tier.
+type WorkGauges struct {
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
 }
 
 // JobsStats summarizes the job store by state.
@@ -109,13 +121,22 @@ type JobsStats struct {
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
 	js := JobsStats{}
+	w := WorkGauges{}
 	for _, j := range s.store.list() {
 		js.Total++
-		switch j.Status().State {
+		st := j.Status()
+		switch st.State {
 		case StateQueued:
 			js.Queued++
+			w.QueueDepth += st.CellsTotal - st.CellsDone
 		case StateRunning:
 			js.Running++
+			// A running job executes exactly one cell at a time; the rest
+			// of its remaining cells are queued work.
+			if rem := st.CellsTotal - st.CellsDone; rem > 0 {
+				w.InFlight++
+				w.QueueDepth += rem - 1
+			}
 		case StateDone:
 			js.Done++
 		case StateFailed:
@@ -128,5 +149,6 @@ func (s *Server) Stats() Stats {
 		Cache: s.cache.Stats(),
 		Queue: s.queue.Stats(),
 		Jobs:  js,
+		Work:  w,
 	}
 }

@@ -198,7 +198,7 @@ func TestSubmitStreamReport(t *testing.T) {
 	}
 	served, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	rep, err := smallSpec().experiment().Run(context.Background())
+	rep, err := smallSpec().Experiment().Run(context.Background())
 	if err != nil {
 		t.Fatalf("library Run: %v", err)
 	}

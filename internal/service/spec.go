@@ -8,157 +8,27 @@
 // cell is a pure function of its inputs, so finished cells are
 // content-addressed by digest and cached (in-memory LRU with optional
 // gzip disk spill) — repeated and overlapping jobs are served mostly from
-// cache. See docs/API.md for the HTTP surface and docs/ARCHITECTURE.md
-// for where the service sits in the system.
+// cache. The spec/cell/digest vocabulary itself lives in internal/plan,
+// shared with the distributed sweep fabric (internal/fabric) so both
+// tiers address identical cells identically. See docs/API.md for the
+// HTTP surface and docs/ARCHITECTURE.md for where the service sits in
+// the system.
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"fmt"
-
-	"repro"
+	"repro/internal/plan"
 )
 
-// SpecVersion versions the cell digest: any change to the TrialRecord
-// schema, the seed derivation, or the cell execution semantics must bump
-// it so stale cache entries (including spilled ones) can never serve
-// records under the new semantics.
-const SpecVersion = "repro.cell/v1"
+// SpecVersion versions the cell digest; see plan.SpecVersion.
+const SpecVersion = plan.SpecVersion
 
 // MetricSpec is the wire form of a repro.Metric.
-type MetricSpec struct {
-	Observable string `json:"observable"`
-	Agg        string `json:"agg"`
-	Label      string `json:"label,omitempty"`
-}
+type MetricSpec = plan.MetricSpec
 
 // JobSpec is the JSON body of POST /v1/jobs: the full configuration of
-// one Experiment. Protocols, Sizes and Trials are required; everything
-// else defaults to the zero Experiment behavior (zero Scenario = the
-// standard random-adversary run, no metrics, no size caps).
-type JobSpec struct {
-	// Protocols names registered protocols, in row order.
-	Protocols []string `json:"protocols"`
-	// Sizes lists requested ring sizes (protocols adjust them via FixSize).
-	Sizes []int `json:"sizes"`
-	// Trials is the number of trials per (protocol, size) cell.
-	Trials int `json:"trials"`
-	// Scenario is shared by every cell; the zero value is the standard
-	// experiment.
-	Scenario repro.Scenario `json:"scenario,omitempty"`
-	// Metrics adds composable report aggregations (rendered in /report).
-	Metrics []MetricSpec `json:"metrics,omitempty"`
-	// MaxSize caps the sizes run per protocol, like
-	// Experiment.MaxSizeFor; capped cells render as missing. Keys are
-	// registry names — the same namespace as Protocols — and are
-	// translated to the display names Experiment matching uses.
-	MaxSize map[string]int `json:"max_size,omitempty"`
-}
+// one Experiment. It is the shared plan.Spec — the same wire form the
+// fabric coordinator plans distributed sweeps from.
+type JobSpec = plan.Spec
 
-// metrics converts the wire metrics to repro.Metric values.
-func (s JobSpec) metrics() []repro.Metric {
-	out := make([]repro.Metric, 0, len(s.Metrics))
-	for _, m := range s.Metrics {
-		out = append(out, repro.Metric{Observable: m.Observable, Agg: m.Agg, Label: m.Label})
-	}
-	return out
-}
-
-// experiment compiles the spec into a fresh Experiment builder. Every
-// caller builds its own: Experiment values are cheap and the service must
-// never share one across concurrently-running jobs.
-func (s JobSpec) experiment() *repro.Experiment {
-	e := repro.NewExperiment().
-		ProtocolNames(s.Protocols...).
-		Sizes(s.Sizes...).
-		Trials(s.Trials).
-		Scenario(s.Scenario).
-		Metrics(s.metrics()...)
-	for name, max := range s.MaxSize {
-		// Experiment.MaxSizeFor matches ProtocolInfo.Name (the Table 1
-		// display name); the service's wire contract uses registry names,
-		// so translate. Unknown names are caught by Validate.
-		if p, err := repro.NewProtocol(name); err == nil {
-			e = e.MaxSizeFor(p.Info().Name, max)
-		}
-	}
-	return e
-}
-
-// Validate rejects malformed specs before they reach the queue, reusing
-// the Experiment's own validation (unknown protocols, empty matrix,
-// unsupported scenarios, bad metrics) so the service and the library
-// never disagree about what a runnable spec is.
-func (s JobSpec) Validate() error {
-	if len(s.Protocols) == 0 {
-		return fmt.Errorf("job spec has no protocols")
-	}
-	if len(s.Sizes) == 0 {
-		return fmt.Errorf("job spec has no sizes")
-	}
-	if s.Trials < 1 {
-		return fmt.Errorf("job spec needs trials >= 1, got %d", s.Trials)
-	}
-	for name := range s.MaxSize {
-		if _, err := repro.NewProtocol(name); err != nil {
-			return fmt.Errorf("max_size: %w", err)
-		}
-	}
-	return s.experiment().Validate()
-}
-
-// cellPlan is one (protocol, size) cell of a job, in deterministic
-// execution order: protocol row order, then size order — exactly the
-// order Experiment.execute visits cells, which is what makes the
-// concatenated record stream byte-identical to a library run's sink
-// stream (modulo completion-order: the service re-serializes each cell in
-// trial order).
-type cellPlan struct {
-	Protocol string
-	RawN     int
-	N        int // FixSize-adjusted
-	Skipped  bool
-	Key      string // content digest; empty for skipped cells
-}
-
-// plan expands the spec into its cell list and validates protocol names
-// on the way (NewProtocol errors surface here).
-func (s JobSpec) plan() ([]cellPlan, error) {
-	scenario, err := json.Marshal(s.Scenario)
-	if err != nil {
-		return nil, err
-	}
-	var cells []cellPlan
-	for _, name := range s.Protocols {
-		p, err := repro.NewProtocol(name)
-		if err != nil {
-			return nil, err
-		}
-		for _, rawN := range s.Sizes {
-			n := p.FixSize(rawN)
-			cell := cellPlan{Protocol: name, RawN: rawN, N: n}
-			if max, capped := s.MaxSize[name]; capped && rawN > max {
-				cell.Skipped = true
-			} else {
-				cell.Key = cellDigest(name, scenario, n, s.Trials)
-			}
-			cells = append(cells, cell)
-		}
-	}
-	return cells, nil
-}
-
-// cellDigest is the content address of one cell's record bytes: a
-// SHA-256 over the schema version, protocol name, canonical scenario
-// JSON, the FixSize-adjusted ring size and the trial count. Seeds need no
-// explicit mention — they are the pure function repro.TrialSeed(n, t) of
-// n and t, so (n, trials) pins the seed range. Two requested sizes that
-// FixSize to the same n share a digest and therefore a cache entry, as
-// they must: their records are identical.
-func cellDigest(protocol string, scenarioJSON []byte, n, trials int) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "%s|proto=%s|scenario=%s|n=%d|trials=%d", SpecVersion, protocol, scenarioJSON, n, trials)
-	return hex.EncodeToString(h.Sum(nil))
-}
+// cellPlan is one (protocol, size) cell of a job; see plan.Cell.
+type cellPlan = plan.Cell

@@ -35,7 +35,7 @@ func TestJobSpecValidate(t *testing.T) {
 
 func TestJobSpecPlanDigests(t *testing.T) {
 	spec := smallSpec()
-	cells, err := spec.plan()
+	cells, err := spec.Cells()
 	if err != nil {
 		t.Fatalf("plan: %v", err)
 	}
@@ -56,7 +56,7 @@ func TestJobSpecPlanDigests(t *testing.T) {
 	// A scenario change must move every digest.
 	spec2 := spec
 	spec2.Scenario = repro.Scenario{Init: repro.InitRandom, Budget: repro.Budget{Scale: 0.5}}
-	cells2, err := spec2.plan()
+	cells2, err := spec2.Cells()
 	if err != nil {
 		t.Fatalf("plan 2: %v", err)
 	}
@@ -91,7 +91,7 @@ func TestCellDigestsCoverScheduler(t *testing.T) {
 		if err := spec.Validate(); err != nil {
 			t.Fatalf("variant %d rejected: %v", vi, err)
 		}
-		cells, err := spec.plan()
+		cells, err := spec.Cells()
 		if err != nil {
 			t.Fatalf("variant %d plan: %v", vi, err)
 		}

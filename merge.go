@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MergeShards folds shard record streams — JSONL readers, gzip-compressed
+// or plain, in any order, each holding any subset of the experiment's
+// trials — into the experiment's canonical record order: protocol row
+// order, then size order, then trial order; exactly the stream a
+// single-process Experiment.Run emits through a sink at Workers(1), and
+// the order ReportFromRecords replays. This is the merge half of the
+// distributed sweep fabric: because every trial is a pure function of
+// (protocol, scenario, n, trial), shard boundaries and shard placement
+// carry no information, and the merged stream — and the Report built
+// from it — is byte-identical to the serial run's.
+//
+// Coverage is verified: every non-skipped cell must be fully present or
+// an error is returned, so a partial shard set cannot silently merge
+// into a shorter stream. Duplicate records are tolerated when identical
+// (a re-issued straggler shard completing twice) and rejected when they
+// disagree — two shards disagreeing about the same trial means some
+// worker broke determinism, which must surface, never be papered over.
+// Records outside the experiment's matrix are rejected too.
+func MergeShards(e *Experiment, shards ...io.Reader) ([]TrialRecord, error) {
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	type cellKey struct {
+		proto string
+		n     int
+		trial int
+	}
+	// The canonical slot order, built exactly as execute visits cells.
+	var order []cellKey
+	slot := make(map[cellKey]int)
+	for _, p := range e.protocols {
+		info := p.Info()
+		for _, rawN := range e.sizes {
+			n := p.FixSize(rawN)
+			if cap, capped := e.caps[info.Name]; capped && rawN > cap {
+				continue // skipped cells produce no records
+			}
+			for t := 0; t < e.trials; t++ {
+				k := cellKey{info.Name, n, t}
+				if _, dup := slot[k]; dup {
+					// Two requested sizes FixSize-ing to the same n share
+					// records; the first occurrence owns the slot, as in Run.
+					continue
+				}
+				slot[k] = len(order)
+				order = append(order, k)
+			}
+		}
+	}
+
+	out := make([]*TrialRecord, len(order))
+	canon := make([][]byte, len(order))
+	for si, r := range shards {
+		err := DecodeTrialRecords(r, func(rec TrialRecord) error {
+			k := cellKey{rec.Protocol, rec.N, rec.Trial}
+			i, ok := slot[k]
+			if !ok {
+				return fmt.Errorf("repro: shard %d: record (%s, n=%d, trial %d) is outside the experiment's matrix", si, rec.Protocol, rec.N, rec.Trial)
+			}
+			data, err := json.Marshal(rec)
+			if err != nil {
+				return err
+			}
+			if out[i] != nil {
+				if !bytes.Equal(canon[i], data) {
+					return fmt.Errorf("repro: shard %d: conflicting duplicate for (%s, n=%d, trial %d) — determinism violation", si, rec.Protocol, rec.N, rec.Trial)
+				}
+				return nil // identical duplicate: a straggler's late copy
+			}
+			rc := rec
+			out[i] = &rc
+			canon[i] = data
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	merged := make([]TrialRecord, len(order))
+	for i, rec := range out {
+		if rec == nil {
+			k := order[i]
+			return nil, fmt.Errorf("repro: shards missing trial %d of cell (%s, n=%d)", k.trial, k.proto, k.n)
+		}
+		merged[i] = *rec
+	}
+	return merged, nil
+}
+
+// WriteTrialRecords emits records as canonical JSONL — one compact JSON
+// object per record, newline-terminated, in slice order. Writing the
+// output of MergeShards produces the byte-identical artifact a serial
+// single-worker run would have streamed.
+func WriteTrialRecords(w io.Writer, recs []TrialRecord) error {
+	for _, rec := range recs {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package repro
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank reference the sink's estimate is
+// judged against.
+func exactQuantile(vals []float64, q float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+func quantileRecord(trial int, steps uint64) TrialRecord {
+	return TrialRecord{Protocol: "p", N: 8, Trial: trial, Steps: steps}
+}
+
+func TestQuantileSinkAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sink := NewQuantileSink()
+	var vals []float64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~5 decades, the shape of step-count data.
+		v := math.Exp(rng.Float64() * 12)
+		vals = append(vals, math.Floor(v)+1)
+		if err := sink.Record(quantileRecord(i, uint64(math.Floor(v))+1)); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got, ok := sink.Quantile("p", 8, "steps", q)
+		if !ok {
+			t.Fatalf("q=%v: no data", q)
+		}
+		want := exactQuantile(vals, q)
+		if relErr := math.Abs(got-want) / want; relErr > 0.03 {
+			t.Errorf("q=%v: got %v want %v (rel err %.4f > 3%%)", q, got, want, relErr)
+		}
+	}
+	if n := sink.Count("p", 8, "steps"); n != 20000 {
+		t.Fatalf("Count = %d, want 20000", n)
+	}
+}
+
+func TestQuantileSinkOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := make([]TrialRecord, 500)
+	for i := range recs {
+		recs[i] = quantileRecord(i, uint64(rng.Intn(1_000_000)+1))
+	}
+	forward := NewQuantileSink()
+	for _, r := range recs {
+		if err := forward.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shuffled := NewQuantileSink()
+	perm := rng.Perm(len(recs))
+	for _, i := range perm {
+		if err := shuffled.Record(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := forward.Table(), shuffled.Table(); a != b {
+		t.Fatalf("table depends on record order:\nforward:\n%s\nshuffled:\n%s", a, b)
+	}
+}
+
+func TestQuantileSinkMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	whole := NewQuantileSink()
+	left := NewQuantileSink()
+	right := NewQuantileSink()
+	for i := 0; i < 1000; i++ {
+		rec := quantileRecord(i, uint64(rng.Intn(50_000)+1))
+		if err := whole.Record(rec); err != nil {
+			t.Fatal(err)
+		}
+		part := left
+		if i%2 == 1 {
+			part = right
+		}
+		if err := part.Record(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left.Merge(right)
+	if a, b := whole.Table(), left.Table(); a != b {
+		t.Fatalf("merged table differs from whole-stream table:\nwhole:\n%s\nmerged:\n%s", a, b)
+	}
+}
+
+func TestQuantileSinkZerosAndScalars(t *testing.T) {
+	sink := NewQuantileSink("steps", "converged", "nosuch")
+	recs := []TrialRecord{
+		{Protocol: "p", N: 4, Trial: 0, Steps: 0, Converged: false},
+		{Protocol: "p", N: 4, Trial: 1, Steps: 10, Converged: true},
+		{Protocol: "p", N: 4, Trial: 2, Steps: 10, Converged: true},
+	}
+	for _, r := range recs {
+		if err := sink.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := sink.Quantile("p", 4, "converged", 0.5); !ok || got != 1 {
+		t.Fatalf("converged p50 = %v, %v; want 1, true", got, ok)
+	}
+	// A zero value must not poison the log buckets; the p50 of {0,10,10}
+	// is 10, the min bucket holds the zero.
+	if got, ok := sink.Quantile("p", 4, "steps", 0.99); !ok || got != 10 {
+		t.Fatalf("steps p99 = %v, %v; want 10, true", got, ok)
+	}
+	if got, ok := sink.Quantile("p", 4, "steps", 0.01); !ok || got != 0 {
+		t.Fatalf("steps p1 = %v, %v; want 0 (the zero record), true", got, ok)
+	}
+	if _, ok := sink.Quantile("p", 4, "nosuch", 0.5); ok {
+		t.Fatal("unknown observable reported data")
+	}
+}
+
+// TestQuantileSinkStream attaches the sink to a real Stream-mode sweep and
+// checks the rendered table is identical across worker counts — the
+// order-independence property the fabric leans on.
+func TestQuantileSinkStream(t *testing.T) {
+	run := func(workers int) string {
+		sink := NewQuantileSink()
+		err := NewExperiment().
+			ProtocolNames("ppl", "angluin").
+			Sizes(8, 16).
+			Trials(4).
+			Workers(workers).
+			Sinks(sink).
+			Stream(context.Background())
+		if err != nil {
+			t.Fatalf("stream (workers=%d): %v", workers, err)
+		}
+		return sink.Table()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Fatalf("table depends on worker count:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "| p50 |") || !strings.Contains(serial, "steps") {
+		t.Fatalf("table missing expected columns/rows:\n%s", serial)
+	}
+	// Two protocols × two sizes ⇒ header + separator + 4 rows.
+	if lines := strings.Count(strings.TrimSpace(serial), "\n"); lines != 5 {
+		t.Fatalf("table has %d newlines, want 5:\n%s", lines, serial)
+	}
+}

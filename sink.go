@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -105,7 +106,27 @@ func (s *JSONLSink) Close() error {
 // DecodeTrialRecords streams a JSONL record artifact: fn is called once
 // per line, in file order. Decoding stops at the first malformed line or
 // fn error.
+//
+// Gzip input is detected automatically by its magic bytes and
+// transparently decompressed, so RotatingJSONLSink ".gz" segments (and
+// service cache spills) feed merge, replay and ReportFromRecords without
+// an explicit decompression step. Concatenated gzip members — cat-ed
+// segments, say — decode as one stream.
 func DecodeTrialRecords(r io.Reader, fn func(rec TrialRecord) error) error {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return fmt.Errorf("repro: gzip records: %w", err)
+		}
+		defer gz.Close()
+		return decodeTrialRecords(gz, fn)
+	}
+	return decodeTrialRecords(br, fn)
+}
+
+// decodeTrialRecords scans plain JSONL.
+func decodeTrialRecords(r io.Reader, fn func(rec TrialRecord) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	line := 0

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"compress/gzip"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -238,4 +239,93 @@ func TestRotatingJSONLSinkWorksAsExperimentSink(t *testing.T) {
 	if len(got) != 4 {
 		t.Fatalf("streamed %d records, want 4", len(got))
 	}
+}
+
+// TestReadTrialRecordsGzipAutoDetect pins the magic-byte sniff: gzip
+// segments written by RotatingJSONLSink decode through ReadTrialRecords
+// directly — no explicit gzip.Reader — and concatenated segments decode
+// as one multistream. Plain JSONL keeps decoding unchanged.
+func TestReadTrialRecordsGzipAutoDetect(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "records.jsonl")
+	sink, err := CreateRotatingJSONL(base, RotateOptions{MaxBytes: 300, Compress: true})
+	if err != nil {
+		t.Fatalf("CreateRotatingJSONL: %v", err)
+	}
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := sink.Record(testRecord(i)); err != nil {
+			t.Fatalf("Record %d: %v", i, err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs := sink.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected >=2 segments, got %v", segs)
+	}
+
+	// Per-segment: raw file bytes straight into ReadTrialRecords.
+	var got []TrialRecord
+	var concat []byte
+	for _, seg := range segs {
+		if !strings.HasSuffix(seg, ".gz") {
+			t.Fatalf("expected compressed segment, got %s", seg)
+		}
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatalf("read %s: %v", seg, err)
+		}
+		concat = append(concat, data...)
+		recs, err := ReadTrialRecords(strings.NewReader(string(data)))
+		if err != nil {
+			t.Fatalf("auto-detect decode %s: %v", seg, err)
+		}
+		got = append(got, recs...)
+	}
+	if len(got) != total {
+		t.Fatalf("decoded %d records, want %d", len(got), total)
+	}
+	for i, rec := range got {
+		want := testRecord(i)
+		if rec.Trial != want.Trial || rec.Steps != want.Steps || rec.Seed != want.Seed {
+			t.Fatalf("record %d round-tripped as %+v, want %+v", i, rec, want)
+		}
+	}
+
+	// Concatenated gzip members decode as one stream.
+	all, err := ReadTrialRecords(strings.NewReader(string(concat)))
+	if err != nil {
+		t.Fatalf("multistream decode: %v", err)
+	}
+	if len(all) != total {
+		t.Fatalf("multistream decoded %d records, want %d", len(all), total)
+	}
+
+	// Plain JSONL still decodes unchanged (the sniff must not consume
+	// bytes of a non-gzip stream).
+	plain := CreateRecordsJSONL(t, total)
+	recs, err := ReadTrialRecords(strings.NewReader(plain))
+	if err != nil {
+		t.Fatalf("plain decode: %v", err)
+	}
+	if len(recs) != total {
+		t.Fatalf("plain decoded %d records, want %d", len(recs), total)
+	}
+}
+
+// CreateRecordsJSONL renders total testRecords as plain JSONL.
+func CreateRecordsJSONL(t *testing.T, total int) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < total; i++ {
+		data, err := json.Marshal(testRecord(i))
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
