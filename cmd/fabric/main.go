@@ -11,7 +11,7 @@
 //	       [-shard-trials K] [-lease-ttl 30s] [-out merged.jsonl]
 //	       [-report report.json]
 //	fabric work -coordinator http://host:7600 [-name w1]
-//	       [-trial-workers N] [-poll 200ms]
+//	       [-trial-workers N] [-poll 200ms] [-max-idle 2m] [-chaos SPEC]
 //	fabric merge -spec spec.json [-out merged.jsonl] [-report report.json]
 //	       SHARD-FILE...
 //
@@ -30,6 +30,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/fabric"
 	"repro/internal/plan"
 )
@@ -73,6 +75,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fabric %s: %v\n", os.Args[1], err)
+		if errors.Is(err, fabric.ErrCoordinatorUnreachable) {
+			fmt.Fprintln(os.Stderr, "fabric work: giving up — coordinator unreachable past the -max-idle budget")
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -80,7 +86,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   fabric coordinate -spec spec.json -checkpoint DIR [-addr :7600] [-shard-trials K] [-lease-ttl 30s] [-out merged.jsonl] [-report report.json]
-  fabric work -coordinator URL [-name NAME] [-trial-workers N] [-poll 200ms]
+  fabric work -coordinator URL [-name NAME] [-trial-workers N] [-poll 200ms] [-max-idle 2m] [-chaos SPEC]
   fabric merge -spec spec.json [-out merged.jsonl] [-report report.json] SHARD-FILE...`)
 }
 
@@ -209,17 +215,30 @@ func work(ctx context.Context, args []string) error {
 	name := fs.String("name", "", "worker name (default host:pid)")
 	trialWorkers := fs.Int("trial-workers", 0, "shard-internal trial pool size (0 = all cores)")
 	poll := fs.Duration("poll", 200*time.Millisecond, "lease poll interval")
+	maxIdle := fs.Duration("max-idle", 2*time.Minute, "give up (exit 3) after this long without coordinator contact")
+	chaosSpec := fs.String("chaos", "", "seeded fault plan, e.g. seed=7,drop=0.05,latency=0.2,crash=worker.ran@2 (testing)")
 	fs.Parse(args)
 
 	if *name == "" {
 		host, _ := os.Hostname()
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		cfg, err := chaos.ParseFlag(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		injector = chaos.NewInjector(cfg)
+		fmt.Printf("[%s] chaos enabled: %s\n", *name, *chaosSpec)
+	}
 	return fabric.Work(ctx, fabric.WorkerConfig{
 		Coordinator:  *coordinator,
 		Name:         *name,
 		TrialWorkers: *trialWorkers,
 		Poll:         *poll,
+		MaxIdle:      *maxIdle,
+		Chaos:        injector,
 		Log: func(format string, a ...any) {
 			fmt.Printf("[%s] %s\n", *name, fmt.Sprintf(format, a...))
 		},

@@ -49,6 +49,7 @@ func run(args []string) int {
 		artifacts    = fs.String("artifacts", "", "write per-job record artifacts (rotating gzip JSONL) under this directory")
 		segMB        = fs.Int64("artifact-segment-mb", 0, "artifact segment size bound, MiB (0 = 64)")
 		drain        = fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for queued and running jobs")
+		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job execution deadline, queue wait included (0 = unbounded; specs override via timeout_ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +69,7 @@ func run(args []string) int {
 		CacheDir:             *cacheDir,
 		ArtifactsDir:         *artifacts,
 		ArtifactSegmentBytes: *segMB << 20,
+		JobTimeout:           *jobTimeout,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// FS is the filesystem seam the durable layers (fabric checkpoint,
+// service cache spill) write through: the handful of operations they
+// need, with an OS-backed default and a fault-injecting wrapper. The
+// interface is deliberately write-shaped — WriteFileAtomic is the only
+// way to materialize a file, so every durable artifact gets the
+// temp+fsync+rename discipline (and every injected torn write models a
+// storage stack that broke that promise).
+type FS interface {
+	MkdirAll(path string) error
+	ReadFile(path string) ([]byte, error)
+	// WriteFileAtomic writes data via temp file + fsync + rename, so a
+	// crash mid-write can never leave a torn file under the final name.
+	WriteFileAtomic(path string, data []byte) error
+	// AppendFile opens path for appending, creating it if needed.
+	AppendFile(path string) (AppendWriter, error)
+	Open(path string) (io.ReadCloser, error)
+	Stat(path string) (iofs.FileInfo, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+}
+
+// AppendWriter is an append-mode file handle: write, make durable,
+// close.
+type AppendWriter interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OS returns the real, fault-free filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string) error           { return os.MkdirAll(path, 0o755) }
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+func (osFS) Open(path string) (io.ReadCloser, error) {
+	return os.Open(path)
+}
+func (osFS) Stat(path string) (iofs.FileInfo, error) { return os.Stat(path) }
+func (osFS) Rename(oldPath, newPath string) error    { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error                { return os.Remove(path) }
+
+func (osFS) WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func (osFS) AppendFile(path string) (AppendWriter, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// FS wraps a real filesystem with the injector's write fault plan.
+// Reads pass through untouched — corruption is injected at write time
+// and discovered at read time, like the real thing. real nil selects
+// OS().
+func (in *Injector) FS(real FS) FS {
+	if real == nil {
+		real = OS()
+	}
+	return &faultyFS{in: in, real: real}
+}
+
+type faultyFS struct {
+	in   *Injector
+	real FS
+}
+
+func (f *faultyFS) MkdirAll(path string) error              { return f.real.MkdirAll(path) }
+func (f *faultyFS) ReadFile(path string) ([]byte, error)    { return f.real.ReadFile(path) }
+func (f *faultyFS) Open(path string) (io.ReadCloser, error) { return f.real.Open(path) }
+func (f *faultyFS) Stat(path string) (iofs.FileInfo, error) { return f.real.Stat(path) }
+func (f *faultyFS) Rename(o, n string) error                { return f.real.Rename(o, n) }
+func (f *faultyFS) Remove(path string) error                { return f.real.Remove(path) }
+
+func (f *faultyFS) WriteFileAtomic(path string, data []byte) error {
+	switch fault := f.in.nextAtomicWriteFault(); {
+	case fault.ENOSPC:
+		return fmt.Errorf("chaos: %s: %w", path, syscall.ENOSPC)
+	case fault.Torn:
+		// The dangerous fault: persist a prefix under the final name and
+		// report success. Only a content digest at re-read can tell.
+		return f.real.WriteFileAtomic(path, data[:len(data)/2])
+	default:
+		return f.real.WriteFileAtomic(path, data)
+	}
+}
+
+func (f *faultyFS) AppendFile(path string) (AppendWriter, error) {
+	w, err := f.real.AppendFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyAppend{in: f.in, w: w, path: path}, nil
+}
+
+type faultyAppend struct {
+	in   *Injector
+	w    AppendWriter
+	path string
+}
+
+func (a *faultyAppend) Write(p []byte) (int, error) {
+	switch fault := a.in.nextAppendFault(); {
+	case fault.ENOSPC:
+		return 0, fmt.Errorf("chaos: %s: %w", a.path, syscall.ENOSPC)
+	case fault.Torn:
+		// A short write: half the bytes land, then the error. The torn
+		// tail is the caller's journal-recovery problem — by design.
+		n, err := a.w.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("chaos: %s: short write (%d of %d bytes)", a.path, n, len(p))
+	default:
+		return a.w.Write(p)
+	}
+}
+
+func (a *faultyAppend) Sync() error {
+	if a.in.nextSyncFault() {
+		return fmt.Errorf("chaos: %s: fsync failed", a.path)
+	}
+	return a.w.Sync()
+}
+
+func (a *faultyAppend) Close() error { return a.w.Close() }

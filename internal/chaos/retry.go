@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Policy is the platform's single retry/backoff discipline: capped
+// exponential backoff with full jitter (delay drawn uniformly from
+// [0, min(Cap, Base·2^attempt)]), a server-sent Retry-After honored as
+// a floor, and context deadlines respected — a retry whose backoff
+// cannot complete before the deadline fails fast with the last error
+// instead of sleeping into a guaranteed cancellation.
+//
+// Every worker→coordinator call (lease / renew / complete) and client
+// path retries through a Policy; ad-hoc retry loops are a bug. The
+// jitter stream is seeded xrand, so a policy's sleep schedule — like
+// every other fault-adjacent decision in this package — replays
+// deterministically from its seed.
+type Policy struct {
+	// MaxAttempts bounds total tries (first call included); 0 selects 5.
+	MaxAttempts int
+	// Base is the first backoff bound; 0 selects 50ms.
+	Base time.Duration
+	// Cap bounds every backoff; 0 selects 2s.
+	Cap time.Duration
+	// Seed seeds the jitter stream.
+	Seed uint64
+	// Sleep substitutes the backoff sleeper in tests; it must return
+	// false when ctx is done before d elapses. nil selects a timer.
+	Sleep func(ctx context.Context, d time.Duration) bool
+}
+
+func (p Policy) fill() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 2 * time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+// Do calls op until it returns nil, a Permanent error, the attempt
+// budget runs out, or the context dies. The returned error is op's last
+// (or the unwrapped permanent error), never a synthetic "retries
+// exhausted" that hides the cause.
+func (p Policy) Do(ctx context.Context, op func(attempt int) error) error {
+	p = p.fill()
+	rng := xrand.New(p.Seed)
+	var last error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return last
+			}
+			return err
+		}
+		err := op(attempt)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		last = err
+		if attempt == p.MaxAttempts-1 {
+			break
+		}
+		delay := p.backoff(rng, attempt)
+		if after, ok := RetryAfterHint(err); ok && after > delay {
+			delay = after
+		}
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < delay {
+			return fmt.Errorf("%w (context deadline inside backoff)", last)
+		}
+		if !p.Sleep(ctx, delay) {
+			return last
+		}
+	}
+	return last
+}
+
+// backoff draws the full-jitter delay for one attempt.
+func (p Policy) backoff(rng *xrand.RNG, attempt int) time.Duration {
+	bound := p.Base
+	for i := 0; i < attempt && bound < p.Cap; i++ {
+		bound *= 2
+	}
+	if bound > p.Cap {
+		bound = p.Cap
+	}
+	return time.Duration(rng.Intn(int(bound) + 1))
+}
+
+// sleepCtx waits d, reporting false when ctx dies first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Policy.Do stops immediately and returns the
+// original error — for terminal protocol answers (a 409 determinism
+// conflict, a 404) where retrying is semantically wrong.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// retryAfterError carries a server-sent Retry-After floor.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// WithRetryAfter attaches a server-sent Retry-After hint to a retryable
+// error; Policy.Do uses it as a floor for the next backoff.
+func WithRetryAfter(err error, after time.Duration) error {
+	if err == nil || after <= 0 {
+		return err
+	}
+	return &retryAfterError{err: err, after: after}
+}
+
+// RetryAfterHint extracts the Retry-After floor from an error chain.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var re *retryAfterError
+	if errors.As(err, &re) {
+		return re.after, true
+	}
+	return 0, false
+}

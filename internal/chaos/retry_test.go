@@ -1,0 +1,143 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordingSleep captures requested backoffs without sleeping.
+func recordingSleep(delays *[]time.Duration) func(context.Context, time.Duration) bool {
+	return func(ctx context.Context, d time.Duration) bool {
+		*delays = append(*delays, d)
+		return ctx.Err() == nil
+	}
+}
+
+func TestPolicyRetriesUntilSuccess(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 5, Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond,
+		Seed: 3, Sleep: recordingSleep(&delays)}
+	calls := 0
+	err := p.Do(context.Background(), func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt = %d, want %d", attempt, calls)
+		}
+		calls++
+		if calls < 4 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 4 {
+		t.Fatalf("err = %v after %d calls", err, calls)
+	}
+	if len(delays) != 3 {
+		t.Fatalf("slept %d times, want 3", len(delays))
+	}
+	for i, d := range delays {
+		bound := 10 * time.Millisecond << i
+		if bound > 40*time.Millisecond {
+			bound = 40 * time.Millisecond
+		}
+		if d < 0 || d > bound {
+			t.Fatalf("delay %d = %v outside [0, %v]", i, d, bound)
+		}
+	}
+}
+
+func TestPolicyExhaustsAndReturnsLastError(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 3, Sleep: recordingSleep(&delays)}
+	err := p.Do(context.Background(), func(attempt int) error {
+		return fmt.Errorf("boom %d", attempt)
+	})
+	if err == nil || err.Error() != "boom 2" {
+		t.Fatalf("err = %v, want the last failure", err)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2 (no sleep after the final attempt)", len(delays))
+	}
+}
+
+func TestPolicyPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("409 conflict")
+	err := Policy{MaxAttempts: 5}.Do(context.Background(), func(int) error {
+		calls++
+		return Permanent(fmt.Errorf("wrapped: %w", sentinel))
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the original chain", err)
+	}
+}
+
+func TestPolicyHonorsRetryAfter(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 2, Base: time.Millisecond, Cap: time.Millisecond,
+		Sleep: recordingSleep(&delays)}
+	p.Do(context.Background(), func(int) error {
+		return WithRetryAfter(errors.New("429"), 250*time.Millisecond)
+	})
+	if len(delays) != 1 || delays[0] < 250*time.Millisecond {
+		t.Fatalf("delays = %v, want the Retry-After floor of 250ms", delays)
+	}
+}
+
+func TestPolicyDeadlineAware(t *testing.T) {
+	// The next backoff (≥ Base = 1h in a 50ms budget) cannot complete:
+	// Do must fail fast with the cause, not sleep into the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	slept := false
+	p := Policy{MaxAttempts: 5, Base: time.Hour, Cap: time.Hour,
+		Sleep: func(context.Context, time.Duration) bool { slept = true; return true }}
+	start := time.Now()
+	err := p.Do(ctx, func(int) error {
+		return WithRetryAfter(errors.New("busy"), time.Hour)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadline inside backoff") {
+		t.Fatalf("err = %v, want a deadline-aware bailout carrying the cause", err)
+	}
+	if slept {
+		t.Fatal("slept into a guaranteed deadline")
+	}
+	if time.Since(start) > 40*time.Millisecond {
+		t.Fatal("deadline-aware bailout took too long")
+	}
+}
+
+func TestPolicyCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Policy{MaxAttempts: 5}.Do(ctx, func(int) error { calls++; return nil })
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead context: %d calls, err %v", calls, err)
+	}
+}
+
+func TestJitterReplaysFromSeed(t *testing.T) {
+	collect := func() []time.Duration {
+		var delays []time.Duration
+		p := Policy{MaxAttempts: 6, Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond,
+			Seed: 42, Sleep: recordingSleep(&delays)}
+		p.Do(context.Background(), func(int) error { return errors.New("x") })
+		return delays
+	}
+	a, b := collect(), collect()
+	if len(a) != 5 {
+		t.Fatalf("delays = %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Transport wraps an http.RoundTripper with the injector's transport
+// fault plan. inner nil selects http.DefaultTransport. The returned
+// transport is safe for concurrent use (decisions serialize on the
+// injector's stream).
+func (in *Injector) Transport(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &faultyTransport{in: in, inner: inner}
+}
+
+// Client returns an *http.Client whose transport injects the fault
+// plan, mirroring base's other fields (nil base: defaults).
+func (in *Injector) Client(base *http.Client) *http.Client {
+	c := &http.Client{}
+	if base != nil {
+		*c = *base
+	}
+	c.Transport = in.Transport(c.Transport)
+	return c
+}
+
+type faultyTransport struct {
+	in    *Injector
+	inner http.RoundTripper
+}
+
+func (t *faultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.in.NextTransportFault()
+	if f.Latency > 0 {
+		t.in.cfg.Sleep(f.Latency)
+	}
+	if f.Drop {
+		return nil, fmt.Errorf("chaos: connection dropped before send (%s %s)", req.Method, req.URL.Path)
+	}
+	if f.DropAfter {
+		// The request reaches the peer — its side effects happen — but
+		// the caller sees a failure. This is the fault that separates
+		// idempotent protocols from broken ones.
+		resp, err := t.inner.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: connection dropped awaiting response (%s %s)", req.Method, req.URL.Path)
+	}
+	if f.Status != 0 {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		resp := &http.Response{
+			StatusCode: f.Status,
+			Status:     fmt.Sprintf("%d %s", f.Status, http.StatusText(f.Status)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{},
+			Body:    io.NopCloser(strings.NewReader("chaos: injected error\n")),
+			Request: req,
+		}
+		if f.Status == http.StatusTooManyRequests || f.Status == http.StatusServiceUnavailable {
+			resp.Header.Set("Retry-After", "0")
+		}
+		return resp, nil
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil || !f.Truncate {
+		return resp, err
+	}
+	// Truncate: hand back a prefix of the real body, then an unexpected
+	// EOF — what a connection reset mid-body looks like to a reader.
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	cut := len(data) / 2
+	resp.Body = io.NopCloser(&truncatedBody{r: bytes.NewReader(data[:cut])})
+	resp.ContentLength = -1
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// truncatedBody yields its prefix, then fails with io.ErrUnexpectedEOF
+// instead of a clean EOF.
+type truncatedBody struct {
+	r io.Reader
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}

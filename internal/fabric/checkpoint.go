@@ -4,11 +4,17 @@ import (
 	"bufio"
 	"bytes"
 	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/plan"
 )
 
@@ -33,32 +39,98 @@ type journalEntry struct {
 	Worker  string `json:"worker,omitempty"`
 }
 
+// CheckpointStats counts what resume recovery had to repair. Nothing in
+// here fails a sweep — every corrupt artifact is quarantined or skipped
+// and its shard simply re-runs — but the counters surface on /v1/stats
+// so silent storage trouble is visible.
+type CheckpointStats struct {
+	// Quarantined counts shard files whose content digest disagreed with
+	// their journal entry at resume (a torn or bit-rotted write the
+	// storage stack reported as durable). Each is renamed aside with a
+	// .corrupt suffix and its shard re-leased.
+	Quarantined int `json:"quarantined"`
+	// CorruptJournalLines counts journal lines dropped at replay — CRC
+	// mismatch, torn tail, unparsable JSON. Safe to drop: a missing
+	// completion only means the shard re-runs idempotently.
+	CorruptJournalLines int `json:"corrupt_journal_lines"`
+}
+
 // Checkpoint is the coordinator's durable state: a directory holding
 //
 //	sweep.json    — identity (see sweepMeta)
-//	journal.jsonl — one entry per completed shard, appended + fsynced
+//	journal.jsonl — one CRC-framed entry per completed shard, appended +
+//	                fsynced
 //	shards/<id>.jsonl.gz — the shard's canonical record bytes, gzipped,
 //	                       written temp+rename before the journal entry
 //
 // The write order (shard file durable, then journal line) makes the
 // journal the source of truth: an entry is only ever appended for bytes
-// already on disk, so replay after a kill — at any point — either sees
-// a completed shard in full or not at all, never a torn one.
+// already on disk. Because storage can still lie — a torn write
+// surviving an fsync, a flipped bit under the final name — every journal
+// line carries a CRC32 of itself and resume re-verifies each completed
+// shard's SHA-256 before trusting it: corrupt lines are skipped, corrupt
+// shards quarantined and re-run, and only conflicting *valid* bytes ever
+// fail a sweep.
 type Checkpoint struct {
 	dir     string
-	journal *os.File
+	fs      chaos.FS
+	journal chaos.AppendWriter
+	stats   CheckpointStats
+}
+
+// journalCRC is the journal's line checksum (IEEE CRC32 over the JSON
+// payload), framed as "crc32=XXXXXXXX {json}\n". Plain JSON lines from
+// pre-CRC checkpoints still replay (their integrity check is the shard
+// digest verification that follows).
+var journalCRC = crc32.IEEETable
+
+// frameJournalLine renders one CRC-framed journal line.
+func frameJournalLine(payload []byte) []byte {
+	sum := crc32.Checksum(payload, journalCRC)
+	out := make([]byte, 0, len(payload)+16)
+	out = append(out, fmt.Sprintf("crc32=%08x ", sum)...)
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// parseJournalLine validates one journal line's framing, returning the
+// JSON payload. Legacy lines without a CRC frame pass through.
+func parseJournalLine(line []byte) ([]byte, error) {
+	s := string(line)
+	if !strings.HasPrefix(s, "crc32=") {
+		return line, nil // legacy plain-JSON line
+	}
+	rest := s[len("crc32="):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp != 8 {
+		return nil, fmt.Errorf("malformed crc32 frame")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(rest[:8], "%08x", &want); err != nil {
+		return nil, fmt.Errorf("malformed crc32 frame: %v", err)
+	}
+	payload := []byte(rest[9:])
+	if got := crc32.Checksum(payload, journalCRC); got != want {
+		return nil, fmt.Errorf("crc32 mismatch: have %08x, want %08x", got, want)
+	}
+	return payload, nil
 }
 
 // OpenCheckpoint creates or reopens the checkpoint at dir for the sweep
 // identified by digest, returning the completed shards recovered from
-// the journal. A fresh directory is initialized; an existing one is
-// validated against the digest.
-func OpenCheckpoint(dir, digest string, spec plan.Spec, shardTrials int) (*Checkpoint, map[string]journalEntry, error) {
-	if err := os.MkdirAll(filepath.Join(dir, "shards"), 0o755); err != nil {
+// the journal — each re-verified against its recorded content digest.
+// A fresh directory is initialized; an existing one is validated against
+// the digest. fs substitutes the filesystem (the chaos seam); nil
+// selects the real one.
+func OpenCheckpoint(dir, digest string, spec plan.Spec, shardTrials int, fs chaos.FS) (*Checkpoint, map[string]journalEntry, error) {
+	if fs == nil {
+		fs = chaos.OS()
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "shards")); err != nil {
 		return nil, nil, err
 	}
 	metaPath := filepath.Join(dir, "sweep.json")
-	if data, err := os.ReadFile(metaPath); err == nil {
+	if data, err := fs.ReadFile(metaPath); err == nil {
 		var meta sweepMeta
 		if err := json.Unmarshal(data, &meta); err != nil {
 			return nil, nil, fmt.Errorf("fabric: corrupt checkpoint %s: %w", metaPath, err)
@@ -72,19 +144,20 @@ func OpenCheckpoint(dir, digest string, spec plan.Spec, shardTrials int) (*Check
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := writeFileAtomic(metaPath, data); err != nil {
+		if err := fs.WriteFileAtomic(metaPath, data); err != nil {
 			return nil, nil, err
 		}
 	} else {
 		return nil, nil, err
 	}
 
-	ck := &Checkpoint{dir: dir}
+	ck := &Checkpoint{dir: dir, fs: fs}
 	done, err := ck.replayJournal()
 	if err != nil {
 		return nil, nil, err
 	}
-	j, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	ck.verifyShards(done)
+	j, err := fs.AppendFile(filepath.Join(dir, "journal.jsonl"))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -94,10 +167,13 @@ func OpenCheckpoint(dir, digest string, spec plan.Spec, shardTrials int) (*Check
 
 // replayJournal recovers completed shards: journal entries whose shard
 // file exists count as done (duplicate entries are idempotent); entries
-// whose file is missing are dropped — that shard simply re-runs.
+// whose file is missing are dropped — that shard simply re-runs. Corrupt
+// lines — CRC mismatch, torn tail, unparsable JSON — are skipped and
+// counted, never fatal: the worst case is an already-finished shard
+// running again, and identical bytes merge idempotently.
 func (ck *Checkpoint) replayJournal() (map[string]journalEntry, error) {
 	done := make(map[string]journalEntry)
-	f, err := os.Open(filepath.Join(ck.dir, "journal.jsonl"))
+	f, err := ck.fs.Open(filepath.Join(ck.dir, "journal.jsonl"))
 	if os.IsNotExist(err) {
 		return done, nil
 	}
@@ -111,19 +187,64 @@ func (ck *Checkpoint) replayJournal() (map[string]journalEntry, error) {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		var e journalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			// A torn final line (killed mid-append) is expected; its shard
-			// file write already completed or the shard re-runs. Stop here.
-			break
+		payload, err := parseJournalLine(sc.Bytes())
+		if err != nil {
+			ck.stats.CorruptJournalLines++
+			continue
 		}
-		if _, err := os.Stat(ck.ShardPath(e.Shard)); err != nil {
+		var e journalEntry
+		if err := json.Unmarshal(payload, &e); err != nil || e.Shard == "" {
+			ck.stats.CorruptJournalLines++
+			continue
+		}
+		if _, err := ck.fs.Stat(ck.ShardPath(e.Shard)); err != nil {
 			continue
 		}
 		done[e.Shard] = e
 	}
 	return done, sc.Err()
 }
+
+// verifyShards re-derives each recovered shard's content digest and
+// quarantines any file that disagrees with its journal entry — the only
+// way to catch a write that tore *and* lied about it. A quarantined
+// shard is renamed aside (never deleted: the bytes are evidence) and
+// dropped from done, so the coordinator re-leases it.
+func (ck *Checkpoint) verifyShards(done map[string]journalEntry) {
+	for id, e := range done {
+		if ck.shardDigestOK(id, e.SHA256) {
+			continue
+		}
+		path := ck.ShardPath(id)
+		ck.fs.Rename(path, path+".corrupt")
+		ck.stats.Quarantined++
+		delete(done, id)
+	}
+}
+
+// shardDigestOK gunzips one shard file and checks its canonical bytes
+// against the journal's SHA-256. Any failure — unreadable, truncated
+// gzip, digest mismatch — reports false.
+func (ck *Checkpoint) shardDigestOK(id, wantSHA string) bool {
+	f, err := ck.fs.Open(ck.ShardPath(id))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return false
+	}
+	defer gz.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, gz); err != nil {
+		return false
+	}
+	return hex.EncodeToString(h.Sum(nil)) == wantSHA
+}
+
+// Stats reports what recovery repaired.
+func (ck *Checkpoint) Stats() CheckpointStats { return ck.stats }
 
 // ShardPath returns the on-disk path of a shard's record file.
 func (ck *Checkpoint) ShardPath(id string) string {
@@ -138,14 +259,14 @@ func (ck *Checkpoint) WriteShard(e journalEntry, canonical []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFileAtomic(ck.ShardPath(e.Shard), gz); err != nil {
+	if err := ck.fs.WriteFileAtomic(ck.ShardPath(e.Shard), gz); err != nil {
 		return err
 	}
-	line, err := json.Marshal(e)
+	payload, err := json.Marshal(e)
 	if err != nil {
 		return err
 	}
-	if _, err := ck.journal.Write(append(line, '\n')); err != nil {
+	if _, err := ck.journal.Write(frameJournalLine(payload)); err != nil {
 		return err
 	}
 	return ck.journal.Sync()
@@ -157,28 +278,6 @@ func (ck *Checkpoint) Close() error {
 		return ck.journal.Close()
 	}
 	return nil
-}
-
-// writeFileAtomic writes data via a temp file + rename, fsyncing before
-// the rename so a crash never leaves a torn file under the final name.
-func writeFileAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }
 
 // gzipBytes compresses data at the default level — a deterministic

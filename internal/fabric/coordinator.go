@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/plan"
 	"repro/internal/service"
 )
@@ -33,6 +34,10 @@ type CoordinatorConfig struct {
 	Dir string
 	// Clock substitutes the lease clock in tests; nil selects time.Now.
 	Clock func() time.Time
+	// FS substitutes the checkpoint filesystem — the seam chaos tests
+	// inject torn writes, ENOSPC and fsync failures through; nil selects
+	// the real one.
+	FS chaos.FS
 }
 
 // shardState is one shard's coordinator-side lifecycle.
@@ -100,7 +105,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	ck, completed, err := OpenCheckpoint(cfg.Dir, digest, cfg.Spec, cfg.ShardTrials)
+	ck, completed, err := OpenCheckpoint(cfg.Dir, digest, cfg.Spec, cfg.ShardTrials, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -200,6 +205,7 @@ func (c *Coordinator) Stats() Stats {
 		Leases:        c.leaseStats,
 		RecordsMerged: c.recordsMerged,
 		Done:          c.doneCount == len(c.shards),
+		Checkpoint:    c.ck.Stats(),
 	}
 	st.Shards = ShardStats{Total: len(c.shards), Done: c.doneCount, Duplicates: c.dups}
 	for _, s := range c.shards {

@@ -184,6 +184,7 @@ type Stats struct {
 	Shards        ShardStats         `json:"shards"`
 	RecordsMerged uint64             `json:"records_merged"`
 	Work          service.WorkGauges `json:"work"`
+	Checkpoint    CheckpointStats    `json:"checkpoint"`
 	Done          bool               `json:"done"`
 	Error         string             `json:"error,omitempty"`
 }

@@ -4,16 +4,26 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/plan"
 	"repro/internal/runner"
 )
+
+// ErrCoordinatorUnreachable marks a worker that gave up because the
+// coordinator answered nothing — not even an error status — for longer
+// than its idle budget. Callers (cmd/fabric) branch on it for a distinct
+// exit code: an unreachable coordinator is an operational problem, not a
+// sweep failure.
+var ErrCoordinatorUnreachable = errors.New("fabric: coordinator unreachable")
 
 // WorkerConfig sizes one worker process.
 type WorkerConfig struct {
@@ -27,10 +37,21 @@ type WorkerConfig struct {
 	// Poll is the wait between lease polls when no shard is free; 0
 	// selects 200ms.
 	Poll time.Duration
-	// MaxFailures bounds consecutive coordinator errors before the worker
-	// gives up (a dead coordinator, a persistently failing upload); 0
-	// selects 30.
+	// MaxFailures bounds consecutive shard failures (a persistently
+	// failing run or upload) before the worker gives up; 0 selects 30.
 	MaxFailures int
+	// MaxIdle bounds how long the worker tolerates zero successful
+	// coordinator contact before exiting with ErrCoordinatorUnreachable;
+	// 0 selects 2 minutes.
+	MaxIdle time.Duration
+	// Retry is the shared retry/backoff policy for every coordinator
+	// call (lease / renew / complete); nil selects chaos.Policy defaults
+	// (5 attempts, 50ms base, 2s cap, full jitter).
+	Retry *chaos.Policy
+	// Chaos, when non-nil, injects the worker's seeded fault plan: its
+	// transport faults wrap Client and its crash points fire at
+	// worker.leased / worker.ran / worker.uploaded.
+	Chaos *chaos.Injector
 	// Client substitutes the HTTP client; nil selects a default with sane
 	// timeouts.
 	Client *http.Client
@@ -45,8 +66,17 @@ func (cfg *WorkerConfig) fill() {
 	if cfg.MaxFailures <= 0 {
 		cfg.MaxFailures = 30
 	}
+	if cfg.MaxIdle <= 0 {
+		cfg.MaxIdle = 2 * time.Minute
+	}
+	if cfg.Retry == nil {
+		cfg.Retry = &chaos.Policy{}
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	if cfg.Chaos != nil {
+		cfg.Client = cfg.Chaos.Client(cfg.Client)
 	}
 	if cfg.Log == nil {
 		cfg.Log = func(string, ...any) {}
@@ -56,29 +86,33 @@ func (cfg *WorkerConfig) fill() {
 // Work is the resumable worker loop: lease a shard, run it through the
 // engine under a heartbeat, upload the canonical bytes, repeat — until
 // the coordinator reports the sweep done (nil), failed (error), the
-// context is cancelled, or the coordinator stays unreachable past the
-// failure budget. Losing a lease mid-run is not an error: the worker
-// abandons the shard (someone else holds it now) and asks for the next.
+// context is cancelled, or the coordinator stays unreachable past
+// MaxIdle (ErrCoordinatorUnreachable). Losing a lease mid-run is not an
+// error: the worker abandons the shard (someone else holds it now) and
+// asks for the next.
 func Work(ctx context.Context, cfg WorkerConfig) error {
 	cfg.fill()
 	if cfg.Coordinator == "" {
 		return fmt.Errorf("fabric: worker needs a coordinator URL")
 	}
 	failures := 0
+	lastContact := time.Now()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		lease, err := postLease(ctx, cfg)
 		if err != nil {
-			failures++
-			if failures >= cfg.MaxFailures {
-				return fmt.Errorf("fabric: coordinator unreachable after %d attempts: %w", failures, err)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if idle := time.Since(lastContact); idle > cfg.MaxIdle {
+				return fmt.Errorf("%w: no contact for %v (budget %v): %v", ErrCoordinatorUnreachable, idle.Round(time.Second), cfg.MaxIdle, err)
 			}
 			sleep(ctx, cfg.Poll)
 			continue
 		}
-		failures = 0
+		lastContact = time.Now()
 		switch lease.Status {
 		case StatusDone:
 			cfg.Log("sweep done")
@@ -98,6 +132,9 @@ func Work(ctx context.Context, cfg WorkerConfig) error {
 				}
 				cfg.Log("shard %s: %v (continuing)", lease.Shard.ID, err)
 				sleep(ctx, cfg.Poll)
+			} else {
+				failures = 0
+				lastContact = time.Now()
 			}
 		default:
 			return fmt.Errorf("fabric: coordinator answered unknown lease status %q", lease.Status)
@@ -111,6 +148,7 @@ func Work(ctx context.Context, cfg WorkerConfig) error {
 func runLease(ctx context.Context, cfg WorkerConfig, lease LeaseResponse) error {
 	sh := *lease.Shard
 	cfg.Log("leased shard %s (%s n=%d trials [%d,%d))", sh.ID, sh.Protocol, sh.N, sh.Lo, sh.Hi)
+	cfg.Chaos.CrashPoint("worker.leased")
 
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
@@ -135,20 +173,23 @@ func runLease(ctx context.Context, cfg WorkerConfig, lease LeaseResponse) error 
 		}
 		return err
 	}
+	cfg.Chaos.CrashPoint("worker.ran")
 
 	// The lease may have lapsed during a long trial; upload anyway — late
 	// completions with identical bytes are merged idempotently.
 	if err := postComplete(ctx, cfg, lease.LeaseID, canonical); err != nil {
 		return err
 	}
+	cfg.Chaos.CrashPoint("worker.uploaded")
 	cfg.Log("shard %s complete (%d records)", sh.ID, sh.Trials())
 	return nil
 }
 
 // heartbeat renews the lease at TTL/3 until stopped; onLost fires when
 // the coordinator answers 410 (the lease lapsed or was superseded).
-// Transient network errors are ignored — the run continues and a late
-// completion is still acceptable.
+// Transient network errors are retried through the shared policy and
+// otherwise ignored — the run continues and a late completion is still
+// acceptable.
 func heartbeat(ctx context.Context, cfg WorkerConfig, lease LeaseResponse, onLost func()) (stop func()) {
 	interval := time.Duration(lease.TTLMillis) * time.Millisecond / 3
 	if interval < 10*time.Millisecond {
@@ -165,8 +206,7 @@ func heartbeat(ctx context.Context, cfg WorkerConfig, lease LeaseResponse, onLos
 			case <-hbCtx.Done():
 				return
 			case <-t.C:
-				code, err := postJSON(hbCtx, cfg.Client, cfg.Coordinator+"/v1/renew", RenewRequest{LeaseID: lease.LeaseID}, nil)
-				if err == nil && code == http.StatusGone {
+				if gone := postRenew(hbCtx, cfg, lease.LeaseID); gone {
 					onLost()
 					return
 				}
@@ -177,6 +217,29 @@ func heartbeat(ctx context.Context, cfg WorkerConfig, lease LeaseResponse, onLos
 		cancel()
 		<-done
 	}
+}
+
+// postRenew sends one heartbeat through the retry policy, reporting
+// whether the lease is gone (410). Errors that outlive the policy are
+// swallowed: the next tick tries again, and the worst case — the lease
+// silently lapsing — is exactly what the lease protocol already absorbs.
+func postRenew(ctx context.Context, cfg WorkerConfig, leaseID string) (gone bool) {
+	cfg.Retry.Do(ctx, func(int) error {
+		code, retryAfter, err := postJSON(ctx, cfg.Client, cfg.Coordinator+"/v1/renew", RenewRequest{LeaseID: leaseID}, nil)
+		if err != nil {
+			return err
+		}
+		switch code {
+		case http.StatusOK:
+			return nil
+		case http.StatusGone:
+			gone = true
+			return nil
+		default:
+			return chaos.WithRetryAfter(fmt.Errorf("fabric: renew answered %d", code), retryAfter)
+		}
+	})
+	return gone
 }
 
 // RunShard executes one shard's trial range through the engine,
@@ -229,42 +292,46 @@ func RunShard(ctx context.Context, sh Shard, sc repro.Scenario, workers int) ([]
 	return col.Encode()
 }
 
-// postLease asks the coordinator for work.
+// postLease asks the coordinator for work through the retry policy:
+// transport errors and retryable statuses (429, 5xx) back off with full
+// jitter honoring Retry-After; client errors are terminal.
 func postLease(ctx context.Context, cfg WorkerConfig) (LeaseResponse, error) {
 	var resp LeaseResponse
-	code, err := postJSON(ctx, cfg.Client, cfg.Coordinator+"/v1/lease", LeaseRequest{Worker: cfg.Name}, &resp)
-	if err != nil {
-		return resp, err
-	}
-	if code != http.StatusOK {
-		return resp, fmt.Errorf("fabric: lease request answered %d", code)
-	}
-	return resp, nil
+	err := cfg.Retry.Do(ctx, func(int) error {
+		code, retryAfter, err := postJSON(ctx, cfg.Client, cfg.Coordinator+"/v1/lease", LeaseRequest{Worker: cfg.Name}, &resp)
+		if err != nil {
+			return err
+		}
+		switch {
+		case code == http.StatusOK:
+			return nil
+		case code == http.StatusTooManyRequests || code >= 500:
+			return chaos.WithRetryAfter(fmt.Errorf("fabric: lease request answered %d", code), retryAfter)
+		default:
+			return chaos.Permanent(fmt.Errorf("fabric: lease request answered %d", code))
+		}
+	})
+	return resp, err
 }
 
-// postComplete uploads a shard's canonical bytes, gzipped, retrying
-// transient failures. A 409 (determinism violation) is terminal.
+// postComplete uploads a shard's canonical bytes, gzipped, through the
+// retry policy. A 409 (determinism violation) and a 410 (the lease is
+// unknown to this coordinator) are terminal.
 func postComplete(ctx context.Context, cfg WorkerConfig, leaseID string, canonical []byte) error {
 	gz, err := gzipBytes(canonical)
 	if err != nil {
 		return err
 	}
 	url := fmt.Sprintf("%s/v1/complete?lease_id=%s", cfg.Coordinator, leaseID)
-	var lastErr error
-	for attempt := 0; attempt < 5; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
+	return cfg.Retry.Do(ctx, func(int) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(gz))
 		if err != nil {
-			return err
+			return chaos.Permanent(err)
 		}
 		req.Header.Set("Content-Type", "application/gzip")
 		resp, err := cfg.Client.Do(req)
 		if err != nil {
-			lastErr = err
-			sleep(ctx, cfg.Poll)
-			continue
+			return err
 		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 		resp.Body.Close()
@@ -272,37 +339,54 @@ func postComplete(ctx context.Context, cfg WorkerConfig, leaseID string, canonic
 		case resp.StatusCode == http.StatusOK:
 			return nil
 		case resp.StatusCode == http.StatusConflict:
-			return fmt.Errorf("fabric: upload rejected: %s", bytes.TrimSpace(body))
+			return chaos.Permanent(fmt.Errorf("fabric: upload rejected: %s", bytes.TrimSpace(body)))
+		case resp.StatusCode == http.StatusGone:
+			return chaos.Permanent(fmt.Errorf("fabric: upload lease unknown: %s", bytes.TrimSpace(body)))
 		default:
-			lastErr = fmt.Errorf("fabric: upload answered %d: %s", resp.StatusCode, bytes.TrimSpace(body))
-			sleep(ctx, cfg.Poll)
+			return chaos.WithRetryAfter(
+				fmt.Errorf("fabric: upload answered %d: %s", resp.StatusCode, bytes.TrimSpace(body)),
+				retryAfterHeader(resp))
 		}
-	}
-	return lastErr
+	})
 }
 
 // postJSON posts v as JSON and decodes a 200 reply into out (when
-// non-nil), returning the status code.
-func postJSON(ctx context.Context, client *http.Client, url string, v, out any) (int, error) {
+// non-nil), returning the status code and any Retry-After the server
+// sent alongside a refusal.
+func postJSON(ctx context.Context, client *http.Client, url string, v, out any) (int, time.Duration, error) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusOK && out != nil {
-		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+		return resp.StatusCode, 0, json.NewDecoder(resp.Body).Decode(out)
 	}
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
-	return resp.StatusCode, nil
+	return resp.StatusCode, retryAfterHeader(resp), nil
+}
+
+// retryAfterHeader parses a delay-seconds Retry-After; absent or
+// unparsable reads as zero (no floor).
+func retryAfterHeader(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // sleep waits d or until ctx is cancelled.

@@ -58,6 +58,12 @@ type Spec struct {
 	// registry names — the same namespace as Protocols — and are
 	// translated to the display names Experiment matching uses.
 	MaxSize map[string]int `json:"max_size,omitempty"`
+	// TimeoutMillis bounds the job's wall-clock execution in the serving
+	// tiers (0 = the server's default, if any). A deadline changes when a
+	// job is allowed to finish, never what its trials compute, so it is
+	// deliberately excluded from cell digests (omitempty keeps it out of
+	// the spec digest for specs that don't set it).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
 // metrics converts the wire metrics to repro.Metric values.
@@ -103,6 +109,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Trials < 1 {
 		return fmt.Errorf("spec needs trials >= 1, got %d", s.Trials)
+	}
+	if s.TimeoutMillis < 0 {
+		return fmt.Errorf("spec needs timeout_ms >= 0, got %d", s.TimeoutMillis)
 	}
 	for name := range s.MaxSize {
 		if _, err := repro.NewProtocol(name); err != nil {

@@ -6,10 +6,17 @@ import (
 	"container/list"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/chaos"
 )
+
+// degradeAfter is the consecutive-spill-failure threshold past which the
+// cache demotes itself to memory-only. One failed write may be a blip; a
+// streak means the spill directory is gone, full, or read-only, and every
+// further attempt just burns an eviction on a doomed syscall.
+const degradeAfter = 3
 
 // CacheStats is the counter snapshot GET /v1/stats exposes.
 type CacheStats struct {
@@ -29,6 +36,14 @@ type CacheStats struct {
 	// then simply dropped — the cache is an accelerator, never a
 	// correctness dependency).
 	SpillErrors int64 `json:"spill_errors"`
+	// SpillReadErrors counts disk entries that failed to load back —
+	// unreadable, corrupt, or not JSONL. Each is removed so the next miss
+	// recomputes instead of retrying a poisoned file.
+	SpillReadErrors int64 `json:"spill_read_errors"`
+	// Degraded reports the cache has demoted itself to memory-only after
+	// degradeAfter consecutive spill failures. Jobs keep succeeding; only
+	// the disk tier is gone until restart.
+	Degraded bool `json:"degraded"`
 }
 
 // CellCache is the content-addressed cell store: digest key → the cell's
@@ -38,14 +53,22 @@ type CacheStats struct {
 // keys are content digests over (SpecVersion, protocol, scenario, n,
 // trials) and cells are pure functions of exactly those inputs, a cache
 // entry can never be stale — only absent.
+//
+// The disk tier degrades, never fails: a spill error drops the evicted
+// entry, a read error quarantines the file, and a streak of write
+// failures demotes the cache to memory-only (CacheStats.Degraded) so a
+// dead disk costs recomputation, not jobs.
 type CellCache struct {
-	mu       sync.Mutex
-	maxBytes int64
-	curBytes int64
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	dir      string // "" disables disk spill
-	stats    CacheStats
+	mu          sync.Mutex
+	maxBytes    int64
+	curBytes    int64
+	ll          *list.List // front = most recently used
+	items       map[string]*list.Element
+	dir         string   // "" disables disk spill
+	fs          chaos.FS // the write path; OS-backed in production
+	spillStreak int      // consecutive writeSpill failures
+	degraded    bool
+	stats       CacheStats
 }
 
 // cacheEntry is one LRU node.
@@ -58,14 +81,25 @@ type cacheEntry struct {
 // memory (minimum one entry is always admitted), spilling evictions to
 // dir when non-empty. The directory is created on first use.
 func NewCellCache(maxBytes int64, dir string) *CellCache {
+	return newCellCacheFS(maxBytes, dir, nil)
+}
+
+// newCellCacheFS is NewCellCache with a substitutable filesystem — the
+// seam chaos tests inject torn writes and ENOSPC through. nil selects
+// the real one.
+func newCellCacheFS(maxBytes int64, dir string, fs chaos.FS) *CellCache {
 	if maxBytes <= 0 {
 		maxBytes = 256 << 20
+	}
+	if fs == nil {
+		fs = chaos.OS()
 	}
 	return &CellCache{
 		maxBytes: maxBytes,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 		dir:      dir,
+		fs:       fs,
 	}
 }
 
@@ -81,11 +115,19 @@ func (c *CellCache) Get(key string) ([]byte, bool) {
 		return el.Value.(*cacheEntry).data, true
 	}
 	if c.dir != "" {
-		if data, err := c.readSpill(key); err == nil {
+		data, err := c.readSpill(key)
+		switch {
+		case err == nil:
 			c.stats.Hits++
 			c.stats.DiskHits++
 			c.admit(key, data)
 			return data, true
+		case c.spillExists(key):
+			// The file is there but unreadable — truncated gzip, flipped
+			// bytes, foreign junk. Remove it so the next miss recomputes
+			// rather than tripping over the same corpse forever.
+			c.stats.SpillReadErrors++
+			c.fs.Remove(c.spillPath(key))
 		}
 	}
 	c.stats.Misses++
@@ -116,9 +158,15 @@ func (c *CellCache) admit(key string, data []byte) {
 		delete(c.items, ent.key)
 		c.curBytes -= int64(len(ent.data))
 		c.stats.Evictions++
-		if c.dir != "" {
+		if c.dir != "" && !c.degraded {
 			if err := c.writeSpill(ent.key, ent.data); err != nil {
 				c.stats.SpillErrors++
+				c.spillStreak++
+				if c.spillStreak >= degradeAfter {
+					c.degraded = true
+				}
+			} else {
+				c.spillStreak = 0
 			}
 		}
 	}
@@ -129,42 +177,38 @@ func (c *CellCache) spillPath(key string) string {
 	return filepath.Join(c.dir, key+".jsonl.gz")
 }
 
+// spillExists reports whether a spill file is present; callers hold mu.
+func (c *CellCache) spillExists(key string) bool {
+	_, err := c.fs.Stat(c.spillPath(key))
+	return err == nil
+}
+
 // writeSpill persists an evicted entry as an independently-valid gzip
-// file, written via a temp file + rename so a crashed write can never
-// leave a truncated artifact under the content address.
+// file through the atomic write path, so a crashed or torn write can
+// never leave a truncated artifact under the content address — and when
+// the storage lies about that, the gzip CRC catches it at read time.
 func (c *CellCache) writeSpill(key string, data []byte) error {
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+	if err := c.fs.MkdirAll(c.dir); err != nil {
 		return err
 	}
 	path := c.spillPath(key)
-	if _, err := os.Stat(path); err == nil {
+	if _, err := c.fs.Stat(path); err == nil {
 		return nil // already spilled in a previous eviction
 	}
-	tmp, err := os.CreateTemp(c.dir, "spill-*")
-	if err != nil {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(data); err != nil {
 		return err
 	}
-	gz := gzip.NewWriter(tmp)
-	_, werr := gz.Write(data)
-	if cerr := gz.Close(); werr == nil {
-		werr = cerr
+	if err := gz.Close(); err != nil {
+		return err
 	}
-	if serr := tmp.Sync(); werr == nil {
-		werr = serr
-	}
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return werr
-	}
-	return os.Rename(tmp.Name(), path)
+	return c.fs.WriteFileAtomic(path, buf.Bytes())
 }
 
 // readSpill loads a spilled entry back from disk.
 func (c *CellCache) readSpill(key string) ([]byte, error) {
-	f, err := os.Open(c.spillPath(key))
+	f, err := c.fs.Open(c.spillPath(key))
 	if err != nil {
 		return nil, err
 	}
@@ -198,5 +242,6 @@ func (c *CellCache) Stats() CacheStats {
 	s := c.stats
 	s.Entries = c.ll.Len()
 	s.Bytes = c.curBytes
+	s.Degraded = c.degraded
 	return s
 }

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// hangingExec is the degradation tests' job executor: it runs until the
+// job's context dies, then finishes with that cause — the shape of a job
+// that would never complete on its own. (The queue worker has already
+// started the job by the time exec runs.)
+func hangingExec(j *Job) {
+	<-j.ctx.Done()
+	j.finish(j.ctx.Err())
+}
+
+// TestJobDeadlineFromSpec pins the per-job timeout_ms contract: a job
+// past its spec deadline finishes failed — not canceled — with a
+// distinct "job deadline exceeded" error.
+func TestJobDeadlineFromSpec(t *testing.T) {
+	svc := newServer(Config{Workers: 1, QueueDepth: 2}, hangingExec)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	spec := smallSpec()
+	spec.TimeoutMillis = 50
+	sub := submit(t, ts, spec)
+	st := waitDone(t, ts, sub.ID)
+	if st.State != StateFailed {
+		t.Fatalf("state = %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "job deadline exceeded") {
+		t.Fatalf("error = %q, want a deadline message", st.Error)
+	}
+}
+
+// TestJobDeadlineFromConfig: the server-wide default applies when the
+// spec sets no timeout, and an explicit spec timeout is not required.
+func TestJobDeadlineFromConfig(t *testing.T) {
+	svc := newServer(Config{Workers: 1, QueueDepth: 2, JobTimeout: 50 * time.Millisecond}, hangingExec)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	sub := submit(t, ts, smallSpec())
+	st := waitDone(t, ts, sub.ID)
+	if st.State != StateFailed || !strings.Contains(st.Error, "job deadline exceeded") {
+		t.Fatalf("status = %s %q, want failed with a deadline message", st.State, st.Error)
+	}
+}
+
+// TestJobCancelStillCanceled guards the deadline/cancel distinction: an
+// explicit cancel must keep reporting canceled, not failed.
+func TestJobCancelStillCanceled(t *testing.T) {
+	svc := newServer(Config{Workers: 1, QueueDepth: 2, JobTimeout: time.Hour}, hangingExec)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	sub := submit(t, ts, smallSpec())
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	st := waitDone(t, ts, sub.ID)
+	if st.State != StateCanceled {
+		t.Fatalf("state after cancel = %s, want canceled", st.State)
+	}
+}
+
+// TestCacheDegradesToMemoryOnly: a streak of spill failures must demote
+// the disk tier — visible on stats — while the memory cache keeps
+// serving and nothing errors out of Put/Get.
+func TestCacheDegradesToMemoryOnly(t *testing.T) {
+	in := chaos.NewInjector(chaos.Config{Seed: 1, ENOSPC: 1})
+	// Room for ~2 entries of 100 bytes each: every further Put evicts.
+	c := newCellCacheFS(300, t.TempDir(), in.FS(nil))
+	for i := 0; i < 8; i++ {
+		k, d := entry(i, 100)
+		c.Put(k, d)
+	}
+	st := c.Stats()
+	if !st.Degraded {
+		t.Fatalf("cache not degraded after %d failed spills: %+v", st.SpillErrors, st)
+	}
+	if st.SpillErrors != degradeAfter {
+		t.Fatalf("SpillErrors = %d, want exactly %d (no attempts past demotion)", st.SpillErrors, degradeAfter)
+	}
+	// The memory tier still works.
+	k, d := entry(7, 100)
+	if got, ok := c.Get(k); !ok || !bytes.Equal(got, d) {
+		t.Fatal("memory tier broken after degradation")
+	}
+}
+
+// TestCacheTornSpillQuarantined: a torn spill write that lied about
+// success is caught by the gzip CRC at read time; the poisoned file is
+// removed, the Get is a clean miss, and the counter records it.
+func TestCacheTornSpillQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	in := chaos.NewInjector(chaos.Config{Seed: 1, TornWriteAt: 1})
+	c := newCellCacheFS(300, dir, in.FS(nil))
+	k0, d0 := entry(0, 100)
+	c.Put(k0, d0)
+	for i := 1; i < 4; i++ { // push k0 out of memory → torn spill
+		k, d := entry(i, 100)
+		c.Put(k, d)
+	}
+	if _, err := os.Stat(c.spillPath(k0)); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+	if _, ok := c.Get(k0); ok {
+		t.Fatal("Get returned data from a torn spill")
+	}
+	st := c.Stats()
+	if st.SpillReadErrors != 1 {
+		t.Fatalf("SpillReadErrors = %d, want 1", st.SpillReadErrors)
+	}
+	if _, err := os.Stat(c.spillPath(k0)); !os.IsNotExist(err) {
+		t.Fatalf("poisoned spill file not removed: %v", err)
+	}
+	// The next Get is an ordinary miss, not a repeated read error.
+	c.Get(k0)
+	if st := c.Stats(); st.SpillReadErrors != 1 {
+		t.Fatalf("read error recounted: %d", st.SpillReadErrors)
+	}
+}
+
+// TestCacheCorruptSpillQuarantined covers byte-flip corruption of an
+// honestly-written spill file — same quarantine path, real filesystem.
+func TestCacheCorruptSpillQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c := newCellCacheFS(300, dir, nil)
+	k0, d0 := entry(0, 100)
+	c.Put(k0, d0)
+	for i := 1; i < 4; i++ {
+		k, d := entry(i, 100)
+		c.Put(k, d)
+	}
+	path := c.spillPath(k0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read spill: %v", err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("corrupt spill: %v", err)
+	}
+	if _, ok := c.Get(k0); ok {
+		t.Fatal("Get returned data from a corrupt spill")
+	}
+	if st := c.Stats(); st.SpillReadErrors != 1 {
+		t.Fatalf("SpillReadErrors = %d, want 1", st.SpillReadErrors)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt spill file not removed")
+	}
+}
+
+// TestShedCounters: refused submissions are counted by refusal class —
+// queue-full 429 (backpressure) separately from draining 503
+// (lifecycle) — and surface on /v1/stats.
+func TestShedCounters(t *testing.T) {
+	block := make(chan struct{})
+	svc := newServer(Config{Workers: 1, QueueDepth: 1}, func(j *Job) {
+		j.start()
+		<-block
+		j.finish(nil)
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer close(block)
+
+	submit(t, ts, smallSpec()) // occupies the worker
+	submit(t, ts, smallSpec()) // occupies the queue slot
+	body, _ := json.Marshal(smallSpec())
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue = %d, want 429", resp.StatusCode)
+	}
+
+	svc.draining.Store(true)
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining = %d, want 503", resp.StatusCode)
+	}
+	svc.draining.Store(false)
+
+	shed := svc.Stats().Shed
+	if shed.QueueFull != 1 || shed.Draining != 1 {
+		t.Fatalf("shed = %+v, want 1 queue-full and 1 draining", shed)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro"
 )
@@ -79,6 +80,7 @@ type submitResponse struct {
 // draining.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		s.shedDraining.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -98,14 +100,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	j := s.store.add(s.base, spec, cells)
+	timeout := s.cfg.JobTimeout
+	if spec.TimeoutMillis > 0 {
+		timeout = time.Duration(spec.TimeoutMillis) * time.Millisecond
+	}
+	j := s.store.add(s.base, spec, cells, timeout)
 	if err := s.queue.Submit(j); err != nil {
 		j.Cancel()
 		switch err {
 		case ErrQueueFull:
+			s.shedFull.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "queue full (capacity %d) — retry later", s.queue.Stats().Capacity)
 		default:
+			s.shedDraining.Add(1)
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 		}
 		return

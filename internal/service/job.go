@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -66,9 +67,19 @@ type JobStatus struct {
 }
 
 // newJob builds a queued job from a validated spec and its plan, with a
-// per-job cancellation context derived from base.
-func newJob(base context.Context, id string, spec JobSpec, cells []cellPlan) *Job {
-	ctx, cancel := context.WithCancel(base)
+// per-job cancellation context derived from base. A positive timeout
+// additionally bounds the job's wall clock — the deadline starts at
+// submission, not at start, so queue wait counts against it (a job the
+// service couldn't schedule in time is as failed as one it couldn't run
+// in time).
+func newJob(base context.Context, id string, spec JobSpec, cells []cellPlan, timeout time.Duration) *Job {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(base, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
 	return &Job{
 		ID:      id,
 		Spec:    spec,
@@ -133,8 +144,10 @@ func (j *Job) skipCellDone() {
 	j.bump()
 }
 
-// finish moves the job to its terminal state: done on nil error,
-// canceled when its context was cancelled, failed otherwise.
+// finish moves the job to its terminal state: done on nil error, failed
+// when the job's execution deadline expired (a deadline miss is the
+// job's failure, not the caller's cancellation), canceled when its
+// context was cancelled, failed otherwise.
 func (j *Job) finish(err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -144,6 +157,9 @@ func (j *Job) finish(err error) {
 	switch {
 	case err == nil:
 		j.state = StateDone
+	case errors.Is(j.ctx.Err(), context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("job deadline exceeded: %v", err)
 	case j.ctx.Err() != nil:
 		j.state = StateCanceled
 		j.errMsg = err.Error()
@@ -251,12 +267,12 @@ func newJobStore() *jobStore {
 }
 
 // add registers a new job under the next sequential id.
-func (st *jobStore) add(base context.Context, spec JobSpec, cells []cellPlan) *Job {
+func (st *jobStore) add(base context.Context, spec JobSpec, cells []cellPlan, timeout time.Duration) *Job {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.seq++
 	id := fmt.Sprintf("j-%06d", st.seq)
-	j := newJob(base, id, spec, cells)
+	j := newJob(base, id, spec, cells, timeout)
 	st.jobs[id] = j
 	st.ids = append(st.ids, id)
 	return j

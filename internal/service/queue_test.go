@@ -10,7 +10,7 @@ import (
 // stubJob builds a minimal job for queue-level tests.
 func stubJob(t *testing.T) *Job {
 	t.Helper()
-	return newJob(context.Background(), "j-test", JobSpec{}, nil)
+	return newJob(context.Background(), "j-test", JobSpec{}, nil, 0)
 }
 
 func TestQueueBackpressure(t *testing.T) {
@@ -73,8 +73,8 @@ func TestQueueShutdownDeadlineCancelsJobs(t *testing.T) {
 		<-j.ctx.Done() // a job that only ends by cancellation
 		j.finish(j.ctx.Err())
 	})
-	running := newJob(base, "j-running", JobSpec{}, nil)
-	queued := newJob(base, "j-queued", JobSpec{}, nil)
+	running := newJob(base, "j-running", JobSpec{}, nil, 0)
+	queued := newJob(base, "j-queued", JobSpec{}, nil, 0)
 	if err := q.Submit(running); err != nil {
 		t.Fatalf("submit running: %v", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"sync/atomic"
+	"time"
 )
 
 // Config sizes the service.
@@ -28,6 +29,10 @@ type Config struct {
 	// ArtifactSegmentBytes bounds artifact segments; 0 selects the sink
 	// default (64 MiB).
 	ArtifactSegmentBytes int64
+	// JobTimeout bounds each job's wall clock (queue wait included) when
+	// the spec doesn't set its own timeout_ms; 0 means unbounded. A job
+	// past its deadline finishes failed with "job deadline exceeded".
+	JobTimeout time.Duration
 }
 
 // Server is the experiment service: job store + bounded queue + content-
@@ -45,6 +50,12 @@ type Server struct {
 	// draining flips once Shutdown begins: health turns unready and
 	// submissions are refused at the HTTP layer too.
 	draining atomic.Bool
+	// Shed-load counters: submissions refused by backpressure (429, the
+	// queue is full — retry) vs. by lifecycle (503, the server is going
+	// away — find another). The distinction is the client's retry policy,
+	// so /v1/stats reports them separately.
+	shedFull     atomic.Int64
+	shedDraining atomic.Int64
 }
 
 // New builds a ready-to-serve service.
@@ -95,6 +106,15 @@ type Stats struct {
 	Queue QueueStats `json:"queue"`
 	Jobs  JobsStats  `json:"jobs"`
 	Work  WorkGauges `json:"work"`
+	Shed  ShedStats  `json:"shed"`
+}
+
+// ShedStats counts submissions the server refused, split by what the
+// refusal tells the client: QueueFull (429) means retry with backoff,
+// Draining (503) means this instance is going away.
+type ShedStats struct {
+	QueueFull int64 `json:"queue_full"`
+	Draining  int64 `json:"draining"`
 }
 
 // WorkGauges are instantaneous work-unit gauges, one granularity below
@@ -150,5 +170,9 @@ func (s *Server) Stats() Stats {
 		Queue: s.queue.Stats(),
 		Jobs:  js,
 		Work:  w,
+		Shed: ShedStats{
+			QueueFull: s.shedFull.Load(),
+			Draining:  s.shedDraining.Load(),
+		},
 	}
 }

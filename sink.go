@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -103,6 +104,14 @@ func (s *JSONLSink) Close() error {
 	return err
 }
 
+// ErrTruncatedRecords marks a gzip record stream that ended mid-member —
+// the footer (CRC + length trailer) is missing, which is what a torn
+// write, a killed uploader or a truncated download leaves behind. It is
+// distinct from a malformed line: the bytes that are present decoded
+// fine; the stream just stops early. Errors wrapping it carry the byte
+// offset of the underlying (compressed) input where it ended.
+var ErrTruncatedRecords = errors.New("repro: truncated gzip record stream (missing footer)")
+
 // DecodeTrialRecords streams a JSONL record artifact: fn is called once
 // per line, in file order. Decoding stops at the first malformed line or
 // fn error.
@@ -111,18 +120,60 @@ func (s *JSONLSink) Close() error {
 // transparently decompressed, so RotatingJSONLSink ".gz" segments (and
 // service cache spills) feed merge, replay and ReportFromRecords without
 // an explicit decompression step. Concatenated gzip members — cat-ed
-// segments, say — decode as one stream.
+// segments, say — decode as one stream. A gzip stream cut short (its
+// footer missing) surfaces as ErrTruncatedRecords with the byte offset
+// where the compressed input ended, never a bare "unexpected EOF".
 func DecodeTrialRecords(r io.Reader, fn func(rec TrialRecord) error) error {
-	br := bufio.NewReader(r)
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		offset := func() int64 { return cr.n - int64(br.Buffered()) }
 		gz, err := gzip.NewReader(br)
 		if err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return fmt.Errorf("%w at byte offset %d", ErrTruncatedRecords, offset())
+			}
 			return fmt.Errorf("repro: gzip records: %w", err)
 		}
 		defer gz.Close()
-		return decodeTrialRecords(gz, fn)
+		// Truncation can also surface indirectly — the decompressed stream
+		// ends mid-line and the partial JSON fails to parse — so track the
+		// reader error itself, not just what the scanner reports.
+		et := &eofTracker{r: gz}
+		err = decodeTrialRecords(et, fn)
+		if et.truncated || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w at byte offset %d", ErrTruncatedRecords, offset())
+		}
+		return err
 	}
 	return decodeTrialRecords(br, fn)
+}
+
+// eofTracker flags a mid-member EOF from the decompressor.
+type eofTracker struct {
+	r         io.Reader
+	truncated bool
+}
+
+func (e *eofTracker) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.ErrUnexpectedEOF {
+		e.truncated = true
+	}
+	return n, err
+}
+
+// countingReader counts the bytes consumed from the source, so
+// truncation errors can report where the input actually ended.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // decodeTrialRecords scans plain JSONL.
